@@ -1,0 +1,56 @@
+//! Criterion benchmarks B1/B2: construction time of the `(b, r)` FT-BFS
+//! structure as a function of ε and of n, plus the baseline construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftb_core::{build_baseline_ftbfs, build_ft_bfs, BuildConfig};
+use ftb_graph::VertexId;
+use ftb_workloads::{Workload, WorkloadFamily};
+use std::hint::black_box;
+
+fn bench_eps_sweep(c: &mut Criterion) {
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 250, 1).generate();
+    let mut group = c.benchmark_group("construction/eps_sweep_n250");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for eps in [0.1, 0.25, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let config = BuildConfig::new(eps).with_seed(1);
+            b.iter(|| black_box(build_ft_bfs(&graph, VertexId(0), &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_n_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/n_sweep_eps0.3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [100usize, 200, 400] {
+        let graph = Workload::new(WorkloadFamily::LayeredShallow, n, 2).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            let config = BuildConfig::new(0.3).with_seed(2);
+            b.iter(|| black_box(build_ft_bfs(graph, VertexId(0), &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/baseline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [200usize, 400] {
+        let graph = Workload::new(WorkloadFamily::ErdosRenyi, n, 3).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            let config = BuildConfig::new(1.0).with_seed(3);
+            b.iter(|| black_box(build_baseline_ftbfs(graph, VertexId(0), &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eps_sweep, bench_n_sweep, bench_baseline);
+criterion_main!(benches);

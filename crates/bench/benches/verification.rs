@@ -1,0 +1,49 @@
+//! Criterion benchmark B3: cost of the definition-level verifier and of the
+//! exact-reinforcement post-pass, serial vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftb_core::{build_ft_bfs, unprotected_edges, verify_structure, BuildConfig};
+use ftb_graph::VertexId;
+use ftb_par::ParallelConfig;
+use ftb_sp::{ShortestPathTree, TieBreakWeights};
+use ftb_workloads::{Workload, WorkloadFamily};
+use std::hint::black_box;
+
+fn bench_verifier(c: &mut Criterion) {
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 300, 4).generate();
+    let config = BuildConfig::new(0.3).with_seed(4);
+    let structure = build_ft_bfs(&graph, VertexId(0), &config);
+    let weights = TieBreakWeights::generate(&graph, 4);
+    let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
+
+    let mut group = c.benchmark_group("verification/structure_n300");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let par = ParallelConfig::with_threads(threads);
+                b.iter(|| {
+                    black_box(verify_structure(&graph, &tree, &structure, &par, false))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("verification/exact_reinforcement_n300");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("unprotected_edges", |b| {
+        let par = ParallelConfig::default();
+        b.iter(|| black_box(unprotected_edges(&graph, &tree, structure.edge_set(), &par)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier);
+criterion_main!(benches);

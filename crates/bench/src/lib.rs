@@ -1,0 +1,78 @@
+//! Experiment harness utilities: table formatting, sweeps, slope estimation.
+//!
+//! Each experiment of `EXPERIMENTS.md` is a binary under `src/bin/` that
+//! prints a Markdown table of measured values next to the paper's predicted
+//! shape; this crate holds the shared plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::Table;
+
+/// Least-squares slope of `log(y)` against `log(x)` — the measured exponent
+/// of a power-law relationship `y ≈ c · x^slope`.
+///
+/// Returns `None` when fewer than two valid (positive) points are provided.
+pub fn log_log_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Geometric mean of a slice of positive values (0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_an_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
+        let slope = log_log_slope(&pts).unwrap();
+        assert!((slope - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_handles_degenerate_inputs() {
+        assert!(log_log_slope(&[]).is_none());
+        assert!(log_log_slope(&[(10.0, 5.0)]).is_none());
+        assert!(log_log_slope(&[(10.0, 5.0), (10.0, 7.0)]).is_none());
+        assert!(log_log_slope(&[(0.0, 5.0), (-1.0, 7.0)]).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Construction configuration (ε, seeds, ablation toggles).
+
+use ftb_par::ParallelConfig;
+
+/// Configuration of the `(b, r)` FT-BFS construction.
+#[derive(Clone, Debug)]
+pub struct BuildConfig {
+    /// The tradeoff parameter `ε ∈ [0, 1]`: the reinforcement budget is
+    /// `Õ(n^{1-ε})` and the backup budget `Õ(n^{1+ε})`.
+    pub eps: f64,
+    /// Seed of the tie-breaking weight assignment `W` (and hence of the whole
+    /// construction).
+    pub seed: u64,
+    /// Worker-thread configuration for the parallel sweeps.
+    pub parallel: ParallelConfig,
+    /// Override for the number of Phase S1 rounds (`K = ⌈1/ε⌉ + 2` when
+    /// `None`). Used by the ablation experiment.
+    pub k_override: Option<usize>,
+    /// Override for the per-terminal Phase S1 / S2 budget (`⌈n^ε⌉` when
+    /// `None`). Used by the ablation experiment.
+    pub budget_override: Option<usize>,
+    /// Disable the Phase S2 heavy-path-decomposition machinery (Sub-phases
+    /// S2.1–S2.3). The resulting structure is still correct — the skipped
+    /// pairs simply surface as additional reinforced edges — which is exactly
+    /// what the ablation experiment measures.
+    pub enable_phase_s2: bool,
+    /// After construction, run the exact protection verifier and keep only
+    /// the genuinely unprotected edges in the reinforced set (the
+    /// algorithmic set from Observation 2.2 is an over-approximation).
+    pub exact_reinforcement: bool,
+    /// Force the ε ≥ 1/2 baseline branch regardless of `eps`.
+    pub force_baseline: bool,
+}
+
+impl BuildConfig {
+    /// Default configuration for a given ε.
+    pub fn new(eps: f64) -> Self {
+        BuildConfig {
+            eps,
+            seed: 0xF7B5_0001,
+            parallel: ParallelConfig::default(),
+            k_override: None,
+            budget_override: None,
+            enable_phase_s2: true,
+            exact_reinforcement: false,
+            force_baseline: false,
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the parallel configuration.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Use a serial (single-threaded) construction.
+    pub fn serial(mut self) -> Self {
+        self.parallel = ParallelConfig::serial();
+        self
+    }
+
+    /// The number of Phase S1 rounds: `K = ⌈1/ε⌉ + 2` (Eq. 4), unless
+    /// overridden.
+    pub fn k_rounds(&self) -> usize {
+        if let Some(k) = self.k_override {
+            return k;
+        }
+        if self.eps <= 0.0 {
+            return 2;
+        }
+        (1.0 / self.eps).ceil() as usize + 2
+    }
+
+    /// The per-terminal last-edge budget `⌈n^ε⌉`, unless overridden.
+    pub fn budget(&self, n: usize) -> usize {
+        if let Some(b) = self.budget_override {
+            return b.max(1);
+        }
+        ((n as f64).powf(self.eps).ceil() as usize).max(1)
+    }
+
+    /// `true` if the `ε ≥ 1/2` baseline branch should be used (the
+    /// `n^{3/2}` term of Theorem 3.1 dominates there).
+    pub fn use_baseline_branch(&self) -> bool {
+        self.force_baseline || self.eps >= 0.5
+    }
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self::new(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_rounds_follow_eq_4() {
+        assert_eq!(BuildConfig::new(0.5).k_rounds(), 4);
+        assert_eq!(BuildConfig::new(0.25).k_rounds(), 6);
+        assert_eq!(BuildConfig::new(0.1).k_rounds(), 12);
+        assert_eq!(BuildConfig::new(0.0).k_rounds(), 2);
+        assert_eq!(
+            BuildConfig::new(0.1).with_seed(1).k_rounds(),
+            12
+        );
+        let overridden = BuildConfig {
+            k_override: Some(3),
+            ..BuildConfig::new(0.1)
+        };
+        assert_eq!(overridden.k_rounds(), 3);
+    }
+
+    #[test]
+    fn budget_is_ceil_n_to_eps() {
+        let c = BuildConfig::new(0.5);
+        assert_eq!(c.budget(100), 10);
+        assert_eq!(c.budget(101), 11);
+        let c0 = BuildConfig::new(0.0);
+        assert_eq!(c0.budget(1000), 1);
+        let forced = BuildConfig {
+            budget_override: Some(7),
+            ..BuildConfig::new(0.5)
+        };
+        assert_eq!(forced.budget(100), 7);
+    }
+
+    #[test]
+    fn baseline_branch_selection() {
+        assert!(BuildConfig::new(0.5).use_baseline_branch());
+        assert!(BuildConfig::new(0.9).use_baseline_branch());
+        assert!(!BuildConfig::new(0.3).use_baseline_branch());
+        let forced = BuildConfig {
+            force_baseline: true,
+            ..BuildConfig::new(0.1)
+        };
+        assert!(forced.use_baseline_branch());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = BuildConfig::new(0.2).with_seed(99).serial();
+        assert_eq!(c.seed, 99);
+        assert!(c.parallel.is_serial());
+        assert!(c.enable_phase_s2);
+        assert!(!c.exact_reinforcement);
+    }
+}

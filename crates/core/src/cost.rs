@@ -1,0 +1,137 @@
+//! The backup/reinforcement cost model and optimal-ε selection.
+//!
+//! With per-edge prices `B` (backup) and `R` (reinforced), a `(b, r)` FT-BFS
+//! structure costs `B·b(n) + R·r(n) = Õ(B·n^{1+ε} + R·n^{1-ε})`. Balancing
+//! the two terms gives the paper's corollary: the minimum cost is achieved at
+//! `ε ≈ log(R/B) / (2 log n)` — more precisely the balance point of
+//! `B·n^{1+ε} = R·n^{1-ε}` — clamped to the meaningful range `[0, 1/2]`.
+
+use crate::structure::FtBfsStructure;
+
+/// Per-edge prices of the two protection mechanisms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Price of a fault-prone backup edge (`B`).
+    pub backup_cost: f64,
+    /// Price of a fault-resistant reinforced edge (`R`).
+    pub reinforce_cost: f64,
+}
+
+impl CostModel {
+    /// Create a cost model; prices must be positive.
+    pub fn new(backup_cost: f64, reinforce_cost: f64) -> Self {
+        assert!(backup_cost > 0.0 && reinforce_cost > 0.0, "prices must be positive");
+        CostModel {
+            backup_cost,
+            reinforce_cost,
+        }
+    }
+
+    /// The price ratio `R / B`.
+    pub fn ratio(&self) -> f64 {
+        self.reinforce_cost / self.backup_cost
+    }
+
+    /// Cost of a structure with `b` backup and `r` reinforced edges.
+    pub fn cost_of_counts(&self, b: usize, r: usize) -> f64 {
+        self.backup_cost * b as f64 + self.reinforce_cost * r as f64
+    }
+
+    /// Cost of a constructed structure.
+    pub fn cost_of(&self, structure: &FtBfsStructure) -> f64 {
+        self.cost_of_counts(structure.num_backup(), structure.num_reinforced())
+    }
+
+    /// The ε balancing the asymptotic cost `B·n^{1+ε} + R·n^{1-ε}` for an
+    /// `n`-vertex graph, clamped to `[0, 1/2]` (beyond 1/2 the `n^{3/2}`
+    /// branch dominates anyway).
+    pub fn optimal_eps(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let eps = (self.ratio().ln() / (2.0 * (n as f64).ln())).max(0.0);
+        eps.min(0.5)
+    }
+
+    /// The asymptotic cost estimate `B·n^{1+ε} + R·n^{1-ε}` (ignoring
+    /// logarithmic factors); used to sanity-check sweeps against the theory.
+    pub fn asymptotic_cost(&self, n: usize, eps: f64) -> f64 {
+        let nf = n as f64;
+        self.backup_cost * nf.powf(1.0 + eps) + self.reinforce_cost * nf.powf(1.0 - eps)
+    }
+
+    /// Among the given ε grid, the one with the smallest
+    /// [`CostModel::asymptotic_cost`].
+    pub fn best_eps_on_grid(&self, n: usize, grid: &[f64]) -> f64 {
+        grid.iter()
+            .copied()
+            .min_by(|a, b| {
+                self.asymptotic_cost(n, *a)
+                    .partial_cmp(&self.asymptotic_cost(n, *b))
+                    .unwrap()
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_prices_favour_reinforcement() {
+        // With R = B the optimum is ε = 0: reinforce the n-1 tree edges.
+        let m = CostModel::new(1.0, 1.0);
+        assert_eq!(m.optimal_eps(10_000), 0.0);
+        assert!((m.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expensive_reinforcement_pushes_eps_up() {
+        let n = 10_000usize;
+        let cheap = CostModel::new(1.0, 10.0);
+        let pricey = CostModel::new(1.0, 1e6);
+        assert!(cheap.optimal_eps(n) < pricey.optimal_eps(n));
+        // R/B = n gives exactly ε = 1/2
+        let balanced = CostModel::new(1.0, n as f64);
+        assert!((balanced.optimal_eps(n) - 0.5).abs() < 1e-9);
+        // astronomically expensive reinforcement clamps at 1/2
+        let extreme = CostModel::new(1.0, 1e30);
+        assert!((extreme.optimal_eps(n) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_eps_matches_grid_minimum() {
+        let grid: Vec<f64> = (0..=50).map(|i| i as f64 / 100.0).collect();
+        for ratio in [1.0, 5.0, 50.0, 500.0, 5_000.0] {
+            let m = CostModel::new(1.0, ratio);
+            let n = 5000;
+            let closed_form = m.optimal_eps(n);
+            let grid_best = m.best_eps_on_grid(n, &grid);
+            assert!(
+                (closed_form - grid_best).abs() <= 0.02,
+                "ratio {ratio}: closed form {closed_form} vs grid {grid_best}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_of_counts_is_linear() {
+        let m = CostModel::new(2.0, 7.0);
+        assert!((m.cost_of_counts(10, 3) - 41.0).abs() < 1e-12);
+        assert!((m.cost_of_counts(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_prices_are_rejected() {
+        CostModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn tiny_graphs_default_to_zero_eps() {
+        let m = CostModel::new(1.0, 100.0);
+        assert_eq!(m.optimal_eps(1), 0.0);
+        assert_eq!(m.optimal_eps(0), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! `(b, r)` fault-tolerant BFS structures: the reinforcement–backup tradeoff.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Parter & Peleg, *Fault Tolerant BFS Structures: A Reinforcement-Backup
+//! Tradeoff*, SPAA 2015). Given an undirected graph `G`, a source `s` and a
+//! parameter `ε ∈ [0, 1]`, [`build_ft_bfs`] constructs a subgraph `H ⊆ G`
+//! together with a set of *reinforced* edges `E' ⊆ E(H)` such that for every
+//! vertex `v` and every non-reinforced edge `e`,
+//!
+//! ```text
+//! dist(s, v, H \ {e}) ≤ dist(s, v, G \ {e}),
+//! ```
+//!
+//! with `|E(H) ∖ E'| = O(min{1/ε · n^{1+ε} log n, n^{3/2}})` backup edges and
+//! `|E'| = O(1/ε · n^{1-ε} log n)` reinforced edges (Theorem 3.1).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ftb_core::{build_ft_bfs, BuildConfig};
+//! use ftb_graph::{generators, VertexId};
+//!
+//! let graph = generators::hypercube(4);
+//! let config = BuildConfig::new(0.3).with_seed(7);
+//! let structure = build_ft_bfs(&graph, VertexId(0), &config);
+//! assert!(structure.num_edges() <= graph.num_edges());
+//! println!(
+//!     "b = {}, r = {}",
+//!     structure.num_backup(),
+//!     structure.num_reinforced()
+//! );
+//! ```
+//!
+//! The other entry points are:
+//! * [`baseline::build_baseline_ftbfs`] — the ESA'13 `Θ(n^{3/2})` FT-BFS
+//!   baseline (the `ε = 1` extreme),
+//! * [`baseline::build_reinforced_tree`] — the `ε = 0` extreme,
+//! * [`mbfs::build_ft_mbfs`] — multi-source structures,
+//! * [`verify::verify_structure`] — definition-level validation,
+//! * [`cost::CostModel`] — the `B/R` price model and optimal-ε selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod baseline;
+pub mod config;
+pub mod cost;
+pub mod mbfs;
+pub mod phase_s1;
+pub mod phase_s2;
+pub mod stats;
+pub mod structure;
+pub mod verify;
+
+pub use algorithm::{build_ft_bfs, build_ft_bfs_with_eps};
+pub use baseline::{build_baseline_ftbfs, build_reinforced_tree};
+pub use config::BuildConfig;
+pub use cost::CostModel;
+pub use mbfs::{build_ft_mbfs, MultiSourceStructure};
+pub use stats::BuildStats;
+pub use structure::FtBfsStructure;
+pub use verify::{unprotected_edges, verify_structure, VerificationReport, Violation};

@@ -1,0 +1,210 @@
+//! The `(b, r)` FT-BFS structure type.
+
+use crate::stats::BuildStats;
+use ftb_graph::{BitSet, EdgeId, Graph, SubgraphView, VertexId};
+
+/// A constructed `(b, r)` fault-tolerant BFS structure `H ⊆ G`.
+///
+/// The structure consists of:
+/// * an edge set `E(H)` (always containing the BFS tree `T0`),
+/// * a subset `E' ⊆ E(H)` of **reinforced** edges, assumed to never fail,
+/// * the remaining `E(H) ∖ E'` **backup** edges.
+///
+/// The defining guarantee (verified by [`crate::verify`]) is that for every
+/// vertex `v` and every non-reinforced edge `e`,
+/// `dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})`.
+#[derive(Clone, Debug)]
+pub struct FtBfsStructure {
+    source: VertexId,
+    eps: f64,
+    edges: BitSet,
+    reinforced: BitSet,
+    stats: BuildStats,
+}
+
+impl FtBfsStructure {
+    /// Assemble a structure from its parts. `reinforced` must be a subset of
+    /// `edges`.
+    pub fn new(
+        source: VertexId,
+        eps: f64,
+        edges: BitSet,
+        reinforced: BitSet,
+        stats: BuildStats,
+    ) -> Self {
+        debug_assert!(reinforced.iter().all(|e| edges.contains(e)));
+        FtBfsStructure {
+            source,
+            eps,
+            edges,
+            reinforced,
+            stats,
+        }
+    }
+
+    /// The BFS source the structure protects.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The `ε` parameter the structure was built for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Total number of edges `|E(H)|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of reinforced edges `r`.
+    pub fn num_reinforced(&self) -> usize {
+        self.reinforced.len()
+    }
+
+    /// Number of backup edges `b = |E(H)| - r`.
+    pub fn num_backup(&self) -> usize {
+        self.num_edges() - self.num_reinforced()
+    }
+
+    /// `true` if edge `e` belongs to the structure.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(e.index())
+    }
+
+    /// `true` if edge `e` is reinforced.
+    pub fn is_reinforced(&self, e: EdgeId) -> bool {
+        self.reinforced.contains(e.index())
+    }
+
+    /// The edge set of `H` as a bitset over the parent graph's edge ids.
+    pub fn edge_set(&self) -> &BitSet {
+        &self.edges
+    }
+
+    /// The reinforced edge set as a bitset.
+    pub fn reinforced_set(&self) -> &BitSet {
+        &self.reinforced
+    }
+
+    /// Iterate over all edges of the structure.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().map(EdgeId::new)
+    }
+
+    /// Iterate over the reinforced edges.
+    pub fn reinforced_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.reinforced.iter().map(EdgeId::new)
+    }
+
+    /// Iterate over the backup edges (edges of `H` that are not reinforced).
+    pub fn backup_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .filter(|&e| !self.reinforced.contains(e))
+            .map(EdgeId::new)
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// A masked view of the parent graph restricted to the structure's edges.
+    pub fn as_view<'a>(&'a self, graph: &'a Graph) -> SubgraphView<'a> {
+        SubgraphView::full(graph).with_allowed_edges(&self.edges)
+    }
+
+    /// Materialise the structure as a standalone [`Graph`] (vertex ids are
+    /// preserved); also returns the mapping from new edge ids to the parent
+    /// graph's edge ids.
+    pub fn to_graph(&self, graph: &Graph) -> (Graph, Vec<EdgeId>) {
+        ftb_graph::subgraph::extract_edge_subgraph(graph, &self.edges)
+    }
+
+    /// Total monetary cost under a backup/reinforcement price pair.
+    pub fn total_cost(&self, backup_cost: f64, reinforce_cost: f64) -> f64 {
+        self.num_backup() as f64 * backup_cost + self.num_reinforced() as f64 * reinforce_cost
+    }
+
+    /// Replace the reinforced set (used by the exact-reinforcement
+    /// post-processing step). The new set must still be a subset of `E(H)`.
+    pub fn with_reinforced(mut self, reinforced: BitSet) -> Self {
+        debug_assert!(reinforced.iter().all(|e| self.edges.contains(e)));
+        self.reinforced = reinforced;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::generators;
+
+    fn sample_structure(g: &Graph) -> FtBfsStructure {
+        let mut edges = BitSet::new(g.num_edges());
+        let mut reinforced = BitSet::new(g.num_edges());
+        for e in 0..g.num_edges().min(5) {
+            edges.insert(e);
+        }
+        reinforced.insert(0);
+        FtBfsStructure::new(VertexId(0), 0.3, edges, reinforced, BuildStats::default())
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = generators::complete(6);
+        let s = sample_structure(&g);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.num_reinforced(), 1);
+        assert_eq!(s.num_backup(), 4);
+        assert_eq!(s.source(), VertexId(0));
+        assert!((s.eps() - 0.3).abs() < 1e-12);
+        assert_eq!(s.edges().count(), 5);
+        assert_eq!(s.backup_edges().count(), 4);
+        assert_eq!(s.reinforced_edges().count(), 1);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let g = generators::complete(6);
+        let s = sample_structure(&g);
+        assert!(s.contains_edge(EdgeId(0)));
+        assert!(s.is_reinforced(EdgeId(0)));
+        assert!(s.contains_edge(EdgeId(3)));
+        assert!(!s.is_reinforced(EdgeId(3)));
+        assert!(!s.contains_edge(EdgeId(10)));
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let g = generators::complete(6);
+        let s = sample_structure(&g);
+        assert!((s.total_cost(1.0, 10.0) - (4.0 + 10.0)).abs() < 1e-9);
+        assert!((s.total_cost(2.0, 0.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_and_extraction_match_edge_set() {
+        let g = generators::complete(6);
+        let s = sample_structure(&g);
+        assert_eq!(s.as_view(&g).count_edges(), 5);
+        let (sub, mapping) = s.to_graph(&g);
+        assert_eq!(sub.num_edges(), 5);
+        assert_eq!(mapping.len(), 5);
+        assert_eq!(sub.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn with_reinforced_swaps_the_set() {
+        let g = generators::complete(6);
+        let s = sample_structure(&g);
+        let mut r = BitSet::new(g.num_edges());
+        r.insert(1);
+        r.insert(2);
+        let s2 = s.with_reinforced(r);
+        assert_eq!(s2.num_reinforced(), 2);
+        assert!(!s2.is_reinforced(EdgeId(0)));
+        assert!(s2.is_reinforced(EdgeId(2)));
+    }
+}

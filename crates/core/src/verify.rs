@@ -1,0 +1,248 @@
+//! Exact, definition-level verification of FT-BFS structures.
+//!
+//! The analysis of the paper guarantees protection via Observation 2.2
+//! (last-protected ⇒ protected); this module does not trust that argument and
+//! instead re-checks the defining inequality
+//! `dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})` for every vertex `v` and every
+//! non-reinforced tree edge `e` (failures of other edges can never violate
+//! the inequality because `T0 ⊆ H` survives them; the exhaustive mode checks
+//! them anyway).
+
+use crate::structure::FtBfsStructure;
+use ftb_graph::{BitSet, EdgeId, Graph, SubgraphView, VertexId};
+use ftb_par::{parallel_map, ParallelConfig};
+use ftb_sp::{bfs_distances_view, ShortestPathTree, UNREACHABLE};
+
+/// A single protection violation: after `failed_edge` fails, `vertex` is
+/// strictly farther from the source in `H` than in `G`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The failing edge.
+    pub failed_edge: EdgeId,
+    /// The vertex whose distance regresses.
+    pub vertex: VertexId,
+    /// `dist(s, vertex, H ∖ {failed_edge})` (`u32::MAX` if unreachable).
+    pub dist_in_structure: u32,
+    /// `dist(s, vertex, G ∖ {failed_edge})`.
+    pub dist_in_graph: u32,
+}
+
+/// Result of verifying a structure.
+#[derive(Clone, Debug, Default)]
+pub struct VerificationReport {
+    /// All violations found (empty iff the structure is a valid
+    /// `(b, r)` FT-BFS structure w.r.t. its reinforced set).
+    pub violations: Vec<Violation>,
+    /// Number of failing edges checked.
+    pub checked_edges: usize,
+    /// `true` if the fault-free distances in `H` equal those in `G`.
+    pub fault_free_ok: bool,
+}
+
+impl VerificationReport {
+    /// `true` if no violation was found and the fault-free distances match.
+    pub fn is_valid(&self) -> bool {
+        self.fault_free_ok && self.violations.is_empty()
+    }
+}
+
+/// Verify a structure against the definition.
+///
+/// `exhaustive = false` checks the failures of non-reinforced **tree** edges
+/// (the only ones that can be violated when `T0 ⊆ H`); `exhaustive = true`
+/// additionally checks every other non-reinforced edge of `H`.
+pub fn verify_structure(
+    graph: &Graph,
+    tree: &ShortestPathTree,
+    structure: &FtBfsStructure,
+    parallel: &ParallelConfig,
+    exhaustive: bool,
+) -> VerificationReport {
+    let source = structure.source();
+
+    // Fault-free check: H preserves all distances from the source.
+    let view_h = structure.as_view(graph);
+    let dist_h0 = bfs_distances_view(&view_h, source);
+    let dist_g0 = ftb_sp::bfs_distances(graph, source);
+    let fault_free_ok = dist_h0 == dist_g0;
+
+    // Candidate failing edges.
+    let mut candidates: Vec<EdgeId> = tree
+        .tree_edges()
+        .iter()
+        .copied()
+        .filter(|&e| !structure.is_reinforced(e))
+        .collect();
+    if exhaustive {
+        candidates.extend(
+            structure
+                .edges()
+                .filter(|&e| !tree.is_tree_edge(e) && !structure.is_reinforced(e)),
+        );
+    }
+
+    let edge_set = structure.edge_set();
+    let per_edge: Vec<Vec<Violation>> = parallel_map(parallel, candidates.len(), |i| {
+        let e = candidates[i];
+        check_single_failure(graph, edge_set, source, e)
+    });
+    VerificationReport {
+        violations: per_edge.into_iter().flatten().collect(),
+        checked_edges: candidates.len(),
+        fault_free_ok,
+    }
+}
+
+/// Compute the violations caused by the failure of a single edge.
+fn check_single_failure(
+    graph: &Graph,
+    structure_edges: &BitSet,
+    source: VertexId,
+    e: EdgeId,
+) -> Vec<Violation> {
+    let view_g = SubgraphView::full(graph).without_edge(e);
+    let dist_g = bfs_distances_view(&view_g, source);
+    let view_h = SubgraphView::full(graph)
+        .with_allowed_edges(structure_edges)
+        .without_edge(e);
+    let dist_h = bfs_distances_view(&view_h, source);
+    let mut out = Vec::new();
+    for v in graph.vertices() {
+        let dg = dist_g[v.index()];
+        let dh = dist_h[v.index()];
+        if dg != UNREACHABLE && dh > dg {
+            out.push(Violation {
+                failed_edge: e,
+                vertex: v,
+                dist_in_structure: dh,
+                dist_in_graph: dg,
+            });
+        }
+    }
+    out
+}
+
+/// The set of tree edges that are *unprotected* in the edge set `h` — the
+/// edges whose failure makes some vertex strictly farther in `(V, h) ∖ {e}`
+/// than in `G ∖ {e}`. This is the exact (minimal) reinforcement set for `h`.
+pub fn unprotected_edges(
+    graph: &Graph,
+    tree: &ShortestPathTree,
+    h: &BitSet,
+    parallel: &ParallelConfig,
+) -> Vec<EdgeId> {
+    let source = tree.source();
+    let edges: Vec<EdgeId> = tree.tree_edges().to_vec();
+    let flags: Vec<bool> = parallel_map(parallel, edges.len(), |i| {
+        !check_single_failure(graph, h, source, edges[i]).is_empty()
+    });
+    edges
+        .into_iter()
+        .zip(flags)
+        .filter_map(|(e, bad)| if bad { Some(e) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BuildStats;
+    use ftb_graph::generators;
+    use ftb_sp::TieBreakWeights;
+
+    fn tree_only_structure(graph: &Graph, reinforce_all: bool) -> (ShortestPathTree, FtBfsStructure) {
+        let w = TieBreakWeights::generate(graph, 1);
+        let tree = ShortestPathTree::build(graph, &w, VertexId(0));
+        let mut edges = BitSet::new(graph.num_edges());
+        for &e in tree.tree_edges() {
+            edges.insert(e.index());
+        }
+        let reinforced = if reinforce_all {
+            edges.clone()
+        } else {
+            BitSet::new(graph.num_edges())
+        };
+        let s = FtBfsStructure::new(VertexId(0), 0.0, edges, reinforced, BuildStats::default());
+        (tree, s)
+    }
+
+    #[test]
+    fn fully_reinforced_tree_is_valid() {
+        let g = generators::complete(8);
+        let (tree, s) = tree_only_structure(&g, true);
+        let report = verify_structure(&g, &tree, &s, &ParallelConfig::serial(), false);
+        assert!(report.is_valid());
+        assert_eq!(report.checked_edges, 0);
+        assert!(report.fault_free_ok);
+    }
+
+    #[test]
+    fn bare_tree_without_reinforcement_is_invalid_on_a_clique() {
+        let g = generators::complete(8);
+        let (tree, s) = tree_only_structure(&g, false);
+        let report = verify_structure(&g, &tree, &s, &ParallelConfig::serial(), false);
+        assert!(!report.is_valid());
+        assert!(!report.violations.is_empty());
+        assert_eq!(report.checked_edges, 7);
+        // every violation is real: the structure distance exceeds the graph distance
+        for v in &report.violations {
+            assert!(v.dist_in_structure > v.dist_in_graph);
+        }
+    }
+
+    #[test]
+    fn whole_graph_is_always_a_valid_structure() {
+        let g = generators::hypercube(4);
+        let w = TieBreakWeights::generate(&g, 2);
+        let tree = ShortestPathTree::build(&g, &w, VertexId(0));
+        let edges = BitSet::full(g.num_edges());
+        let s = FtBfsStructure::new(
+            VertexId(0),
+            1.0,
+            edges,
+            BitSet::new(g.num_edges()),
+            BuildStats::default(),
+        );
+        let report = verify_structure(&g, &tree, &s, &ParallelConfig::with_threads(4), true);
+        assert!(report.is_valid());
+        assert!(report.checked_edges >= g.num_edges());
+    }
+
+    #[test]
+    fn unprotected_edges_of_bare_tree_match_verifier() {
+        let g = generators::hypercube(3);
+        let (tree, s) = tree_only_structure(&g, false);
+        let unprotected = unprotected_edges(&g, &tree, s.edge_set(), &ParallelConfig::serial());
+        let report = verify_structure(&g, &tree, &s, &ParallelConfig::serial(), false);
+        let violated: std::collections::HashSet<EdgeId> =
+            report.violations.iter().map(|v| v.failed_edge).collect();
+        let unprotected_set: std::collections::HashSet<EdgeId> =
+            unprotected.iter().copied().collect();
+        assert_eq!(violated, unprotected_set);
+        // on the 2-edge-connected hypercube, every tree edge of a bare tree
+        // is unprotected
+        assert_eq!(unprotected.len(), tree.tree_edges().len());
+    }
+
+    #[test]
+    fn path_graph_tree_is_trivially_protected() {
+        // Removing any tree edge of a path disconnects the suffix in G as
+        // well, so the inequality holds vacuously and nothing is unprotected.
+        let g = generators::path(10);
+        let (tree, s) = tree_only_structure(&g, false);
+        let report = verify_structure(&g, &tree, &s, &ParallelConfig::serial(), false);
+        assert!(report.is_valid());
+        let unprotected = unprotected_edges(&g, &tree, s.edge_set(), &ParallelConfig::serial());
+        assert!(unprotected.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_verification_agree() {
+        let g = generators::complete_bipartite(5, 6);
+        let (tree, s) = tree_only_structure(&g, false);
+        let a = verify_structure(&g, &tree, &s, &ParallelConfig::serial(), false);
+        let b = verify_structure(&g, &tree, &s, &ParallelConfig::with_threads(4), false);
+        assert_eq!(a.violations.len(), b.violations.len());
+        assert_eq!(a.checked_edges, b.checked_edges);
+    }
+}

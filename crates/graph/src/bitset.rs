@@ -1,0 +1,329 @@
+//! A fixed-capacity bitset used for vertex and edge masks.
+//!
+//! The algorithms in this workspace repeatedly need "is this edge banned?" /
+//! "is this vertex removed?" membership queries on dense id spaces; a packed
+//! `u64` bitset is both compact and fast for that access pattern.
+
+/// A fixed-capacity set of small integers, packed 64 per word.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Create an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0u64; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Create a set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of values the set can hold (`0..capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of values currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set contains no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "BitSet::insert out of range");
+        let (w, b) = (value / 64, value % 64);
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        if newly {
+            self.len += 1;
+        }
+        newly
+    }
+
+    /// Remove `value`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / 64, value % 64);
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Membership test. Out-of-range values are reported as absent.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / 64, value % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Remove every value.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterate over the contained values in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place difference `self \ other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Number of values present in both `self` and `other`.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Collect the contained values into a `Vec<usize>` in increasing order.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set with capacity `max + 1` of the yielded values (or 0).
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Iterator over the values of a [`BitSet`] in increasing order.
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_vec(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(100);
+        assert_eq!(s.len(), 100);
+        for i in 0..100 {
+            assert!(s.contains(i));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(50));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_insert_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a: BitSet = [1usize, 3, 5, 7].into_iter().collect();
+        let b: BitSet = [3usize, 4, 5].into_iter().collect();
+        // align capacities
+        let mut a2 = BitSet::new(8);
+        for v in a.iter() {
+            a2.insert(v);
+        }
+        let mut b2 = BitSet::new(8);
+        for v in b.iter() {
+            b2.insert(v);
+        }
+        a = a2.clone();
+        a.union_with(&b2);
+        assert_eq!(a.to_vec(), vec![1, 3, 4, 5, 7]);
+
+        let mut i = a2.clone();
+        i.intersect_with(&b2);
+        assert_eq!(i.to_vec(), vec![3, 5]);
+
+        let mut d = a2.clone();
+        d.difference_with(&b2);
+        assert_eq!(d.to_vec(), vec![1, 7]);
+
+        assert_eq!(a2.intersection_count(&b2), 2);
+    }
+
+    #[test]
+    fn iterator_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for v in [0usize, 63, 64, 65, 127, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_semantics(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..200)) {
+            let mut bs = BitSet::new(256);
+            let mut reference = BTreeSet::new();
+            for (v, insert) in ops {
+                if insert {
+                    prop_assert_eq!(bs.insert(v), reference.insert(v));
+                } else {
+                    prop_assert_eq!(bs.remove(v), reference.remove(&v));
+                }
+                prop_assert_eq!(bs.len(), reference.len());
+            }
+            prop_assert_eq!(bs.to_vec(), reference.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn union_len_is_inclusion_exclusion(a in proptest::collection::btree_set(0usize..128, 0..60),
+                                            b in proptest::collection::btree_set(0usize..128, 0..60)) {
+            let mut sa = BitSet::new(128);
+            for &v in &a { sa.insert(v); }
+            let mut sb = BitSet::new(128);
+            for &v in &b { sb.insert(v); }
+            let inter = sa.intersection_count(&sb);
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            prop_assert_eq!(u.len(), a.len() + b.len() - inter);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Mutable graph construction that freezes into a CSR [`Graph`].
+
+use crate::csr::{Edge, Graph};
+use crate::ids::VertexId;
+use std::collections::HashSet;
+
+/// Accumulates edges and freezes them into an immutable [`Graph`].
+///
+/// The builder:
+/// * ignores self loops,
+/// * de-duplicates parallel edges (the graph model in the paper is simple),
+/// * can grow the vertex count on demand via [`GraphBuilder::ensure_vertex`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    seen: HashSet<(u32, u32)>,
+    ignored_self_loops: usize,
+    ignored_duplicates: usize,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+            ignored_self_loops: 0,
+            ignored_duplicates: 0,
+        }
+    }
+
+    /// Create a builder preallocating space for `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.reserve(num_edges);
+        b.seen.reserve(num_edges);
+        b
+    }
+
+    /// Current number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of accepted edges so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of rejected self-loops so far.
+    pub fn ignored_self_loops(&self) -> usize {
+        self.ignored_self_loops
+    }
+
+    /// Number of rejected duplicate edges so far.
+    pub fn ignored_duplicates(&self) -> usize {
+        self.ignored_duplicates
+    }
+
+    /// Grow the vertex set so that it contains `v`.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v.index() >= self.num_vertices {
+            self.num_vertices = v.index() + 1;
+        }
+    }
+
+    /// Allocate and return a fresh vertex id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = VertexId::new(self.num_vertices);
+        self.num_vertices += 1;
+        v
+    }
+
+    /// Allocate `count` fresh vertices and return their ids.
+    pub fn add_vertices(&mut self, count: usize) -> Vec<VertexId> {
+        (0..count).map(|_| self.add_vertex()).collect()
+    }
+
+    /// Add an undirected edge `{a, b}`.
+    ///
+    /// Self loops and duplicates are ignored (and counted). Returns `true`
+    /// iff the edge was accepted. Endpoints outside the current vertex range
+    /// grow the graph.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        if a == b {
+            self.ignored_self_loops += 1;
+            return false;
+        }
+        self.ensure_vertex(a);
+        self.ensure_vertex(b);
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if !self.seen.insert(key) {
+            self.ignored_duplicates += 1;
+            return false;
+        }
+        self.edges.push(Edge::new(a, b));
+        true
+    }
+
+    /// `true` if the edge `{a, b}` has already been accepted.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.seen.contains(&key)
+    }
+
+    /// Add a path `vs[0] - vs[1] - ... - vs[k-1]`.
+    pub fn add_path(&mut self, vs: &[VertexId]) {
+        for w in vs.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+    }
+
+    /// Freeze into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices;
+        let m = self.edges.len();
+        let mut degree = vec![0u32; n];
+        for e in &self.edges {
+            degree[e.u.index()] += 1;
+            degree[e.v.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let total = offsets[n] as usize;
+        debug_assert_eq!(total, 2 * m);
+        let mut neighbors = vec![0u32; total];
+        let mut slot_edges = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (idx, e) in self.edges.iter().enumerate() {
+            let (u, v) = (e.u.index(), e.v.index());
+            let cu = cursor[u] as usize;
+            neighbors[cu] = e.v.0;
+            slot_edges[cu] = idx as u32;
+            cursor[u] += 1;
+            let cv = cursor[v] as usize;
+            neighbors[cv] = e.u.0;
+            slot_edges[cv] = idx as u32;
+            cursor[v] += 1;
+        }
+        Graph::from_parts(offsets, neighbors, slot_edges, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn self_loops_and_duplicates_are_ignored() {
+        let mut b = GraphBuilder::new(3);
+        assert!(!b.add_edge(VertexId(1), VertexId(1)));
+        assert!(b.add_edge(VertexId(0), VertexId(1)));
+        assert!(!b.add_edge(VertexId(1), VertexId(0)));
+        assert_eq!(b.ignored_self_loops(), 1);
+        assert_eq!(b.ignored_duplicates(), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn vertices_grow_on_demand() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(VertexId(0), VertexId(9));
+        assert_eq!(b.num_vertices(), 10);
+        let v = b.add_vertex();
+        assert_eq!(v, VertexId(10));
+        let more = b.add_vertices(3);
+        assert_eq!(more, vec![VertexId(11), VertexId(12), VertexId(13)]);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 14);
+    }
+
+    #[test]
+    fn add_path_builds_chain() {
+        let mut b = GraphBuilder::new(5);
+        let vs: Vec<VertexId> = (0..5).map(|i| VertexId(i)).collect();
+        b.add_path(&vs);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn has_edge_tracks_insertions() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(2), VertexId(3));
+        assert!(b.has_edge(VertexId(3), VertexId(2)));
+        assert!(!b.has_edge(VertexId(0), VertexId(1)));
+    }
+
+    proptest! {
+        /// The CSR adjacency must agree with the edge list: every accepted
+        /// edge appears exactly once in each endpoint's adjacency and degree
+        /// sums equal 2m.
+        #[test]
+        fn csr_is_consistent_with_edge_list(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120)
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (a, bb) in raw_edges {
+                b.add_edge(VertexId(a % n as u32), VertexId(bb % n as u32));
+            }
+            let g = b.build();
+            prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+            for (eid, edge) in g.edges() {
+                let cnt_u = g.neighbors(edge.u).filter(|&(w, e)| w == edge.v && e == eid).count();
+                let cnt_v = g.neighbors(edge.v).filter(|&(w, e)| w == edge.u && e == eid).count();
+                prop_assert_eq!(cnt_u, 1);
+                prop_assert_eq!(cnt_v, 1);
+            }
+            // no duplicate undirected edges
+            let mut keys: Vec<(u32, u32)> = g.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
+            keys.sort_unstable();
+            let before = keys.len();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), before);
+        }
+    }
+}

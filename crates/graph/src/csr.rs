@@ -1,0 +1,290 @@
+//! Immutable undirected graphs in CSR (compressed sparse row) form.
+
+use crate::ids::{EdgeId, VertexId};
+
+/// An undirected edge: the pair of endpoints, stored with `u <= v`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+impl Edge {
+    /// Canonicalise an endpoint pair (orders the endpoints).
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x:?} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// `true` if `x` is one of the two endpoints.
+    pub fn is_incident(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+/// An immutable undirected graph in CSR form.
+///
+/// The adjacency of every vertex is stored contiguously; every adjacency
+/// entry carries both the neighbour and the [`EdgeId`] of the connecting
+/// (undirected) edge, so higher layers can build edge-indexed masks without
+/// hash lookups.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` is the adjacency slice of vertex `v`.
+    offsets: Vec<u32>,
+    /// Neighbour vertex per adjacency slot.
+    neighbors: Vec<u32>,
+    /// Undirected edge id per adjacency slot.
+    slot_edges: Vec<u32>,
+    /// Endpoints per undirected edge id.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Construct from prebuilt CSR arrays. Intended for [`crate::GraphBuilder`].
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+        slot_edges: Vec<u32>,
+        edges: Vec<Edge>,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), slot_edges.len());
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, neighbors.len());
+        Graph {
+            offsets,
+            neighbors,
+            slot_edges,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Iterate over all edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Endpoints of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// All edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (EdgeId::new(i), e))
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterate over `(neighbor, edge_id)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> NeighborIter<'_> {
+        let i = v.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        NeighborIter {
+            neighbors: &self.neighbors[lo..hi],
+            slot_edges: &self.slot_edges[lo..hi],
+            pos: 0,
+        }
+    }
+
+    /// Find the edge id connecting `u` and `v`, if any.
+    ///
+    /// Scans the adjacency of the lower-degree endpoint.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a)
+            .find(|&(w, _)| w == b)
+            .map(|(_, e)| e)
+    }
+
+    /// `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Sum of all degrees (`2m`).
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Total memory footprint of the CSR arrays in bytes (approximate).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.neighbors.len() * 4
+            + self.slot_edges.len() * 4
+            + self.edges.len() * std::mem::size_of::<Edge>()
+    }
+}
+
+/// Iterator over the `(neighbor, edge_id)` adjacency of a vertex.
+#[derive(Clone)]
+pub struct NeighborIter<'a> {
+    neighbors: &'a [u32],
+    slot_edges: &'a [u32],
+    pos: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (VertexId, EdgeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.neighbors.len() {
+            let out = (
+                VertexId(self.neighbors[self.pos]),
+                EdgeId(self.slot_edges[self.pos]),
+            );
+            self.pos += 1;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.neighbors.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 0-2, 2-3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(0), VertexId(2));
+        b.add_edge(VertexId(2), VertexId(3));
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree_sum(), 8);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.degree(VertexId(3)), 1);
+        let nbrs: Vec<u32> = g.neighbors(VertexId(2)).map(|(v, _)| v.0).collect();
+        assert_eq!(nbrs.len(), 3);
+        assert!(nbrs.contains(&0) && nbrs.contains(&1) && nbrs.contains(&3));
+    }
+
+    #[test]
+    fn find_edge_and_has_edge() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        let e = g.find_edge(VertexId(2), VertexId(3)).unwrap();
+        let edge = g.edge(e);
+        assert_eq!(edge, Edge::new(VertexId(3), VertexId(2)));
+        assert_eq!(edge.other(VertexId(2)), VertexId(3));
+        assert!(edge.is_incident(VertexId(3)));
+        assert!(!edge.is_incident(VertexId(0)));
+    }
+
+    #[test]
+    fn edge_ids_are_shared_between_directions() {
+        let g = triangle_plus_pendant();
+        for (eid, edge) in g.edges() {
+            let from_u = g
+                .neighbors(edge.u)
+                .find(|&(w, _)| w == edge.v)
+                .map(|(_, e)| e)
+                .unwrap();
+            let from_v = g
+                .neighbors(edge.v)
+                .find(|&(w, _)| w == edge.u)
+                .map(|(_, e)| e)
+                .unwrap();
+            assert_eq!(from_u, eid);
+            assert_eq!(from_v, eid);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_on_non_endpoint() {
+        let e = Edge::new(VertexId(1), VertexId(2));
+        e.other(VertexId(5));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn vertices_iterator_is_dense() {
+        let g = triangle_plus_pendant();
+        let ids: Vec<u32> = g.vertices().map(|v| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Deterministic generators of basic graph families.
+//!
+//! Randomised families (Erdős–Rényi, layered random graphs, preferential
+//! attachment) live in the `ftb-workloads` crate; this module only contains
+//! the deterministic building blocks needed by the lower-bound constructions
+//! and by tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// A simple path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(VertexId::new(i - 1), VertexId::new(i));
+    }
+    b.build()
+}
+
+/// A cycle on `n >= 3` vertices (for `n < 3` this degrades to a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 1..n {
+        b.add_edge(VertexId::new(i - 1), VertexId::new(i));
+    }
+    if n >= 3 {
+        b.add_edge(VertexId::new(n - 1), VertexId::new(0));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; the first `a` vertices form one
+/// side, the remaining `b` the other.
+pub fn complete_bipartite(a: usize, b_side: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(a + b_side, a * b_side);
+    for i in 0..a {
+        for j in 0..b_side {
+            b.add_edge(VertexId::new(i), VertexId::new(a + j));
+        }
+    }
+    b.build()
+}
+
+/// A star with centre `0` and `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(leaves + 1, leaves);
+    for i in 1..=leaves {
+        b.add_edge(VertexId(0), VertexId::new(i));
+    }
+    b.build()
+}
+
+/// A `rows x cols` grid graph. Vertex `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let idx = |r: usize, c: usize| VertexId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube (`2^d` vertices).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1usize << bit);
+            if w > v {
+                b.add_edge(VertexId::new(v), VertexId::new(w));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The paper's introductory example: a source `s` (vertex `0`) connected by a
+/// single pendant edge to one vertex of an `(n-1)`-vertex clique.
+///
+/// In this graph the conservative "keep all edges" strategy still has edge
+/// connectivity 1 (the pendant edge), whereas in the mixed model reinforcing
+/// the single pendant edge yields high survivability with only a fraction of
+/// the clique edges as backup.
+pub fn clique_with_pendant(n: usize) -> Graph {
+    assert!(n >= 2, "clique_with_pendant needs at least 2 vertices");
+    let mut b = GraphBuilder::with_capacity(n, (n - 1) * (n - 2) / 2 + 1);
+    // clique on vertices 1..n
+    for i in 1..n {
+        for j in (i + 1)..n {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+        }
+    }
+    // pendant edge s = 0 to vertex 1
+    b.add_edge(VertexId(0), VertexId(1));
+    b.build()
+}
+
+/// Two cliques of size `k` joined by a path of `bridge_len` edges
+/// (a "barbell"); useful as a stress test with a long mandatory path.
+pub fn barbell(k: usize, bridge_len: usize) -> Graph {
+    assert!(k >= 1);
+    let n = 2 * k + bridge_len.saturating_sub(1);
+    let mut b = GraphBuilder::with_capacity(n, k * k + bridge_len);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+            b.add_edge(VertexId::new(k + bridge_len - 1 + i), VertexId::new(k + bridge_len - 1 + j));
+        }
+    }
+    // bridge from vertex k-1 through fresh vertices to the second clique's vertex (k+bridge_len-1)
+    let mut prev = VertexId::new(k - 1);
+    for step in 0..bridge_len {
+        let next = if step + 1 == bridge_len {
+            VertexId::new(k + bridge_len - 1)
+        } else {
+            VertexId::new(k + step)
+        };
+        b.add_edge(prev, next);
+        prev = next;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn path_degenerate_cases() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        // n < 3 degrades to a path
+        assert_eq!(cycle(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        for i in 0..3 {
+            assert_eq!(g.degree(VertexId(i)), 4);
+        }
+        for j in 3..7 {
+            assert_eq!(g.degree(VertexId(j)), 3);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.degree(VertexId(0)), 7);
+        assert_eq!(g.degree(VertexId(3)), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal 3*3 + vertical 2*4 = 17
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(VertexId(0)), 2); // corner
+        assert_eq!(g.degree(VertexId(5)), 4); // interior
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 32);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn clique_with_pendant_shape() {
+        let g = clique_with_pendant(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 9 * 8 / 2 + 1);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(1)), 9);
+    }
+
+    #[test]
+    fn barbell_is_connected_and_sized() {
+        let g = barbell(4, 3);
+        assert_eq!(g.num_vertices(), 2 * 4 + 2);
+        // 2 * C(4,2) + 3 bridge edges
+        assert_eq!(g.num_edges(), 2 * 6 + 3);
+    }
+}

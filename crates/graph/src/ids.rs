@@ -1,0 +1,137 @@
+//! Compact identifier newtypes for vertices and edges.
+//!
+//! Identifiers are `u32`-backed: the experiments in this suite use graphs of
+//! at most a few million vertices/edges, and 32-bit ids halve the memory
+//! footprint of the adjacency structure compared to `usize`.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::Graph`].
+///
+/// Vertices are numbered densely `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an **undirected** edge in a [`crate::Graph`].
+///
+/// Edges are numbered densely `0..m`; both CSR directions of an undirected
+/// edge share the same [`EdgeId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "vertex index overflows u32");
+        VertexId(idx as u32)
+    }
+}
+
+impl EdgeId {
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(idx as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<VertexId> for usize {
+    fn from(v: VertexId) -> Self {
+        v.index()
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(e: EdgeId) -> Self {
+        e.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(usize::from(v), 42);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e, EdgeId::from(7u32));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VertexId(3) < VertexId(5));
+        assert!(EdgeId(0) < EdgeId(1));
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        assert_eq!(format!("{:?}", VertexId(9)), "v9");
+        assert_eq!(format!("{:?}", EdgeId(4)), "e4");
+        assert_eq!(format!("{}", VertexId(9)), "9");
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph substrate for the fault-tolerant BFS reproduction suite.
+//!
+//! This crate provides the low-level graph representation used throughout the
+//! workspace:
+//!
+//! * [`VertexId`] / [`EdgeId`] — compact `u32` newtypes for vertices and
+//!   (undirected) edges,
+//! * [`Graph`] — an immutable undirected graph in CSR (compressed sparse row)
+//!   form, carrying per-position edge identifiers so that edge-indexed sets
+//!   are cheap,
+//! * [`GraphBuilder`] — a mutable accumulator with duplicate/self-loop
+//!   handling that freezes into a [`Graph`],
+//! * [`BitSet`] — a fixed-capacity bitset used for vertex and edge masks,
+//! * [`generators`] — deterministic constructions of basic graph families
+//!   (paths, cycles, cliques, bipartite graphs, stars, grids),
+//! * [`subgraph`] — masked views and subgraph extraction,
+//! * [`stats`] — degree and connectivity statistics.
+//!
+//! All graphs in this workspace are **undirected and unweighted**; fault
+//! tolerance, shortest paths and tie-breaking weights live in the higher
+//! layers (`ftb-sp`, `ftb-rp`, `ftb-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod ids;
+pub mod stats;
+pub mod subgraph;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use csr::{Edge, Graph, NeighborIter};
+pub use ids::{EdgeId, VertexId};
+pub use stats::GraphStats;
+pub use subgraph::{EdgeMask, SubgraphView, VertexMask};

@@ -1,0 +1,153 @@
+//! Structural statistics and connectivity helpers.
+
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// Summary statistics of a graph, used by the experiment harness to describe
+/// workloads next to the measured structure sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree (`2m / n`).
+    pub avg_degree: f64,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            min_degree,
+            max_degree,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            num_components: connected_components(graph).1,
+            isolated_vertices: isolated,
+        }
+    }
+}
+
+/// Label the connected components of `graph`.
+///
+/// Returns `(labels, count)` where `labels[v]` is the 0-based component id of
+/// vertex `v` and `count` is the number of components.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in graph.vertices() {
+        if labels[start.index()] != u32::MAX {
+            continue;
+        }
+        labels[start.index()] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for (w, _) in graph.neighbors(v) {
+                if labels[w.index()] == u32::MAX {
+                    labels[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count as usize)
+}
+
+/// `true` if every vertex is reachable from every other (and the graph is
+/// non-empty).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.num_vertices() > 0 && connected_components(graph).1 == 1
+}
+
+/// `true` if all vertices are reachable from `source`.
+pub fn is_reachable_from(graph: &Graph, source: VertexId) -> bool {
+    let (labels, _) = connected_components(graph);
+    let src_label = labels[source.index()];
+    labels.iter().all(|&l| l == src_label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_cycle() {
+        let g = generators::cycle(8);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 8);
+        assert_eq!(s.num_edges, 8);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        // vertices 4, 5 isolated
+        let g = b.build();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 4);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!is_connected(&g));
+        assert!(!is_reachable_from(&g, VertexId(0)));
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated_vertices, 2);
+        assert_eq!(s.min_degree, 0);
+    }
+
+    #[test]
+    fn connected_graph_is_reachable_from_anywhere() {
+        let g = generators::grid(4, 5);
+        assert!(is_connected(&g));
+        for v in g.vertices() {
+            assert!(is_reachable_from(&g, v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_components, 0);
+        assert!(!is_connected(&g));
+    }
+}

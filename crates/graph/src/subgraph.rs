@@ -1,0 +1,338 @@
+//! Masked subgraph views.
+//!
+//! The algorithms in the paper constantly reason about `G \ {e}` (one failed
+//! edge), `G \ V(π)` (a removed path's interior) and about the constructed
+//! structure `H ⊆ G`. Instead of materialising new CSR graphs for each of
+//! these, searches take a [`SubgraphView`] — a pair of optional vertex/edge
+//! masks over the parent graph — and skip masked-out elements on the fly.
+
+use crate::bitset::BitSet;
+use crate::csr::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// A set of **removed** vertices.
+#[derive(Clone, Debug)]
+pub struct VertexMask {
+    removed: BitSet,
+}
+
+impl VertexMask {
+    /// No vertex removed.
+    pub fn none(graph: &Graph) -> Self {
+        VertexMask {
+            removed: BitSet::new(graph.num_vertices()),
+        }
+    }
+
+    /// Remove exactly the given vertices.
+    pub fn removing<I: IntoIterator<Item = VertexId>>(graph: &Graph, vs: I) -> Self {
+        let mut m = Self::none(graph);
+        for v in vs {
+            m.remove(v);
+        }
+        m
+    }
+
+    /// Mark `v` as removed.
+    pub fn remove(&mut self, v: VertexId) {
+        self.removed.insert(v.index());
+    }
+
+    /// Undo removal of `v`.
+    pub fn restore(&mut self, v: VertexId) {
+        self.removed.remove(v.index());
+    }
+
+    /// `true` if `v` is still present.
+    #[inline]
+    pub fn allows(&self, v: VertexId) -> bool {
+        !self.removed.contains(v.index())
+    }
+
+    /// Number of removed vertices.
+    pub fn num_removed(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Iterate over the removed vertices.
+    pub fn removed_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.removed.iter().map(VertexId::new)
+    }
+}
+
+/// A set of **removed** edges.
+#[derive(Clone, Debug)]
+pub struct EdgeMask {
+    removed: BitSet,
+}
+
+impl EdgeMask {
+    /// No edge removed.
+    pub fn none(graph: &Graph) -> Self {
+        EdgeMask {
+            removed: BitSet::new(graph.num_edges()),
+        }
+    }
+
+    /// Remove exactly the given edges.
+    pub fn removing<I: IntoIterator<Item = EdgeId>>(graph: &Graph, es: I) -> Self {
+        let mut m = Self::none(graph);
+        for e in es {
+            m.remove(e);
+        }
+        m
+    }
+
+    /// Mark `e` as removed.
+    pub fn remove(&mut self, e: EdgeId) {
+        self.removed.insert(e.index());
+    }
+
+    /// Undo removal of `e`.
+    pub fn restore(&mut self, e: EdgeId) {
+        self.removed.remove(e.index());
+    }
+
+    /// `true` if `e` is still present.
+    #[inline]
+    pub fn allows(&self, e: EdgeId) -> bool {
+        !self.removed.contains(e.index())
+    }
+
+    /// Number of removed edges.
+    pub fn num_removed(&self) -> usize {
+        self.removed.len()
+    }
+}
+
+/// A lightweight filtered view of a [`Graph`].
+///
+/// Combines (all optional):
+/// * a single banned edge (the failing edge `e` in `G \ {e}`),
+/// * an [`EdgeMask`] restricting the edge set (used for `H ⊆ G`),
+/// * a [`VertexMask`] removing vertices (used by Algorithm `Pcons`'s
+///   `G_j(v)` graphs).
+#[derive(Clone)]
+pub struct SubgraphView<'a> {
+    graph: &'a Graph,
+    banned_edge: Option<EdgeId>,
+    edge_mask: Option<&'a EdgeMask>,
+    allowed_edges: Option<&'a BitSet>,
+    vertex_mask: Option<&'a VertexMask>,
+}
+
+impl<'a> SubgraphView<'a> {
+    /// A view of the whole graph.
+    pub fn full(graph: &'a Graph) -> Self {
+        SubgraphView {
+            graph,
+            banned_edge: None,
+            edge_mask: None,
+            allowed_edges: None,
+            vertex_mask: None,
+        }
+    }
+
+    /// Ban a single edge (the failing edge).
+    pub fn without_edge(mut self, e: EdgeId) -> Self {
+        self.banned_edge = Some(e);
+        self
+    }
+
+    /// Optionally ban a single edge.
+    pub fn without_edge_opt(mut self, e: Option<EdgeId>) -> Self {
+        self.banned_edge = e;
+        self
+    }
+
+    /// Restrict to edges allowed by `mask` (mask lists *removed* edges).
+    pub fn with_edge_mask(mut self, mask: &'a EdgeMask) -> Self {
+        self.edge_mask = Some(mask);
+        self
+    }
+
+    /// Restrict to edges whose ids are members of `allowed` (a whitelist);
+    /// used to view a structure `H ⊆ G` given its edge set.
+    pub fn with_allowed_edges(mut self, allowed: &'a BitSet) -> Self {
+        self.allowed_edges = Some(allowed);
+        self
+    }
+
+    /// Remove the vertices listed in `mask`.
+    pub fn with_vertex_mask(mut self, mask: &'a VertexMask) -> Self {
+        self.vertex_mask = Some(mask);
+        self
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// `true` if the edge survives all filters.
+    #[inline]
+    pub fn allows_edge(&self, e: EdgeId) -> bool {
+        if self.banned_edge == Some(e) {
+            return false;
+        }
+        if let Some(mask) = self.edge_mask {
+            if !mask.allows(e) {
+                return false;
+            }
+        }
+        if let Some(allowed) = self.allowed_edges {
+            if !allowed.contains(e.index()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` if the vertex survives all filters.
+    #[inline]
+    pub fn allows_vertex(&self, v: VertexId) -> bool {
+        match self.vertex_mask {
+            Some(mask) => mask.allows(v),
+            None => true,
+        }
+    }
+
+    /// Iterate over the surviving `(neighbor, edge)` pairs of `v`.
+    ///
+    /// If `v` itself is masked out the iterator is empty.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let alive = self.allows_vertex(v);
+        self.graph
+            .neighbors(v)
+            .filter(move |&(w, e)| alive && self.allows_vertex(w) && self.allows_edge(e))
+    }
+
+    /// Count the surviving edges (each undirected edge counted once).
+    pub fn count_edges(&self) -> usize {
+        self.graph
+            .edges()
+            .filter(|&(e, edge)| {
+                self.allows_edge(e) && self.allows_vertex(edge.u) && self.allows_vertex(edge.v)
+            })
+            .count()
+    }
+}
+
+/// Materialise the subgraph induced by an edge whitelist as a fresh [`Graph`]
+/// together with the mapping from new edge ids to original edge ids.
+///
+/// Vertex ids are preserved (the vertex set is unchanged); only edges are
+/// filtered. This is used when a constructed structure `H` needs to be
+/// handled as a standalone graph.
+pub fn extract_edge_subgraph(graph: &Graph, allowed: &BitSet) -> (Graph, Vec<EdgeId>) {
+    let mut builder = crate::builder::GraphBuilder::with_capacity(graph.num_vertices(), allowed.len());
+    let mut mapping = Vec::with_capacity(allowed.len());
+    for (eid, edge) in graph.edges() {
+        if allowed.contains(eid.index()) {
+            builder.add_edge(edge.u, edge.v);
+            mapping.push(eid);
+        }
+    }
+    (builder.build(), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn full_view_allows_everything() {
+        let g = generators::cycle(5);
+        let view = SubgraphView::full(&g);
+        for (e, edge) in g.edges() {
+            assert!(view.allows_edge(e));
+            assert!(view.allows_vertex(edge.u));
+        }
+        assert_eq!(view.count_edges(), 5);
+    }
+
+    #[test]
+    fn banned_edge_is_filtered() {
+        let g = generators::cycle(5);
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let view = SubgraphView::full(&g).without_edge(e);
+        assert!(!view.allows_edge(e));
+        assert_eq!(view.count_edges(), 4);
+        let nbrs: Vec<_> = view.neighbors(VertexId(0)).map(|(v, _)| v).collect();
+        assert!(!nbrs.contains(&VertexId(1)));
+    }
+
+    #[test]
+    fn vertex_mask_removes_incident_edges() {
+        let g = generators::complete(4);
+        let mask = VertexMask::removing(&g, [VertexId(3)]);
+        let view = SubgraphView::full(&g).with_vertex_mask(&mask);
+        assert_eq!(view.count_edges(), 3); // K4 minus a vertex = K3
+        assert_eq!(view.neighbors(VertexId(3)).count(), 0);
+        assert_eq!(view.neighbors(VertexId(0)).count(), 2);
+        assert_eq!(mask.num_removed(), 1);
+        assert_eq!(mask.removed_vertices().collect::<Vec<_>>(), vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn edge_mask_and_whitelist() {
+        let g = generators::complete(4);
+        let e01 = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let mask = EdgeMask::removing(&g, [e01]);
+        let view = SubgraphView::full(&g).with_edge_mask(&mask);
+        assert_eq!(view.count_edges(), 5);
+
+        let mut allowed = BitSet::new(g.num_edges());
+        allowed.insert(e01.index());
+        let view2 = SubgraphView::full(&g).with_allowed_edges(&allowed);
+        assert_eq!(view2.count_edges(), 1);
+        assert!(view2.allows_edge(e01));
+    }
+
+    #[test]
+    fn masks_can_be_restored() {
+        let g = generators::path(4);
+        let e = g.find_edge(VertexId(1), VertexId(2)).unwrap();
+        let mut em = EdgeMask::none(&g);
+        em.remove(e);
+        assert!(!em.allows(e));
+        em.restore(e);
+        assert!(em.allows(e));
+        assert_eq!(em.num_removed(), 0);
+
+        let mut vm = VertexMask::none(&g);
+        vm.remove(VertexId(2));
+        vm.restore(VertexId(2));
+        assert!(vm.allows(VertexId(2)));
+    }
+
+    #[test]
+    fn extraction_preserves_vertex_ids() {
+        let g = generators::cycle(6);
+        let mut allowed = BitSet::new(g.num_edges());
+        for (eid, edge) in g.edges() {
+            if edge.u != VertexId(0) && edge.v != VertexId(0) {
+                allowed.insert(eid.index());
+            }
+        }
+        let (sub, mapping) = extract_edge_subgraph(&g, &allowed);
+        assert_eq!(sub.num_vertices(), 6);
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(mapping.len(), 4);
+        assert_eq!(sub.degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn combined_filters_compose() {
+        let g = generators::complete(5);
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let vmask = VertexMask::removing(&g, [VertexId(4)]);
+        let view = SubgraphView::full(&g)
+            .without_edge(e)
+            .with_vertex_mask(&vmask);
+        // K5 has 10 edges; removing vertex 4 kills 4, banning e kills 1 more.
+        assert_eq!(view.count_edges(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Certification of the forcing arguments (Claims 5.3 / 5.6).
+//!
+//! The lower-bound theorems argue that every structure with a bounded
+//! reinforcement budget must contain all bipartite edges `E^i_j` associated
+//! with each unreinforced path edge `e^i_j`. These routines (a) compute the
+//! implied numeric lower bound for a given budget and (b) empirically confirm
+//! the forcing on a concrete instance by checking that dropping a single
+//! bipartite edge breaks the replacement distance of its `X`-vertex.
+
+use crate::single_source::SingleSourceLowerBound;
+use ftb_graph::{EdgeMask, SubgraphView};
+use ftb_sp::{bfs_distances_view, UNREACHABLE};
+
+/// Result of empirically checking the forcing argument on one instance.
+#[derive(Clone, Debug, Default)]
+pub struct ForcingCheck {
+    /// Number of `(π-edge, bipartite-edge)` samples checked.
+    pub samples: usize,
+    /// Samples where dropping the bipartite edge strictly increased the
+    /// post-failure distance of its `X`-vertex (i.e. the edge is genuinely
+    /// forced into any structure that does not reinforce the π edge).
+    pub confirmed: usize,
+}
+
+impl ForcingCheck {
+    /// `true` if every sampled bipartite edge was confirmed to be forced.
+    pub fn all_confirmed(&self) -> bool {
+        self.samples > 0 && self.samples == self.confirmed
+    }
+}
+
+/// The certified backup lower bound of Claim 5.3: with a reinforcement budget
+/// of `r_budget` edges, at least `(|Π| − r_budget) · |X_i|` bipartite edges
+/// must appear in any ε FT-BFS structure of the instance (0 if the budget
+/// covers all of `Π`).
+pub fn certified_backup_lower_bound(lb: &SingleSourceLowerBound, r_budget: usize) -> usize {
+    lb.num_pi_edges().saturating_sub(r_budget) * lb.x_size
+}
+
+/// Empirically verify the forcing argument on up to `max_samples` sampled
+/// `(π-edge, bipartite-edge)` pairs: for each sample, check that
+/// `dist(s, x, (G ∖ {(x, z^i_j)}) ∖ {e^i_j}) > dist(s, x, G ∖ {e^i_j})`, so a
+/// structure missing the bipartite edge cannot preserve the replacement
+/// distance of `x` unless it reinforces `e^i_j`.
+pub fn verify_forcing(lb: &SingleSourceLowerBound, max_samples: usize) -> ForcingCheck {
+    let mut check = ForcingCheck::default();
+    let graph = &lb.graph;
+    'outer: for copy in 0..lb.num_copies {
+        for (j, &pi_edge) in lb.pi_edges[copy].iter().enumerate() {
+            // Reference: distances after failing the π edge only.
+            let view_ref = SubgraphView::full(graph).without_edge(pi_edge);
+            let dist_ref = bfs_distances_view(&view_ref, lb.source);
+            // Sample a handful of bipartite edges of E^i_j.
+            for &bip_edge in lb.forced_edges[copy][j].iter().take(3) {
+                if check.samples >= max_samples {
+                    break 'outer;
+                }
+                check.samples += 1;
+                let edge = graph.edge(bip_edge);
+                let z = lb.z_vertices[copy][j];
+                let x = edge.other(z);
+                let mask = EdgeMask::removing(graph, [bip_edge]);
+                let view_cut = SubgraphView::full(graph)
+                    .without_edge(pi_edge)
+                    .with_edge_mask(&mask);
+                let dist_cut = bfs_distances_view(&view_cut, lb.source);
+                let before = dist_ref[x.index()];
+                let after = dist_cut[x.index()];
+                if before != UNREACHABLE && (after > before || after == UNREACHABLE) {
+                    check.confirmed += 1;
+                }
+            }
+        }
+    }
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_source::single_source_lower_bound;
+
+    #[test]
+    fn certified_bound_scales_with_budget() {
+        let lb = single_source_lower_bound(600, 0.3);
+        let full = certified_backup_lower_bound(&lb, 0);
+        assert_eq!(full, lb.num_pi_edges() * lb.x_size);
+        let half = certified_backup_lower_bound(&lb, lb.num_pi_edges() / 2);
+        assert!(half < full && half > 0);
+        let none = certified_backup_lower_bound(&lb, lb.num_pi_edges());
+        assert_eq!(none, 0);
+        // over-budget saturates at zero
+        assert_eq!(certified_backup_lower_bound(&lb, usize::MAX), 0);
+    }
+
+    #[test]
+    fn forcing_is_confirmed_on_small_instances() {
+        let lb = single_source_lower_bound(300, 0.3);
+        let check = verify_forcing(&lb, 40);
+        assert!(check.samples > 0);
+        assert!(
+            check.all_confirmed(),
+            "only {}/{} forcing samples confirmed",
+            check.confirmed,
+            check.samples
+        );
+    }
+
+    #[test]
+    fn forcing_is_confirmed_on_the_esa13_instance() {
+        let lb = crate::single_source::esa13_lower_bound(400);
+        let check = verify_forcing(&lb, 25);
+        assert!(check.all_confirmed());
+    }
+
+    #[test]
+    fn sample_cap_is_respected() {
+        let lb = single_source_lower_bound(500, 0.25);
+        let check = verify_forcing(&lb, 5);
+        assert_eq!(check.samples, 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! Explicit lower-bound constructions for `(b, r)` FT-BFS structures.
+//!
+//! The paper's Section 5 exhibits graph families on which **every** ε FT-BFS
+//! structure with a bounded reinforcement budget must contain many backup
+//! edges:
+//!
+//! * [`single_source`] — the Theorem 5.1 family: with at most `⌊n^{1-ε}/6⌋`
+//!   reinforced edges, `Ω(min{n^{1+ε}, n^{3/2}})` backup edges are forced,
+//! * [`multi_source`] — the Theorem 5.4 family for `σ` sources: with
+//!   `⌊σ·n^{1-ε}/6⌋` reinforced edges, `Ω(σ^{1-ε}·n^{1+ε})` backup edges are
+//!   forced,
+//! * [`certify`] — routines that count the forced edges (Claims 5.3 / 5.6)
+//!   and empirically confirm the forcing argument on concrete instances.
+//!
+//! The `ε = 1/2` instantiation of the single-source family recovers the
+//! `Ω(n^{3/2})` ESA'13 lower bound used as the `ε = 1` baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod multi_source;
+pub mod single_source;
+
+pub use certify::{certified_backup_lower_bound, verify_forcing, ForcingCheck};
+pub use multi_source::{multi_source_lower_bound, MultiSourceLowerBound};
+pub use single_source::{esa13_lower_bound, single_source_lower_bound, SingleSourceLowerBound};

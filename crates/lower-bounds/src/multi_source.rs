@@ -1,0 +1,215 @@
+//! The Theorem 5.4 multi-source lower-bound family.
+//!
+//! For `σ` sources the construction uses `σ · k` blocks (`k = ⌊(n/σ)^{1-2ε}⌋`
+//! blocks per source) of the same path/connector/landing shape as the
+//! single-source family, with the crucial twist that the expensive vertex
+//! blocks `X_j` are **shared** between the sources: `X_j` hangs off a hub
+//! `ṽ_j` adjacent to the path terminals `v*_{i,j}` of every source `i`, and
+//! is fully connected to the union `Z_j = ⋃_i Z_{i,j}` of the landing sets.
+//! Failing the `ℓ`-th path edge of block `(i, j)` forces, from the viewpoint
+//! of source `s_i`, all bipartite edges `{(x, z^{i,j}_ℓ) : x ∈ X_j}`
+//! (Claim 5.6).
+
+use ftb_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+
+/// A generated Theorem 5.4 instance.
+#[derive(Clone, Debug)]
+pub struct MultiSourceLowerBound {
+    /// The graph.
+    pub graph: Graph,
+    /// The σ sources `s_1, …, s_σ`.
+    pub sources: Vec<VertexId>,
+    /// The ε the instance targets.
+    pub eps: f64,
+    /// Blocks per source (`k`).
+    pub copies_per_source: usize,
+    /// Path length per block (`d`).
+    pub path_len: usize,
+    /// `|X_j|` (shared vertex-block size).
+    pub x_size: usize,
+    /// `pi_edges[i][j]` — the costly path edges of block `(i, j)`.
+    pub pi_edges: Vec<Vec<Vec<EdgeId>>>,
+}
+
+impl MultiSourceLowerBound {
+    /// Number of sources σ.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total number of costly path edges `|Π| = σ · k · d`.
+    pub fn num_pi_edges(&self) -> usize {
+        self.pi_edges
+            .iter()
+            .flat_map(|per_source| per_source.iter())
+            .map(|block| block.len())
+            .sum()
+    }
+
+    /// The paper's reinforcement budget `⌊σ · n^{1-ε} / 6⌋`.
+    pub fn reinforcement_budget(&self) -> usize {
+        let n = self.graph.num_vertices() as f64;
+        (self.num_sources() as f64 * n.powf(1.0 - self.eps) / 6.0).floor() as usize
+    }
+
+    /// The Claim 5.6 certified backup lower bound for a reinforcement budget:
+    /// every unreinforced π edge forces `|X_j|` bipartite edges.
+    pub fn certified_backup_lower_bound(&self, r_budget: usize) -> usize {
+        self.num_pi_edges().saturating_sub(r_budget) * self.x_size
+    }
+}
+
+/// Build the Theorem 5.4 instance targeting ≈ `n` vertices, `σ` sources and
+/// `ε ∈ (0, 1/2]`.
+pub fn multi_source_lower_bound(n: usize, sigma: usize, eps: f64) -> MultiSourceLowerBound {
+    assert!(eps > 0.0 && eps <= 0.5, "theorem 5.4 covers eps in (0, 1/2]");
+    assert!(sigma >= 1, "need at least one source");
+    assert!(n >= 64 * sigma, "n too small for the requested number of sources");
+    let per_source_n = n as f64 / sigma as f64;
+    let d = ((per_source_n / 4.0).powf(eps).floor() as usize).max(1);
+    let k = (per_source_n.powf(1.0 - 2.0 * eps).floor() as usize).max(1);
+    let block_fixed = d * d + 6 * d + 1;
+    let fixed = sigma + sigma * k * block_fixed + k; // sources + blocks + hubs
+    let x_size = (n.saturating_sub(fixed) / k).max(1);
+
+    // Start from an empty vertex set: every vertex is allocated explicitly.
+    let mut b = GraphBuilder::with_capacity(0, sigma * k * (d * d + d * x_size) + k * x_size);
+    let sources: Vec<VertexId> = b.add_vertices(sigma);
+    // Shared per-j hubs and X blocks.
+    let hubs: Vec<VertexId> = b.add_vertices(k);
+    let x_blocks: Vec<Vec<VertexId>> = (0..k).map(|_| b.add_vertices(x_size)).collect();
+    for j in 0..k {
+        for &x in &x_blocks[j] {
+            b.add_edge(hubs[j], x);
+        }
+    }
+
+    let mut pi_names: Vec<Vec<Vec<(VertexId, VertexId)>>> = vec![Vec::new(); sigma];
+    for i in 0..sigma {
+        for j in 0..k {
+            // path of block (i, j)
+            let path: Vec<VertexId> = b.add_vertices(d + 1);
+            b.add_edge(sources[i], path[0]);
+            b.add_path(&path);
+            let v_star = *path.last().unwrap();
+            b.add_edge(v_star, hubs[j]);
+            // landing vertices and connectors
+            let z: Vec<VertexId> = b.add_vertices(d);
+            for ell in 1..=d {
+                let t = 6 + 2 * (d - ell);
+                let interior = b.add_vertices(t - 1);
+                let mut chain = Vec::with_capacity(t + 1);
+                chain.push(path[ell - 1]);
+                chain.extend(interior);
+                chain.push(z[ell - 1]);
+                b.add_path(&chain);
+            }
+            // bipartite X_j × Z_{i,j}
+            for &zv in &z {
+                for &x in &x_blocks[j] {
+                    b.add_edge(x, zv);
+                }
+            }
+            pi_names[i].push(path.windows(2).map(|w| (w[0], w[1])).collect());
+        }
+    }
+
+    let graph = b.build();
+    let resolve = |(a, c): (VertexId, VertexId)| graph.find_edge(a, c).expect("edge exists");
+    let pi_edges: Vec<Vec<Vec<EdgeId>>> = pi_names
+        .iter()
+        .map(|per_source| {
+            per_source
+                .iter()
+                .map(|block| block.iter().map(|&p| resolve(p)).collect())
+                .collect()
+        })
+        .collect();
+
+    MultiSourceLowerBound {
+        graph,
+        sources,
+        eps,
+        copies_per_source: k,
+        path_len: d,
+        x_size,
+        pi_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::stats::is_connected;
+    use ftb_graph::SubgraphView;
+    use ftb_sp::{bfs_distances, bfs_distances_view};
+
+    #[test]
+    fn construction_is_connected_and_roughly_sized() {
+        for (n, sigma, eps) in [(800usize, 2usize, 0.25), (1000, 4, 0.3), (600, 1, 0.3)] {
+            let lb = multi_source_lower_bound(n, sigma, eps);
+            assert!(is_connected(&lb.graph), "n={n}, sigma={sigma}");
+            assert_eq!(lb.num_sources(), sigma);
+            assert_eq!(
+                lb.num_pi_edges(),
+                sigma * lb.copies_per_source * lb.path_len
+            );
+            let got = lb.graph.num_vertices();
+            assert!(got >= n / 2, "n={n}: got only {got} vertices");
+        }
+    }
+
+    #[test]
+    fn every_source_reaches_every_vertex() {
+        let lb = multi_source_lower_bound(600, 3, 0.25);
+        for &s in &lb.sources {
+            let dist = bfs_distances(&lb.graph, s);
+            assert!(dist.iter().all(|&d| d != ftb_sp::UNREACHABLE));
+        }
+    }
+
+    #[test]
+    fn failing_a_pi_edge_forces_the_connector_route_per_source() {
+        let lb = multi_source_lower_bound(700, 2, 0.3);
+        let d = lb.path_len;
+        let i = 1usize; // second source
+        let j = 0usize; // first block
+        for ell in 0..lb.pi_edges[i][j].len().min(2) {
+            let e = lb.pi_edges[i][j][ell];
+            let view = SubgraphView::full(&lb.graph).without_edge(e);
+            let dist = bfs_distances_view(&view, lb.sources[i]);
+            let expected = (2 * d - (ell + 1) + 7) as u32;
+            // the forced route length is attained for X_j vertices
+            // (identified by their fault-free distance d + 3 from s_i)
+            let fault_free = bfs_distances(&lb.graph, lb.sources[i]);
+            let mut found_x = 0usize;
+            for v in lb.graph.vertices() {
+                if fault_free[v.index()] == (d + 3) as u32 && lb.graph.degree(v) > 2 * d {
+                    // X vertices are adjacent to every landing set, so their
+                    // degree is large
+                    assert_eq!(dist[v.index()], expected, "vertex {v:?}");
+                    found_x += 1;
+                    if found_x >= 3 {
+                        break;
+                    }
+                }
+            }
+            assert!(found_x > 0, "no X vertex identified");
+        }
+    }
+
+    #[test]
+    fn certified_bound_and_budget() {
+        let lb = multi_source_lower_bound(900, 3, 0.3);
+        let full = lb.certified_backup_lower_bound(0);
+        assert_eq!(full, lb.num_pi_edges() * lb.x_size);
+        assert!(lb.certified_backup_lower_bound(lb.num_pi_edges()) == 0);
+        assert!(lb.reinforcement_budget() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_sources_for_n_is_rejected() {
+        multi_source_lower_bound(100, 10, 0.3);
+    }
+}

@@ -1,0 +1,277 @@
+//! The Theorem 5.1 single-source lower-bound family.
+//!
+//! The graph `G(ε)` on ≈ `n` vertices consists of `k = ⌊n^{1-2ε}⌋` identical
+//! copies `G_{ε,i}` hanging off the source `s`:
+//!
+//! * a path `π_i = [s_i = v^i_1, …, v^i_{d+1} = v*_i]` of length
+//!   `d = ⌊n^ε/4⌋` whose first vertex is attached to `s`,
+//! * `d` "landing" vertices `Z_i = {z^i_1, …, z^i_d}`,
+//! * disjoint connector paths `P^i_j` from `v^i_j` to `z^i_j` of length
+//!   `6 + 2(d − j)` (strictly decreasing in `j`),
+//! * a vertex block `X_i` of size `Θ(n^{2ε})` fully connected to the path
+//!   terminal `v*_i`,
+//! * the complete bipartite graph `B_i = X_i × Z_i`.
+//!
+//! Failing the `j`-th path edge `e^i_j = (v^i_j, v^i_{j+1})` makes the unique
+//! replacement route to every `x ∈ X_i` run through the connector `P^i_j` and
+//! finish with the bipartite edge `(z^i_j, x)`; hence any structure that does
+//! not reinforce `e^i_j` must contain all `|X_i|` of those bipartite edges
+//! (Claim 5.3).
+
+use ftb_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+
+/// A generated Theorem 5.1 instance together with the bookkeeping needed by
+/// the certification routines.
+#[derive(Clone, Debug)]
+pub struct SingleSourceLowerBound {
+    /// The graph `G(ε)`.
+    pub graph: Graph,
+    /// The source vertex `s`.
+    pub source: VertexId,
+    /// The ε the instance was generated for.
+    pub eps: f64,
+    /// Number of copies `k`.
+    pub num_copies: usize,
+    /// Path length `d` per copy.
+    pub path_len: usize,
+    /// `|X_i|` per copy.
+    pub x_size: usize,
+    /// The "costly" path edges `Π` (the `e^i_j`), grouped per copy.
+    pub pi_edges: Vec<Vec<EdgeId>>,
+    /// For every copy `i` and index `j`, the vertices of `X_i` (shared across
+    /// `j`) — kept once per copy.
+    pub x_vertices: Vec<Vec<VertexId>>,
+    /// For every copy `i` and index `j` (0-based), the landing vertex
+    /// `z^i_{j+1}`.
+    pub z_vertices: Vec<Vec<VertexId>>,
+    /// For every copy `i` and index `j`, the forced bipartite edges
+    /// `E^i_j = {(x, z^i_j) : x ∈ X_i}`.
+    pub forced_edges: Vec<Vec<Vec<EdgeId>>>,
+}
+
+impl SingleSourceLowerBound {
+    /// All costly path edges `Π` flattened.
+    pub fn all_pi_edges(&self) -> Vec<EdgeId> {
+        self.pi_edges.iter().flatten().copied().collect()
+    }
+
+    /// `|Π| = k · d`.
+    pub fn num_pi_edges(&self) -> usize {
+        self.pi_edges.iter().map(|p| p.len()).sum()
+    }
+
+    /// Total number of bipartite edges (`|B| = k · d · |X_i|`).
+    pub fn num_bipartite_edges(&self) -> usize {
+        self.forced_edges
+            .iter()
+            .flat_map(|per_copy| per_copy.iter())
+            .map(|set| set.len())
+            .sum()
+    }
+
+    /// The paper's reinforcement budget `⌊n^{1-ε}/6⌋` for this instance.
+    pub fn reinforcement_budget(&self) -> usize {
+        let n = self.graph.num_vertices() as f64;
+        (n.powf(1.0 - self.eps) / 6.0).floor() as usize
+    }
+}
+
+/// Build the Theorem 5.1 instance targeting ≈ `n` vertices for
+/// `ε ∈ (0, 1/2]`.
+///
+/// # Panics
+/// Panics if `eps` is outside `(0, 0.5]` or `n` is too small to host a single
+/// copy.
+pub fn single_source_lower_bound(n: usize, eps: f64) -> SingleSourceLowerBound {
+    assert!(eps > 0.0 && eps <= 0.5, "theorem 5.1 covers eps in (0, 1/2]");
+    assert!(n >= 32, "lower-bound construction needs n >= 32");
+    let nf = n as f64;
+    let d = ((nf.powf(eps) / 4.0).floor() as usize).max(1);
+    let k = (nf.powf(1.0 - 2.0 * eps).floor() as usize).max(1);
+    // Fixed vertices per copy: path (d+1) + Z (d) + connector interiors
+    // Σ_j (t_j - 1) with t_j = 6 + 2(d - j)  ⇒  Σ = d² + 4d.
+    let fixed_per_copy = (d + 1) + d + d * d + 4 * d;
+    let remaining = n.saturating_sub(1 + k * fixed_per_copy);
+    let x_size = (remaining / k).max(1);
+
+    // Start from an empty vertex set: every vertex is allocated explicitly
+    // below (the builder grows on demand).
+    let mut b = GraphBuilder::with_capacity(0, k * (d * d + d * x_size + x_size + 2 * d));
+    let source = b.add_vertex();
+
+    let mut pi_edges = Vec::with_capacity(k);
+    let mut x_vertices = Vec::with_capacity(k);
+    let mut z_vertices = Vec::with_capacity(k);
+    let mut forced_names: Vec<Vec<Vec<(VertexId, VertexId)>>> = Vec::with_capacity(k);
+
+    for _copy in 0..k {
+        // path π_i
+        let path: Vec<VertexId> = b.add_vertices(d + 1);
+        b.add_edge(source, path[0]);
+        b.add_path(&path);
+        let v_star = *path.last().unwrap();
+
+        // landing vertices Z_i and connector paths P^i_j
+        let z: Vec<VertexId> = b.add_vertices(d);
+        for j in 1..=d {
+            let t_j = 6 + 2 * (d - j);
+            // interior chain of t_j - 1 vertices between v^i_j and z^i_j
+            let interior = b.add_vertices(t_j - 1);
+            let mut chain = Vec::with_capacity(t_j + 1);
+            chain.push(path[j - 1]);
+            chain.extend(interior);
+            chain.push(z[j - 1]);
+            b.add_path(&chain);
+        }
+
+        // X_i block connected to v*_i and fully to Z_i
+        let x: Vec<VertexId> = b.add_vertices(x_size);
+        for &xv in &x {
+            b.add_edge(v_star, xv);
+        }
+        let mut per_copy_forced = Vec::with_capacity(d);
+        for j in 0..d {
+            let mut set = Vec::with_capacity(x_size);
+            for &xv in &x {
+                b.add_edge(xv, z[j]);
+                set.push((xv, z[j]));
+            }
+            per_copy_forced.push(set);
+        }
+
+        // record the π edges of this copy
+        let copy_pi: Vec<(VertexId, VertexId)> =
+            path.windows(2).map(|w| (w[0], w[1])).collect();
+        pi_edges.push(copy_pi);
+        x_vertices.push(x);
+        z_vertices.push(z);
+        forced_names.push(per_copy_forced);
+    }
+
+    let graph = b.build();
+    // Resolve named edges to edge ids now that the graph is frozen.
+    let resolve = |(a, c): (VertexId, VertexId)| {
+        graph
+            .find_edge(a, c)
+            .expect("construction edge must exist in the frozen graph")
+    };
+    let pi_edge_ids: Vec<Vec<EdgeId>> = pi_edges
+        .iter()
+        .map(|copy| copy.iter().map(|&pair| resolve(pair)).collect())
+        .collect();
+    let forced_edge_ids: Vec<Vec<Vec<EdgeId>>> = forced_names
+        .iter()
+        .map(|per_copy| {
+            per_copy
+                .iter()
+                .map(|set| set.iter().map(|&pair| resolve(pair)).collect())
+                .collect()
+        })
+        .collect();
+
+    SingleSourceLowerBound {
+        graph,
+        source,
+        eps,
+        num_copies: k,
+        path_len: d,
+        x_size,
+        pi_edges: pi_edge_ids,
+        x_vertices,
+        z_vertices,
+        forced_edges: forced_edge_ids,
+    }
+}
+
+/// The `Ω(n^{3/2})` ESA'13-style instance: the `ε = 1/2` limit of the
+/// Theorem 5.1 family (a single copy with a `√n`-length path).
+pub fn esa13_lower_bound(n: usize) -> SingleSourceLowerBound {
+    single_source_lower_bound(n, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::stats::is_connected;
+    use ftb_sp::bfs_distances;
+
+    #[test]
+    fn construction_hits_the_target_size_roughly() {
+        for (n, eps) in [(500usize, 0.2), (500, 0.33), (1000, 0.25), (800, 0.5)] {
+            let lb = single_source_lower_bound(n, eps);
+            let got = lb.graph.num_vertices();
+            assert!(
+                got >= n / 2 && got <= n + n / 2,
+                "n={n}, eps={eps}: produced {got} vertices"
+            );
+            assert!(is_connected(&lb.graph));
+            assert_eq!(lb.num_pi_edges(), lb.num_copies * lb.path_len);
+            assert!(lb.x_size >= 1);
+        }
+    }
+
+    #[test]
+    fn bipartite_block_is_the_dominant_edge_mass() {
+        let lb = single_source_lower_bound(1200, 0.3);
+        // |B| = k·d·|X| should be a constant fraction of all edges.
+        assert!(lb.num_bipartite_edges() * 3 >= lb.graph.num_edges());
+    }
+
+    #[test]
+    fn fault_free_distances_route_through_the_path_terminal() {
+        let lb = single_source_lower_bound(600, 0.25);
+        let dist = bfs_distances(&lb.graph, lb.source);
+        let d = lb.path_len as u32;
+        for x in &lb.x_vertices[0] {
+            // s → s_i → … → v*_i → x  =  1 + d + 1
+            assert_eq!(dist[x.index()], d + 2);
+        }
+    }
+
+    #[test]
+    fn failing_a_pi_edge_forces_the_connector_route() {
+        // Claim 5.3's distance structure: after failing e^i_j the distance to
+        // every x ∈ X_i becomes 2d − j + 7 (1-based j), attained only through
+        // the bipartite edge (z^i_j, x).
+        let lb = single_source_lower_bound(400, 0.3);
+        let copy = 0usize;
+        let d = lb.path_len;
+        for j in 0..lb.pi_edges[copy].len().min(3) {
+            let e = lb.pi_edges[copy][j];
+            let view = ftb_graph::SubgraphView::full(&lb.graph).without_edge(e);
+            let dist = ftb_sp::bfs_distances_view(&view, lb.source);
+            let expected = (2 * d - (j + 1) + 7) as u32;
+            for x in lb.x_vertices[copy].iter().take(3) {
+                assert_eq!(
+                    dist[x.index()],
+                    expected,
+                    "copy {copy}, failed edge {j}, x {x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn esa13_instance_is_a_single_copy() {
+        let lb = esa13_lower_bound(900);
+        assert_eq!(lb.num_copies, 1);
+        assert!(lb.path_len >= ((900f64).sqrt() / 4.0) as usize);
+        assert!(is_connected(&lb.graph));
+    }
+
+    #[test]
+    fn reinforcement_budget_follows_the_theorem() {
+        let lb = single_source_lower_bound(1000, 0.3);
+        let n = lb.graph.num_vertices() as f64;
+        assert_eq!(
+            lb.reinforcement_budget(),
+            (n.powf(0.7) / 6.0).floor() as usize
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn eps_above_half_is_rejected() {
+        single_source_lower_bound(500, 0.7);
+    }
+}

@@ -1,0 +1,91 @@
+//! Thread-count configuration for the parallel helpers.
+
+/// Controls how many worker threads the parallel helpers use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+    /// Work items per grab from the shared counter; larger chunks reduce
+    /// contention, smaller chunks balance skewed workloads better.
+    chunk_size: usize,
+}
+
+impl ParallelConfig {
+    /// Use all available cores (as reported by the OS).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelConfig {
+            threads,
+            chunk_size: 16,
+        }
+    }
+
+    /// Use exactly `threads` worker threads (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            chunk_size: 16,
+        }
+    }
+
+    /// Force strictly sequential execution on the calling thread.
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Override the chunk size (minimum 1).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Work items grabbed per atomic fetch.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// `true` if the configuration degenerates to sequential execution.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_at_least_one_thread() {
+        let cfg = ParallelConfig::default();
+        assert!(cfg.threads() >= 1);
+        assert!(cfg.chunk_size() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_count_is_clamped() {
+        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(4).threads(), 4);
+        assert!(ParallelConfig::serial().is_serial());
+        assert!(!ParallelConfig::with_threads(2).is_serial());
+    }
+
+    #[test]
+    fn chunk_size_is_clamped() {
+        let cfg = ParallelConfig::with_threads(2).with_chunk_size(0);
+        assert_eq!(cfg.chunk_size(), 1);
+        let cfg = ParallelConfig::with_threads(2).with_chunk_size(128);
+        assert_eq!(cfg.chunk_size(), 128);
+    }
+}

@@ -1,0 +1,153 @@
+//! Chunked parallel-for and parallel-map over index ranges.
+
+use crate::config::ParallelConfig;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(i)` for every `i` in `0..len`, distributing indices over worker
+/// threads in chunks.
+///
+/// `f` must be `Sync` because it is shared by all workers; per-index mutable
+/// state should live inside `f` (e.g. thread-local scratch) or behind
+/// synchronisation.
+pub fn parallel_for_each<F>(config: &ParallelConfig, len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    if config.is_serial() || len <= config.chunk_size() {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = config.chunk_size();
+    let workers = config.threads().min(len.div_ceil(chunk));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("parallel_for_each worker panicked");
+}
+
+/// Compute `vec![f(0), f(1), ..., f(len-1)]` in parallel.
+///
+/// The output order matches the index order regardless of scheduling.
+pub fn parallel_map<R, F>(config: &ParallelConfig, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if config.is_serial() || len <= config.chunk_size() {
+        return (0..len).map(f).collect();
+    }
+    // Collect (index, value) pairs per worker, then scatter into place. This
+    // avoids unsafe writes into uninitialised memory while keeping each
+    // worker's allocations local.
+    let buckets: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let chunk = config.chunk_size();
+    let workers = config.threads().min(len.div_ceil(chunk));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
+                }
+                buckets.lock().push(local);
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for bucket in buckets.into_inner() {
+        for (i, v) in bucket {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map missed an index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let cfg = ParallelConfig::with_threads(4).with_chunk_size(3);
+        let n = 1013;
+        let counters: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_each(&cfg, n, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_handles_empty_and_tiny_ranges() {
+        let cfg = ParallelConfig::with_threads(8);
+        parallel_for_each(&cfg, 0, |_| panic!("must not be called"));
+        let hit = AtomicU64::new(0);
+        parallel_for_each(&cfg, 1, |i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let cfg = ParallelConfig::with_threads(4).with_chunk_size(2);
+        let out = parallel_map(&cfg, 500, |i| i * 3);
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn serial_config_matches_parallel_results() {
+        let serial = ParallelConfig::serial();
+        let parallel = ParallelConfig::with_threads(4);
+        let a = parallel_map(&serial, 300, |i| (i as u64).wrapping_mul(2654435761));
+        let b = parallel_map(&parallel, 300, |i| (i as u64).wrapping_mul(2654435761));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn map_matches_sequential_for_arbitrary_sizes(len in 0usize..400, threads in 1usize..8, chunk in 1usize..32) {
+            let cfg = ParallelConfig::with_threads(threads).with_chunk_size(chunk);
+            let expected: Vec<usize> = (0..len).map(|i| i ^ 0xABCD).collect();
+            let got = parallel_map(&cfg, len, |i| i ^ 0xABCD);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

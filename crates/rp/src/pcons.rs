@@ -1,0 +1,445 @@
+//! Algorithm `Pcons` (Phase S0): canonical replacement paths for all pairs.
+
+use crate::pair::{PairId, ReplacementPath, VePair};
+use ftb_graph::{EdgeMask, Graph, SubgraphView, VertexId, VertexMask};
+use ftb_par::{parallel_map, ParallelConfig};
+use ftb_sp::{
+    LexSearch, Path, ReplacementDistances, ShortestPathTree, TieBreakWeights, UNREACHABLE,
+};
+use std::collections::HashMap;
+
+/// The output of Algorithm `Pcons`: one canonical replacement path per
+/// vertex–edge pair `⟨v, e⟩` with `e ∈ π(s, v)` for which a replacement path
+/// exists (pairs whose failure disconnects the terminal are omitted — no
+/// protection is required for them).
+#[derive(Clone, Debug)]
+pub struct ReplacementPaths {
+    source: VertexId,
+    paths: Vec<ReplacementPath>,
+    index: HashMap<(VertexId, ftb_graph::EdgeId), PairId>,
+    by_terminal: HashMap<VertexId, Vec<PairId>>,
+    uncovered: Vec<PairId>,
+}
+
+impl ReplacementPaths {
+    /// Run Algorithm `Pcons` for every pair, in parallel over terminals.
+    pub fn compute(
+        graph: &Graph,
+        weights: &TieBreakWeights,
+        tree: &ShortestPathTree,
+        dists: &ReplacementDistances,
+        config: &ParallelConfig,
+    ) -> Self {
+        let source = tree.source();
+        let terminals: Vec<VertexId> = tree
+            .vertices_by_depth()
+            .into_iter()
+            .filter(|&v| v != source)
+            .collect();
+        let per_terminal: Vec<Vec<ReplacementPath>> =
+            parallel_map(config, terminals.len(), |i| {
+                compute_for_terminal(graph, weights, tree, dists, terminals[i])
+            });
+
+        let mut paths = Vec::new();
+        let mut index = HashMap::new();
+        let mut by_terminal: HashMap<VertexId, Vec<PairId>> = HashMap::new();
+        let mut uncovered = Vec::new();
+        for bundle in per_terminal {
+            for rp in bundle {
+                let id: PairId = paths.len();
+                index.insert((rp.pair.terminal, rp.pair.failing_edge), id);
+                by_terminal.entry(rp.pair.terminal).or_default().push(id);
+                if rp.new_ending {
+                    uncovered.push(id);
+                }
+                paths.push(rp);
+            }
+        }
+        ReplacementPaths {
+            source,
+            paths,
+            index,
+            by_terminal,
+            uncovered,
+        }
+    }
+
+    /// The BFS source.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Total number of pairs with a replacement path.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if no pair has a replacement path (e.g. a tree-shaped graph).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The replacement path with the given id.
+    pub fn get(&self, id: PairId) -> &ReplacementPath {
+        &self.paths[id]
+    }
+
+    /// All replacement paths.
+    pub fn all(&self) -> &[ReplacementPath] {
+        &self.paths
+    }
+
+    /// Look up the pair `⟨v, e⟩`.
+    pub fn lookup(&self, terminal: VertexId, failing_edge: ftb_graph::EdgeId) -> Option<PairId> {
+        self.index.get(&(terminal, failing_edge)).copied()
+    }
+
+    /// Ids of the pairs whose replacement path is *new-ending* (the paper's
+    /// uncovered set `UP`).
+    pub fn uncovered(&self) -> &[PairId] {
+        &self.uncovered
+    }
+
+    /// Ids of the pairs of a given terminal (the paper's `UP(v)` restricted
+    /// to pairs that have a replacement path), in increasing depth of the
+    /// failing edge.
+    pub fn pairs_of_terminal(&self, v: VertexId) -> &[PairId] {
+        self.by_terminal.get(&v).map(|p| p.as_slice()).unwrap_or(&[])
+    }
+
+    /// Convenience constructor running the whole Phase S0 pipeline
+    /// (tie-break weights are provided by the caller so that all layers share
+    /// the same `W`).
+    pub fn compute_full(
+        graph: &Graph,
+        weights: &TieBreakWeights,
+        source: VertexId,
+        config: &ParallelConfig,
+    ) -> (ShortestPathTree, ReplacementDistances, Self) {
+        let tree = ShortestPathTree::build(graph, weights, source);
+        let dists = ReplacementDistances::compute(graph, &tree, config);
+        let rp = Self::compute(graph, weights, &tree, &dists, config);
+        (tree, dists, rp)
+    }
+}
+
+/// Run Algorithm `Pcons` for all failing edges on `π(s, v)` of one terminal.
+fn compute_for_terminal(
+    graph: &Graph,
+    weights: &TieBreakWeights,
+    tree: &ShortestPathTree,
+    dists: &ReplacementDistances,
+    v: VertexId,
+) -> Vec<ReplacementPath> {
+    let source = tree.source();
+    let Some(pi) = tree.path_to(v) else {
+        return Vec::new();
+    };
+    let pi_vertices = pi.vertices().to_vec();
+    let pi_edges = pi.edges().to_vec();
+    let k = pi_edges.len(); // depth of v
+
+    // G'(v): the graph with every non-tree edge incident to v removed. Any
+    // replacement path ending with a tree edge lives entirely inside G'(v).
+    let mut gprime_mask = EdgeMask::none(graph);
+    for (_, e) in graph.neighbors(v) {
+        if !tree.is_tree_edge(e) {
+            gprime_mask.remove(e);
+        }
+    }
+
+    let mut out = Vec::with_capacity(k);
+    for (idx, &e) in pi_edges.iter().enumerate() {
+        let Some(target) = dists.dist(e, v) else { continue };
+        if target == UNREACHABLE {
+            // The failure disconnects v: dist(s, v, G \ {e}) = ∞ and no
+            // protection is required for this pair.
+            continue;
+        }
+        let failing_edge_depth = (idx + 1) as u32;
+        let pair = VePair {
+            terminal: v,
+            failing_edge: e,
+        };
+
+        // Step 1: try to find a replacement path whose last edge is in T0.
+        let view = SubgraphView::full(graph)
+            .without_edge(e)
+            .with_edge_mask(&gprime_mask);
+        let covered_search = LexSearch::run_view_target(&view, weights, source, v);
+        if covered_search.hops(v) == Some(target) {
+            let path = covered_search.path_to(v).expect("target settled");
+            let last_edge = path.last_edge().expect("non-trivial path");
+            debug_assert!(tree.is_tree_edge(last_edge));
+            out.push(ReplacementPath {
+                pair,
+                path,
+                last_edge,
+                new_ending: false,
+                divergence: None,
+                divergence_index: None,
+                failing_edge_depth,
+                terminal_depth: k as u32,
+            });
+            continue;
+        }
+
+        // Step 2: the path must be new-ending. Among all replacement paths,
+        // pick the one whose unique divergence point from π(s, v) is as
+        // close to the source as possible: binary-search the minimal prefix
+        // index j such that removing the interior of π(u_j, v) still allows
+        // a path of the optimal length.
+        let probe = |j: usize| -> LexSearch {
+            let removed = pi_vertices[j + 1..k].iter().copied();
+            let vmask = VertexMask::removing(graph, removed);
+            let view = SubgraphView::full(graph)
+                .without_edge(e)
+                .with_vertex_mask(&vmask);
+            LexSearch::run_view_target(&view, weights, source, v)
+        };
+        let feasible = |s: &LexSearch| s.hops(v) == Some(target);
+
+        // The predicate is monotone in j and true at j = idx (Lemma 4.3);
+        // binary-search the smallest feasible index.
+        if !feasible(&probe(idx)) {
+            // Defensive fallback (should not happen): take the unconstrained
+            // canonical replacement path.
+            let view = SubgraphView::full(graph).without_edge(e);
+            let fallback = LexSearch::run_view_target(&view, weights, source, v);
+            if !feasible(&fallback) {
+                continue;
+            }
+            push_new_ending(
+                &mut out,
+                pair,
+                &pi_vertices,
+                fallback.path_to(v).unwrap(),
+                failing_edge_depth,
+                k as u32,
+                tree,
+            );
+            continue;
+        }
+        let mut lo = 0usize;
+        let mut hi = idx;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if feasible(&probe(mid)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let chosen = probe(hi);
+        debug_assert!(feasible(&chosen));
+        let path = chosen.path_to(v).expect("feasible probe reaches v");
+        push_new_ending(&mut out, pair, &pi_vertices, path, failing_edge_depth, k as u32, tree);
+    }
+    out
+}
+
+/// Record a new-ending replacement path, computing its divergence point.
+fn push_new_ending(
+    out: &mut Vec<ReplacementPath>,
+    pair: VePair,
+    pi_vertices: &[VertexId],
+    path: Path,
+    failing_edge_depth: u32,
+    terminal_depth: u32,
+    tree: &ShortestPathTree,
+) {
+    let last_edge = path.last_edge().expect("non-trivial path");
+    debug_assert!(
+        !tree.is_tree_edge(last_edge),
+        "step-1 failure implies a non-tree last edge"
+    );
+    // Divergence: longest common prefix with π(s, v).
+    let verts = path.vertices();
+    let mut d_idx = 0usize;
+    while d_idx + 1 < verts.len()
+        && d_idx + 1 < pi_vertices.len()
+        && verts[d_idx + 1] == pi_vertices[d_idx + 1]
+    {
+        d_idx += 1;
+    }
+    out.push(ReplacementPath {
+        pair,
+        divergence: Some(verts[d_idx]),
+        divergence_index: Some(d_idx),
+        path,
+        last_edge,
+        new_ending: true,
+        failing_edge_depth,
+        terminal_depth,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::generators;
+
+    fn full_setup(
+        graph: &Graph,
+        seed: u64,
+    ) -> (TieBreakWeights, ShortestPathTree, ReplacementDistances, ReplacementPaths) {
+        let weights = TieBreakWeights::generate(graph, seed);
+        let (tree, dists, rp) = ReplacementPaths::compute_full(
+            graph,
+            &weights,
+            VertexId(0),
+            &ParallelConfig::serial(),
+        );
+        (weights, tree, dists, rp)
+    }
+
+    #[test]
+    fn tree_graphs_have_no_replaceable_pairs() {
+        // On a path graph every failure disconnects the suffix, so no pair
+        // needs (or has) a replacement path.
+        let g = generators::path(10);
+        let (_w, _t, _d, rp) = full_setup(&g, 1);
+        assert!(rp.is_empty());
+        assert!(rp.uncovered().is_empty());
+        assert_eq!(rp.len(), 0);
+    }
+
+    #[test]
+    fn every_pair_path_is_a_valid_replacement_path() {
+        let g = generators::hypercube(4);
+        let (_w, tree, dists, rp) = full_setup(&g, 3);
+        assert!(!rp.is_empty());
+        for item in rp.all() {
+            let v = item.pair.terminal;
+            let e = item.pair.failing_edge;
+            // the path avoids the failing edge, starts at s, ends at v
+            assert!(!item.path.contains_edge(e));
+            assert_eq!(item.path.first(), VertexId(0));
+            assert_eq!(item.path.last(), v);
+            item.path.validate(&g).unwrap();
+            // the path is a *shortest* path in G \ {e}
+            let opt = dists.dist(e, v).unwrap();
+            assert_eq!(item.path.len() as u32, opt);
+            // the failing edge is on π(s, v)
+            assert!(tree.path_edges_to(v).contains(&e));
+        }
+    }
+
+    #[test]
+    fn covered_pairs_end_with_tree_edges_and_uncovered_do_not() {
+        let g = generators::grid(5, 5);
+        let (_w, tree, _d, rp) = full_setup(&g, 5);
+        for item in rp.all() {
+            if item.new_ending {
+                assert!(!tree.is_tree_edge(item.last_edge));
+                assert!(item.divergence.is_some());
+            } else {
+                assert!(tree.is_tree_edge(item.last_edge));
+                assert!(item.divergence.is_none());
+            }
+        }
+        let uncovered_count = rp.all().iter().filter(|p| p.new_ending).count();
+        assert_eq!(uncovered_count, rp.uncovered().len());
+    }
+
+    #[test]
+    fn detours_are_vertex_disjoint_from_pi_except_endpoints() {
+        // Observation 3.2: D(P) and π(s, v) share only d(P) and v.
+        let g = generators::hypercube(4);
+        let (_w, tree, _d, rp) = full_setup(&g, 7);
+        for item in rp.all().iter().filter(|p| p.new_ending) {
+            let v = item.pair.terminal;
+            let pi: Vec<VertexId> = tree.path_to(v).unwrap().vertices().to_vec();
+            let d = item.divergence.unwrap();
+            for &z in item.detour_vertices() {
+                if z == d || z == v {
+                    continue;
+                }
+                assert!(
+                    !pi.contains(&z),
+                    "detour vertex {z:?} lies on π(s, {v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_is_above_the_failing_edge() {
+        // Claim 4.4: the divergence point of a new-ending path is strictly
+        // above the failing edge on π(s, v).
+        let g = generators::grid(4, 6);
+        let (_w, tree, _d, rp) = full_setup(&g, 11);
+        for item in rp.all().iter().filter(|p| p.new_ending) {
+            let d = item.divergence.unwrap();
+            let d_depth = tree.depth(d).unwrap();
+            assert!(
+                d_depth < item.failing_edge_depth,
+                "divergence {d:?} (depth {d_depth}) not above failing edge (depth {})",
+                item.failing_edge_depth
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_and_per_terminal_indexes_agree() {
+        let g = generators::hypercube(3);
+        let (_w, _t, _d, rp) = full_setup(&g, 13);
+        for (id, item) in rp.all().iter().enumerate() {
+            assert_eq!(
+                rp.lookup(item.pair.terminal, item.pair.failing_edge),
+                Some(id)
+            );
+            assert!(rp.pairs_of_terminal(item.pair.terminal).contains(&id));
+        }
+        assert_eq!(rp.lookup(VertexId(0), ftb_graph::EdgeId(0)), None);
+        assert!(rp.pairs_of_terminal(VertexId(0)).is_empty());
+        assert_eq!(rp.source(), VertexId(0));
+    }
+
+    #[test]
+    fn parallel_and_serial_pcons_agree() {
+        let g = generators::grid(5, 5);
+        let weights = TieBreakWeights::generate(&g, 17);
+        let tree = ShortestPathTree::build(&g, &weights, VertexId(0));
+        let dists = ReplacementDistances::compute(&g, &tree, &ParallelConfig::serial());
+        let serial =
+            ReplacementPaths::compute(&g, &weights, &tree, &dists, &ParallelConfig::serial());
+        let parallel = ReplacementPaths::compute(
+            &g,
+            &weights,
+            &tree,
+            &dists,
+            &ParallelConfig::with_threads(4),
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for item in serial.all() {
+            let id = parallel
+                .lookup(item.pair.terminal, item.pair.failing_edge)
+                .unwrap();
+            let other = parallel.get(id);
+            assert_eq!(other.path, item.path);
+            assert_eq!(other.new_ending, item.new_ending);
+            assert_eq!(other.last_edge, item.last_edge);
+        }
+    }
+
+    #[test]
+    fn cycle_pairs_are_all_covered_or_new_ending_consistently() {
+        // On an even cycle, failing the first edge of π(s, v) forces the
+        // antipodal-ish vertices to reroute; the replacement path ends with
+        // an edge of the other side of the cycle, which *is* a tree edge for
+        // some terminals and not for others. Just verify global invariants.
+        let g = generators::cycle(9);
+        let (_w, _tree, dists, rp) = full_setup(&g, 19);
+        assert!(!rp.is_empty());
+        for item in rp.all() {
+            assert_eq!(
+                item.path.len() as u32,
+                dists
+                    .dist(item.pair.failing_edge, item.pair.terminal)
+                    .unwrap()
+            );
+        }
+    }
+}

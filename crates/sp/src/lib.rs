@@ -1,0 +1,34 @@
+//! Shortest-path machinery for the FT-BFS reproduction.
+//!
+//! The paper works with *unique* shortest paths: a positive weight assignment
+//! `W` breaks ties so that `SP(s, v, G', W)` is a single canonical path in
+//! every subgraph `G' ⊆ G`. This crate provides:
+//!
+//! * [`TieBreakWeights`] — the per-edge tie-breaking weights `W`,
+//! * [`bfs`] — plain hop-count BFS over (masked) graphs,
+//! * [`lex`] — lexicographic `(hops, Σ tie-weights)` Dijkstra implementing
+//!   `SP(·, ·, ·, W)` with forbidden edges/vertices,
+//! * [`ShortestPathTree`] — the BFS tree `T0 = ⋃_v π(s, v)` rooted at the
+//!   source, with parent pointers, depths, and path extraction,
+//! * [`replacement`] — batched replacement distances `dist(s, ·, G \ {e})`
+//!   for every tree edge `e`, computed in parallel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod lex;
+pub mod path;
+pub mod replacement;
+pub mod sp_tree;
+pub mod weights;
+
+pub use bfs::{bfs_distances, bfs_distances_view};
+pub use lex::{LexSearch, PathCost};
+pub use path::Path;
+pub use replacement::ReplacementDistances;
+pub use sp_tree::ShortestPathTree;
+pub use weights::TieBreakWeights;
+
+/// Hop distance value used throughout: `u32::MAX` denotes "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;

@@ -1,0 +1,224 @@
+//! Concrete paths (vertex + edge sequences) extracted from searches.
+
+use ftb_graph::{EdgeId, Graph, VertexId};
+
+/// A simple path in a graph, stored as its vertex sequence and the edge ids
+/// connecting consecutive vertices.
+///
+/// Invariant: `edges.len() + 1 == vertices.len()` (a single vertex is a
+/// length-0 path with no edges).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// A path consisting of a single vertex.
+    pub fn singleton(v: VertexId) -> Self {
+        Path {
+            vertices: vec![v],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Build from parallel vertex/edge sequences.
+    ///
+    /// # Panics
+    /// Panics if `edges.len() + 1 != vertices.len()` or `vertices` is empty.
+    pub fn new(vertices: Vec<VertexId>, edges: Vec<EdgeId>) -> Self {
+        assert!(!vertices.is_empty(), "a path has at least one vertex");
+        assert_eq!(edges.len() + 1, vertices.len(), "path arity mismatch");
+        Path { vertices, edges }
+    }
+
+    /// Number of edges (the paper's `|P|`).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` for a single-vertex path.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First vertex.
+    pub fn first(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    pub fn last(&self) -> VertexId {
+        *self.vertices.last().unwrap()
+    }
+
+    /// The paper's `LastE(P)`: the last edge, if the path has one.
+    pub fn last_edge(&self) -> Option<EdgeId> {
+        self.edges.last().copied()
+    }
+
+    /// First edge, if any.
+    pub fn first_edge(&self) -> Option<EdgeId> {
+        self.edges.first().copied()
+    }
+
+    /// Vertex sequence.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Edge sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// `true` if `v` appears on the path.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// `true` if `e` appears on the path.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Position of `v` on the path (0-based), if present.
+    pub fn position_of(&self, v: VertexId) -> Option<usize> {
+        self.vertices.iter().position(|&x| x == v)
+    }
+
+    /// The subpath `P[from, to]` between two vertices on the path (the
+    /// paper's `P[u_i, u_j]` notation), inclusive of both endpoints.
+    ///
+    /// # Panics
+    /// Panics if either vertex is not on the path or `from` appears after
+    /// `to`.
+    pub fn subpath(&self, from: VertexId, to: VertexId) -> Path {
+        let i = self.position_of(from).expect("subpath: `from` not on path");
+        let j = self.position_of(to).expect("subpath: `to` not on path");
+        assert!(i <= j, "subpath: endpoints out of order");
+        Path {
+            vertices: self.vertices[i..=j].to_vec(),
+            edges: self.edges[i..j].to_vec(),
+        }
+    }
+
+    /// Concatenation `self ◦ other`; `other` must start where `self` ends.
+    ///
+    /// # Panics
+    /// Panics if the endpoints do not line up.
+    pub fn concat(&self, other: &Path) -> Path {
+        assert_eq!(
+            self.last(),
+            other.first(),
+            "concat: paths do not share an endpoint"
+        );
+        let mut vertices = self.vertices.clone();
+        vertices.extend_from_slice(&other.vertices[1..]);
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        Path { vertices, edges }
+    }
+
+    /// Verify against `graph` that consecutive vertices are joined by the
+    /// recorded edge ids and that the path is simple (no repeated vertex).
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        for (i, &e) in self.edges.iter().enumerate() {
+            let edge = graph.edge(e);
+            let (a, b) = (self.vertices[i], self.vertices[i + 1]);
+            if !(edge.is_incident(a) && edge.is_incident(b) && a != b) {
+                return Err(format!(
+                    "edge {e:?} does not connect {a:?} and {b:?}"
+                ));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &v in &self.vertices {
+            if !seen.insert(v) {
+                return Err(format!("vertex {v:?} repeats on the path"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::generators;
+
+    fn path_graph_path(n: usize) -> (Graph, Path) {
+        let g = generators::path(n);
+        let vertices: Vec<VertexId> = (0..n).map(VertexId::new).collect();
+        let edges: Vec<EdgeId> = (0..n - 1)
+            .map(|i| g.find_edge(VertexId::new(i), VertexId::new(i + 1)).unwrap())
+            .collect();
+        let p = Path::new(vertices, edges);
+        (g, p)
+    }
+
+    #[test]
+    fn accessors() {
+        let (g, p) = path_graph_path(5);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.first(), VertexId(0));
+        assert_eq!(p.last(), VertexId(4));
+        assert_eq!(p.last_edge(), g.find_edge(VertexId(3), VertexId(4)));
+        assert_eq!(p.first_edge(), g.find_edge(VertexId(0), VertexId(1)));
+        assert!(p.contains_vertex(VertexId(2)));
+        assert!(!p.contains_vertex(VertexId(9)));
+        assert_eq!(p.position_of(VertexId(3)), Some(3));
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn singleton_path() {
+        let p = Path::singleton(VertexId(7));
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.first(), VertexId(7));
+        assert_eq!(p.last(), VertexId(7));
+        assert_eq!(p.last_edge(), None);
+    }
+
+    #[test]
+    fn subpath_and_concat() {
+        let (_g, p) = path_graph_path(6);
+        let mid = p.subpath(VertexId(1), VertexId(3));
+        assert_eq!(mid.vertices(), &[VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(mid.len(), 2);
+        let tail = p.subpath(VertexId(3), VertexId(5));
+        let glued = mid.concat(&tail);
+        assert_eq!(glued.first(), VertexId(1));
+        assert_eq!(glued.last(), VertexId(5));
+        assert_eq!(glued.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn concat_requires_shared_endpoint() {
+        let (_g, p) = path_graph_path(6);
+        let a = p.subpath(VertexId(0), VertexId(1));
+        let b = p.subpath(VertexId(3), VertexId(4));
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_edges() {
+        let g = generators::cycle(4);
+        // vertices 0-1-2 but claim the connecting edges are both edge 0
+        let e0 = EdgeId(0);
+        let p = Path::new(vec![VertexId(0), VertexId(1), VertexId(2)], vec![e0, e0]);
+        assert!(p.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_repeated_vertices() {
+        let g = generators::cycle(4);
+        let e01 = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let e10 = e01;
+        let p = Path::new(vec![VertexId(0), VertexId(1), VertexId(0)], vec![e01, e10]);
+        assert!(p.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! The tie-breaking weight assignment `W`.
+//!
+//! The paper assumes a positive weight assignment `W : E(G) → R_{>0}` chosen
+//! so that shortest paths are unique in every subgraph `G' ⊆ G` (Section 2).
+//! We realise `W` with independent uniform random integers in `[1, 2^40)`:
+//! the *primary* path cost is still the hop count, and the tie weight only
+//! discriminates between equal-hop paths. Sums of tie weights along simple
+//! paths fit comfortably in `u64` (paths have fewer than `2^24` edges in any
+//! workload we generate), and two distinct simple paths collide with
+//! probability at most `n^2 / 2^40`, i.e. never in practice; the shortest
+//! path tree construction asserts uniqueness in debug builds.
+
+use ftb_graph::{EdgeId, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper bound (exclusive) on a single tie weight.
+pub const MAX_TIE_WEIGHT: u64 = 1 << 40;
+
+/// Per-edge tie-breaking weights implementing the paper's assignment `W`.
+#[derive(Clone, Debug)]
+pub struct TieBreakWeights {
+    weights: Vec<u64>,
+    seed: u64,
+}
+
+impl TieBreakWeights {
+    /// Draw tie weights for every edge of `graph` from a seeded RNG.
+    ///
+    /// The same `(graph, seed)` pair always produces the same weights, which
+    /// keeps every experiment reproducible.
+    pub fn generate(graph: &Graph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = (0..graph.num_edges())
+            .map(|_| rng.random_range(1..MAX_TIE_WEIGHT))
+            .collect();
+        TieBreakWeights { weights, seed }
+    }
+
+    /// A degenerate assignment giving every edge tie weight 1.
+    ///
+    /// Useful in tests where deterministic, structure-dependent tie-breaking
+    /// (by vertex id) is preferred over random weights.
+    pub fn uniform(graph: &Graph) -> Self {
+        TieBreakWeights {
+            weights: vec![1; graph.num_edges()],
+            seed: 0,
+        }
+    }
+
+    /// Tie weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// The seed the weights were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of edges covered by the assignment.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the assignment covers no edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::generators;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = generators::complete(20);
+        let a = TieBreakWeights::generate(&g, 7);
+        let b = TieBreakWeights::generate(&g, 7);
+        let c = TieBreakWeights::generate(&g, 8);
+        for e in g.edge_ids() {
+            assert_eq!(a.weight(e), b.weight(e));
+        }
+        assert!(g.edge_ids().any(|e| a.weight(e) != c.weight(e)));
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn weights_are_positive_and_bounded() {
+        let g = generators::grid(10, 10);
+        let w = TieBreakWeights::generate(&g, 123);
+        assert_eq!(w.len(), g.num_edges());
+        assert!(!w.is_empty());
+        for e in g.edge_ids() {
+            assert!(w.weight(e) >= 1);
+            assert!(w.weight(e) < MAX_TIE_WEIGHT);
+        }
+    }
+
+    #[test]
+    fn distinct_edges_rarely_collide() {
+        let g = generators::complete(60);
+        let w = TieBreakWeights::generate(&g, 99);
+        let mut values: Vec<u64> = g.edge_ids().map(|e| w.weight(e)).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), g.num_edges(), "tie weights collided");
+    }
+
+    #[test]
+    fn uniform_weights_are_all_one() {
+        let g = generators::path(5);
+        let w = TieBreakWeights::uniform(&g);
+        for e in g.edge_ids() {
+            assert_eq!(w.weight(e), 1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Exponential decomposition of a shortest path into `O(log n)` segments.
+//!
+//! Sub-Phase (S2.2) of the paper decomposes the `s–v` shortest path
+//! `π(s, v) = [u_0 = s, …, u_k = v]` into `k' = ⌊log |π(s,v)|⌋` subsegments of
+//! geometrically decreasing length: segment `j` covers (roughly) the first
+//! half of what remains after segments `1..j-1`. The key property (Eq. 5) is
+//! that the suffix below segment `j` is at least half as long as segment `j`
+//! itself — this is what makes detours protecting edges of a segment long.
+//!
+//! We index a path's edges `0..len` (edge `i` joins `u_i` and `u_{i+1}`) and
+//! expose, for every edge index, the segment containing it. The final segment
+//! is extended to absorb the `O(1)` leftover so that the segments exactly
+//! cover the path.
+
+/// Decomposition of a length-`len` path into exponentially shrinking
+/// segments of edge indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentDecomposition {
+    /// Segment boundaries over edge indices: segment `j` covers
+    /// `bounds[j]..bounds[j+1]`.
+    bounds: Vec<usize>,
+    len: usize,
+}
+
+impl SegmentDecomposition {
+    /// Decompose a path with `len` edges.
+    ///
+    /// A path with 0 or 1 edges yields a single segment covering everything.
+    pub fn new(len: usize) -> Self {
+        if len <= 1 {
+            return SegmentDecomposition {
+                bounds: vec![0, len],
+                len,
+            };
+        }
+        let k_prime = (usize::BITS - 1 - len.leading_zeros()) as usize; // ⌊log2 len⌋
+        let mut bounds = vec![0usize];
+        let mut cumulative = 0f64;
+        for j in 1..=k_prime {
+            cumulative += len as f64 / (1u64 << j) as f64;
+            let b = cumulative.ceil() as usize;
+            let b = b.min(len);
+            if b > *bounds.last().unwrap() {
+                bounds.push(b);
+            }
+        }
+        // Extend the last segment to cover the whole path.
+        if *bounds.last().unwrap() < len {
+            *bounds.last_mut().unwrap() = len;
+        }
+        SegmentDecomposition { bounds, len }
+    }
+
+    /// Number of edges of the decomposed path.
+    pub fn path_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Edge-index range `start..end` of segment `j` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `j >= num_segments()`.
+    pub fn segment_range(&self, j: usize) -> std::ops::Range<usize> {
+        assert!(j < self.num_segments(), "segment index out of range");
+        self.bounds[j]..self.bounds[j + 1]
+    }
+
+    /// Index of the segment containing edge index `i`, if `i < path_len()`.
+    pub fn segment_of(&self, i: usize) -> Option<usize> {
+        if i >= self.len {
+            return None;
+        }
+        // bounds is small (O(log n)); a linear scan is fine and branch-friendly.
+        for j in 0..self.num_segments() {
+            if i < self.bounds[j + 1] {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Length (in edges) of segment `j`.
+    pub fn segment_len(&self, j: usize) -> usize {
+        let r = self.segment_range(j);
+        r.end - r.start
+    }
+
+    /// Total length of all segments strictly below (after) segment `j`.
+    pub fn suffix_len_below(&self, j: usize) -> usize {
+        assert!(j < self.num_segments());
+        self.len - self.bounds[j + 1]
+    }
+
+    /// Iterate over all segment ranges in order.
+    pub fn segments(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.num_segments()).map(|j| self.segment_range(j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_paths_have_one_segment() {
+        let d0 = SegmentDecomposition::new(0);
+        assert_eq!(d0.num_segments(), 1);
+        assert_eq!(d0.segment_range(0), 0..0);
+        assert_eq!(d0.segment_of(0), None);
+
+        let d1 = SegmentDecomposition::new(1);
+        assert_eq!(d1.num_segments(), 1);
+        assert_eq!(d1.segment_of(0), Some(0));
+        assert_eq!(d1.path_len(), 1);
+    }
+
+    #[test]
+    fn first_segment_is_about_half() {
+        let d = SegmentDecomposition::new(64);
+        assert_eq!(d.segment_range(0), 0..32);
+        assert_eq!(d.segment_range(1), 32..48);
+        assert!(d.num_segments() <= 7);
+        // segments cover the path exactly
+        let total: usize = d.segments().map(|r| r.len()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn segment_count_is_logarithmic() {
+        for len in [2usize, 5, 17, 100, 1000, 4096, 100_000] {
+            let d = SegmentDecomposition::new(len);
+            let bound = (len as f64).log2().floor() as usize + 1;
+            assert!(
+                d.num_segments() <= bound,
+                "len {len}: {} segments > bound {bound}",
+                d.num_segments()
+            );
+        }
+    }
+
+    #[test]
+    fn segment_of_matches_ranges() {
+        let d = SegmentDecomposition::new(100);
+        for i in 0..100 {
+            let j = d.segment_of(i).unwrap();
+            assert!(d.segment_range(j).contains(&i));
+        }
+        assert_eq!(d.segment_of(100), None);
+        assert_eq!(d.segment_of(5000), None);
+    }
+
+    #[test]
+    fn eq5_suffix_is_at_least_half_of_each_nonfinal_segment() {
+        // The paper's Eq. (5): Σ_{j' > j} |π_{j'}| ≥ |π_j| / 2. Our last
+        // segment absorbs the leftover tail, so we check the property for all
+        // segments except the last.
+        for len in [8usize, 33, 120, 1000, 12345] {
+            let d = SegmentDecomposition::new(len);
+            for j in 0..d.num_segments().saturating_sub(1) {
+                assert!(
+                    2 * d.suffix_len_below(j) >= d.segment_len(j),
+                    "len {len}, segment {j}: suffix {} < half of {}",
+                    d.suffix_len_below(j),
+                    d.segment_len(j)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn segments_partition_the_path(len in 0usize..5000) {
+            let d = SegmentDecomposition::new(len);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for r in d.segments() {
+                prop_assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+                covered += r.len();
+            }
+            prop_assert_eq!(covered, len);
+            prop_assert_eq!(prev_end, len);
+        }
+
+        #[test]
+        fn segment_lengths_decrease_geometrically_except_tail(len in 4usize..5000) {
+            let d = SegmentDecomposition::new(len);
+            // every non-final segment is at most the previous one in length
+            for j in 1..d.num_segments().saturating_sub(1) {
+                prop_assert!(d.segment_len(j) <= d.segment_len(j - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Random graph families with explicit seeds and connectivity repair.
+
+use ftb_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Add the cheapest possible edges to make `builder`'s graph connected: the
+/// components are discovered on the partially built graph and one edge is
+/// added between a representative of each component and the previous one.
+///
+/// This keeps the asymptotic edge count unchanged while guaranteeing that a
+/// single BFS source reaches every vertex.
+pub fn connectivity_repair(builder: &mut GraphBuilder) {
+    let snapshot = builder.clone().build();
+    let (labels, count) = ftb_graph::stats::connected_components(&snapshot);
+    if count <= 1 {
+        return;
+    }
+    let mut representative: Vec<Option<VertexId>> = vec![None; count];
+    for v in snapshot.vertices() {
+        let c = labels[v.index()] as usize;
+        if representative[c].is_none() {
+            representative[c] = Some(v);
+        }
+    }
+    let reps: Vec<VertexId> = representative.into_iter().flatten().collect();
+    for pair in reps.windows(2) {
+        builder.add_edge(pair[0], pair[1]);
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`. The result is repaired to be connected.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize + n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                builder.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    }
+    connectivity_repair(&mut builder);
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform random edges (or as
+/// many as fit), repaired to be connected.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let target = m.min(max_edges);
+    let mut builder = GraphBuilder::with_capacity(n, target + n);
+    let mut attempts = 0usize;
+    while builder.num_edges() < target && attempts < 20 * target + 100 {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        builder.add_edge(VertexId::new(a), VertexId::new(b));
+        attempts += 1;
+    }
+    connectivity_repair(&mut builder);
+    builder.build()
+}
+
+/// A layered random graph: `layers` layers of `width` vertices each, plus a
+/// dedicated source vertex `0` connected to every vertex of the first layer.
+/// Each vertex of layer `i` gets `degree` random neighbours in layer `i - 1`
+/// and (with probability `intra_p`) a few neighbours inside its own layer.
+///
+/// The BFS tree of this family has depth exactly `layers`, which makes the
+/// number of (vertex, failing-edge) pairs — and hence the amount of work the
+/// FT-BFS construction has to do — directly controllable.
+pub fn layered_random(
+    layers: usize,
+    width: usize,
+    degree: usize,
+    intra_p: f64,
+    seed: u64,
+) -> Graph {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 1 + layers * width;
+    let mut builder = GraphBuilder::with_capacity(n, n * (degree + 1));
+    let vertex = |layer: usize, slot: usize| VertexId::new(1 + layer * width + slot);
+    // source to first layer
+    for s in 0..width {
+        builder.add_edge(VertexId(0), vertex(0, s));
+    }
+    for layer in 1..layers {
+        for slot in 0..width {
+            let v = vertex(layer, slot);
+            let d = degree.clamp(1, width);
+            let mut prev_slots: Vec<usize> = (0..width).collect();
+            prev_slots.shuffle(&mut rng);
+            for &ps in prev_slots.iter().take(d) {
+                builder.add_edge(v, vertex(layer - 1, ps));
+            }
+            if width > 1 && rng.random_bool(intra_p.clamp(0.0, 1.0)) {
+                let other = (slot + 1 + rng.random_range(0..width - 1)) % width;
+                builder.add_edge(v, vertex(layer, other));
+            }
+        }
+    }
+    connectivity_repair(&mut builder);
+    builder.build()
+}
+
+/// Preferential attachment ("Barabási–Albert style"): vertices arrive one by
+/// one and attach `attach` edges to existing vertices chosen proportionally
+/// to their current degree (plus one).
+pub fn preferential_attachment(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let attach = attach.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * attach);
+    // endpoint pool: every accepted edge pushes both endpoints, biasing
+    // sampling towards high-degree vertices.
+    let mut pool: Vec<VertexId> = vec![VertexId(0), VertexId(1)];
+    builder.add_edge(VertexId(0), VertexId(1));
+    for i in 2..n {
+        let v = VertexId::new(i);
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < attach.min(i) && guard < 50 * attach {
+            let target = if rng.random_bool(0.1) {
+                VertexId::new(rng.random_range(0..i))
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            };
+            if builder.add_edge(v, target) {
+                pool.push(v);
+                pool.push(target);
+                added += 1;
+            }
+            guard += 1;
+        }
+    }
+    connectivity_repair(&mut builder);
+    builder.build()
+}
+
+/// A `rows × cols` grid with `chords` extra uniformly random long-range
+/// edges; a "small-world" style workload whose BFS tree is shallow but whose
+/// replacement paths are long.
+pub fn random_geometric_grid(rows: usize, cols: usize, chords: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut builder = GraphBuilder::with_capacity(n, 2 * n + chords);
+    let idx = |r: usize, c: usize| VertexId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                builder.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    for _ in 0..chords {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        builder.add_edge(VertexId::new(a), VertexId::new(b));
+    }
+    connectivity_repair(&mut builder);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::stats::is_connected;
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let a = erdos_renyi_gnp(80, 0.05, 1);
+        let b = erdos_renyi_gnp(80, 0.05, 1);
+        let c = erdos_renyi_gnp(80, 0.05, 2);
+        assert!(is_connected(&a));
+        assert_eq!(a.num_edges(), b.num_edges());
+        // different seeds almost surely differ
+        assert!(a.num_edges() != c.num_edges() || {
+            let ea: Vec<_> = a.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
+            let ec: Vec<_> = c.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
+            ea != ec
+        });
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = erdos_renyi_gnp(20, 0.0, 3);
+        // repair turns the empty graph into a tree-ish chain of components
+        assert!(is_connected(&empty));
+        assert_eq!(empty.num_edges(), 19);
+        let full = erdos_renyi_gnp(12, 1.0, 3);
+        assert_eq!(full.num_edges(), 12 * 11 / 2);
+    }
+
+    #[test]
+    fn gnm_hits_the_requested_edge_count() {
+        let g = erdos_renyi_gnm(50, 200, 7);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() >= 200);
+        assert!(g.num_edges() <= 200 + 50);
+        // requesting more edges than possible saturates
+        let g2 = erdos_renyi_gnm(8, 1000, 7);
+        assert_eq!(g2.num_edges(), 28);
+    }
+
+    #[test]
+    fn layered_random_has_prescribed_depth() {
+        let layers = 7;
+        let g = layered_random(layers, 12, 3, 0.3, 11);
+        assert!(is_connected(&g));
+        let d = ftb_sp::bfs_distances(&g, VertexId(0));
+        let max = *d.iter().max().unwrap();
+        assert_eq!(max as usize, layers);
+        assert_eq!(g.num_vertices(), 1 + layers * 12);
+    }
+
+    #[test]
+    fn preferential_attachment_has_a_hub() {
+        let g = preferential_attachment(300, 2, 13);
+        assert!(is_connected(&g));
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 3.0 * avg,
+            "expected a hub: max {max_deg} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn geometric_grid_adds_chords() {
+        let plain = random_geometric_grid(10, 10, 0, 5);
+        let chorded = random_geometric_grid(10, 10, 40, 5);
+        assert!(is_connected(&chorded));
+        assert!(chorded.num_edges() > plain.num_edges());
+    }
+
+    #[test]
+    fn connectivity_repair_links_components() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        b.add_edge(VertexId(4), VertexId(5));
+        connectivity_repair(&mut b);
+        let g = b.build();
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic workload generators for the FT-BFS experiments.
+//!
+//! All generators take an explicit seed and produce *connected* graphs (after
+//! an optional connectivity repair pass), so that every vertex participates
+//! in the BFS structure and experiment tables are reproducible run-to-run.
+//!
+//! Families:
+//! * [`erdos_renyi_gnp`] / [`erdos_renyi_gnm`] — classical random graphs,
+//! * [`layered_random`] — random graphs with a prescribed number of BFS
+//!   layers (controls the depth of `T0`, which drives the difficulty of the
+//!   FT-BFS construction),
+//! * [`preferential_attachment`] — heavy-tailed degree distributions,
+//! * [`random_geometric_grid`] — a grid with random long-range chords,
+//! * re-exports of the deterministic families from `ftb_graph::generators`
+//!   (clique-with-pendant, grids, hypercubes) used by specific experiments,
+//! * [`suite`] — named workload descriptors consumed by the bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod suite;
+
+pub use families::{
+    connectivity_repair, erdos_renyi_gnm, erdos_renyi_gnp, layered_random,
+    preferential_attachment, random_geometric_grid,
+};
+pub use suite::{Workload, WorkloadFamily};

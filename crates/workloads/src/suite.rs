@@ -1,0 +1,152 @@
+//! Named workload descriptors consumed by the experiment harness.
+
+use crate::families;
+use ftb_graph::{generators, Graph};
+
+/// The graph family of a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// Erdős–Rényi `G(n, p)` with average degree ≈ 8.
+    ErdosRenyi,
+    /// Layered random graph with depth ≈ `sqrt(n)`.
+    LayeredDeep,
+    /// Layered random graph with depth ≈ `log n`.
+    LayeredShallow,
+    /// 2-D grid with random chords.
+    GridChords,
+    /// Preferential attachment with 3 edges per arrival.
+    PreferentialAttachment,
+    /// The paper's introductory clique-with-pendant example.
+    CliqueWithPendant,
+    /// Hypercube of dimension ⌈log2 n⌉.
+    Hypercube,
+}
+
+impl WorkloadFamily {
+    /// All families, in presentation order.
+    pub fn all() -> &'static [WorkloadFamily] {
+        &[
+            WorkloadFamily::ErdosRenyi,
+            WorkloadFamily::LayeredDeep,
+            WorkloadFamily::LayeredShallow,
+            WorkloadFamily::GridChords,
+            WorkloadFamily::PreferentialAttachment,
+            WorkloadFamily::CliqueWithPendant,
+            WorkloadFamily::Hypercube,
+        ]
+    }
+
+    /// Short table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadFamily::ErdosRenyi => "erdos-renyi",
+            WorkloadFamily::LayeredDeep => "layered-deep",
+            WorkloadFamily::LayeredShallow => "layered-shallow",
+            WorkloadFamily::GridChords => "grid-chords",
+            WorkloadFamily::PreferentialAttachment => "pref-attach",
+            WorkloadFamily::CliqueWithPendant => "clique-pendant",
+            WorkloadFamily::Hypercube => "hypercube",
+        }
+    }
+}
+
+/// A fully specified workload: family, target size and seed.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Graph family.
+    pub family: WorkloadFamily,
+    /// Target number of vertices (the generated graph may deviate slightly,
+    /// e.g. grids round to a rectangle and hypercubes to a power of two).
+    pub target_n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Create a workload descriptor.
+    pub fn new(family: WorkloadFamily, target_n: usize, seed: u64) -> Self {
+        Workload {
+            family,
+            target_n,
+            seed,
+        }
+    }
+
+    /// Generate the graph. The source vertex for FT-BFS experiments is always
+    /// vertex 0.
+    pub fn generate(&self) -> Graph {
+        let n = self.target_n.max(4);
+        match self.family {
+            WorkloadFamily::ErdosRenyi => {
+                let p = (8.0 / n as f64).min(1.0);
+                families::erdos_renyi_gnp(n, p, self.seed)
+            }
+            WorkloadFamily::LayeredDeep => {
+                let layers = (n as f64).sqrt().round().max(2.0) as usize;
+                let width = (n / layers).max(1);
+                families::layered_random(layers, width, 3, 0.3, self.seed)
+            }
+            WorkloadFamily::LayeredShallow => {
+                let layers = (n as f64).log2().ceil().max(2.0) as usize;
+                let width = (n / layers).max(1);
+                families::layered_random(layers, width, 4, 0.3, self.seed)
+            }
+            WorkloadFamily::GridChords => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                families::random_geometric_grid(side, side, n / 10, self.seed)
+            }
+            WorkloadFamily::PreferentialAttachment => {
+                families::preferential_attachment(n, 3, self.seed)
+            }
+            WorkloadFamily::CliqueWithPendant => generators::clique_with_pendant(n),
+            WorkloadFamily::Hypercube => {
+                let d = (n as f64).log2().ceil().max(2.0) as u32;
+                generators::hypercube(d)
+            }
+        }
+    }
+
+    /// A human-readable label, e.g. `erdos-renyi(n=500, seed=3)`.
+    pub fn label(&self) -> String {
+        format!("{}(n={}, seed={})", self.family.name(), self.target_n, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_graph::stats::is_connected;
+
+    #[test]
+    fn every_family_generates_a_connected_graph() {
+        for &family in WorkloadFamily::all() {
+            let w = Workload::new(family, 120, 42);
+            let g = w.generate();
+            assert!(
+                is_connected(&g),
+                "workload {} produced a disconnected graph",
+                w.label()
+            );
+            assert!(g.num_vertices() >= 16, "workload {} too small", w.label());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = Workload::new(WorkloadFamily::ErdosRenyi, 200, 7);
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+    }
+
+    #[test]
+    fn labels_mention_family_and_size() {
+        let w = Workload::new(WorkloadFamily::GridChords, 300, 9);
+        let l = w.label();
+        assert!(l.contains("grid-chords"));
+        assert!(l.contains("300"));
+        assert!(l.contains("9"));
+        assert_eq!(WorkloadFamily::all().len(), 7);
+    }
+}

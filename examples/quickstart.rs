@@ -1,0 +1,55 @@
+//! Quickstart: build a `(b, r)` FT-BFS structure and verify it.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ftbfs::graph::VertexId;
+use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
+use ftbfs::workloads::{Workload, WorkloadFamily};
+use ftbfs::{build_ft_bfs, verify_structure, BuildConfig};
+
+fn main() {
+    // A reproducible random workload: an Erdős–Rényi graph with ~500 vertices.
+    let workload = Workload::new(WorkloadFamily::ErdosRenyi, 500, 42);
+    let graph = workload.generate();
+    let source = VertexId(0);
+    println!(
+        "workload {} : n = {}, m = {}",
+        workload.label(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Build the structure for a mid-range tradeoff point.
+    let eps = 0.3;
+    let config = BuildConfig::new(eps).with_seed(42);
+    let structure = build_ft_bfs(&graph, source, &config);
+    println!(
+        "eps = {eps}: |E(H)| = {}, backup b = {}, reinforced r = {}",
+        structure.num_edges(),
+        structure.num_backup(),
+        structure.num_reinforced()
+    );
+    println!(
+        "phase S1 added {} edges, phase S2 added {} (+{} for glue edges), construction took {:.1} ms",
+        structure.stats().s1_added_edges,
+        structure.stats().s2_added_edges,
+        structure.stats().s2_glue_added_edges,
+        structure.stats().construction_ms
+    );
+
+    // Verify the defining guarantee from scratch: for every vertex v and
+    // every non-reinforced tree edge e, dist(s,v,H\{e}) <= dist(s,v,G\{e}).
+    let weights = TieBreakWeights::generate(&graph, config.seed);
+    let tree = ShortestPathTree::build(&graph, &weights, source);
+    let report = verify_structure(&graph, &tree, &structure, &config.parallel, false);
+    println!(
+        "verification: {} failing edges checked, {} violations, fault-free distances preserved: {}",
+        report.checked_edges,
+        report.violations.len(),
+        report.fault_free_ok
+    );
+    assert!(report.is_valid(), "the constructed structure must verify");
+    println!("OK: the structure is a valid (b, r) FT-BFS structure.");
+}

@@ -1,0 +1,43 @@
+//! # ftbfs — Fault Tolerant BFS Structures: A Reinforcement–Backup Tradeoff
+//!
+//! Facade crate re-exporting the whole reproduction suite of
+//! Parter & Peleg, *Fault Tolerant BFS Structures: A Reinforcement-Backup
+//! Tradeoff* (SPAA 2015):
+//!
+//! * [`graph`] — the CSR graph substrate,
+//! * [`par`] — crossbeam-based data-parallel helpers,
+//! * [`sp`] — unique shortest paths, BFS trees, replacement distances,
+//! * [`tree`] — LCA, heavy-path decomposition, path segmentation,
+//! * [`rp`] — Algorithm `Pcons` and interference analysis,
+//! * [`core`] — the `(b, r)` FT-BFS construction, baselines, verifier,
+//!   multi-source structures and the cost model,
+//! * [`lower_bounds`] — the Theorem 5.1 / 5.4 lower-bound families,
+//! * [`workloads`] — deterministic experiment workloads.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use ftbfs::{build_ft_bfs, BuildConfig};
+//! use ftbfs::graph::{generators, VertexId};
+//!
+//! let g = generators::hypercube(4);
+//! let structure = build_ft_bfs(&g, VertexId(0), &BuildConfig::new(0.3));
+//! assert!(structure.num_backup() + structure.num_reinforced() == structure.num_edges());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ftb_core as core;
+pub use ftb_graph as graph;
+pub use ftb_lower_bounds as lower_bounds;
+pub use ftb_par as par;
+pub use ftb_rp as rp;
+pub use ftb_sp as sp;
+pub use ftb_tree as tree;
+pub use ftb_workloads as workloads;
+
+pub use ftb_core::{
+    build_baseline_ftbfs, build_ft_bfs, build_ft_bfs_with_eps, build_ft_mbfs,
+    build_reinforced_tree, verify_structure, BuildConfig, CostModel, FtBfsStructure,
+    MultiSourceStructure,
+};

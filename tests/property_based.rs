@@ -1,0 +1,75 @@
+//! Property-based integration tests: random graphs, random ε, and the
+//! defining FT-BFS guarantee checked from scratch.
+
+use ftbfs::graph::VertexId;
+use ftbfs::par::ParallelConfig;
+use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
+use ftbfs::workloads::families;
+use ftbfs::{build_ft_bfs, verify_structure, BuildConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: for any connected random graph and any ε, the
+    /// constructed structure verifies against the definition.
+    #[test]
+    fn constructed_structures_always_verify(
+        n in 20usize..70,
+        avg_degree in 3usize..8,
+        eps in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let m = n * avg_degree / 2;
+        let graph = families::erdos_renyi_gnm(n, m, seed);
+        let config = BuildConfig::new(eps).with_seed(seed).serial();
+        let structure = build_ft_bfs(&graph, VertexId(0), &config);
+
+        // structural invariants
+        prop_assert!(structure.num_edges() <= graph.num_edges());
+        prop_assert_eq!(
+            structure.num_edges(),
+            structure.num_backup() + structure.num_reinforced()
+        );
+
+        let weights = TieBreakWeights::generate(&graph, seed);
+        let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
+        // the BFS tree is always contained
+        for &e in tree.tree_edges() {
+            prop_assert!(structure.contains_edge(e));
+        }
+        // and the structure verifies
+        let report = verify_structure(&graph, &tree, &structure, &ParallelConfig::serial(), false);
+        prop_assert!(
+            report.is_valid(),
+            "eps={}, seed={}: {} violations",
+            eps, seed, report.violations.len()
+        );
+    }
+
+    /// The ε = 0 extreme always degenerates to the reinforced BFS tree.
+    #[test]
+    fn eps_zero_is_always_the_reinforced_tree(
+        n in 15usize..60,
+        seed in 0u64..500,
+    ) {
+        let graph = families::erdos_renyi_gnp(n, 0.15, seed);
+        let structure = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(0.0).with_seed(seed));
+        prop_assert_eq!(structure.num_backup(), 0);
+        prop_assert_eq!(structure.num_edges(), graph.num_vertices() - 1);
+        prop_assert_eq!(structure.num_reinforced(), graph.num_vertices() - 1);
+    }
+
+    /// The baseline branch (ε ≥ 1/2) never reinforces anything.
+    #[test]
+    fn baseline_branch_never_reinforces(
+        n in 15usize..60,
+        eps in 0.5f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let graph = families::erdos_renyi_gnp(n, 0.2, seed);
+        let structure = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(eps).with_seed(seed));
+        prop_assert_eq!(structure.num_reinforced(), 0);
+        prop_assert!(structure.stats().used_baseline);
+    }
+}
