@@ -2,7 +2,7 @@
 //! exact-reinforcement post-pass, serial vs parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftb_core::{build_ft_bfs, unprotected_edges, verify_structure, BuildConfig};
+use ftb_core::{unprotected_edges, verify_structure, Sources, StructureBuilder, TradeoffBuilder};
 use ftb_graph::VertexId;
 use ftb_par::ParallelConfig;
 use ftb_sp::{ShortestPathTree, TieBreakWeights};
@@ -11,8 +11,10 @@ use std::hint::black_box;
 
 fn bench_verifier(c: &mut Criterion) {
     let graph = Workload::new(WorkloadFamily::ErdosRenyi, 300, 4).generate();
-    let config = BuildConfig::new(0.3).with_seed(4);
-    let structure = build_ft_bfs(&graph, VertexId(0), &config);
+    let structure = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(4))
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
     let weights = TieBreakWeights::generate(&graph, 4);
     let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
 
@@ -26,9 +28,7 @@ fn bench_verifier(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 let par = ParallelConfig::with_threads(threads);
-                b.iter(|| {
-                    black_box(verify_structure(&graph, &tree, &structure, &par, false))
-                });
+                b.iter(|| black_box(verify_structure(&graph, &tree, &structure, &par, false)));
             },
         );
     }

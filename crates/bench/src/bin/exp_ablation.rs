@@ -6,7 +6,7 @@
 //! analysis bounds).
 
 use ftb_bench::Table;
-use ftb_core::{build_ft_bfs, BuildConfig};
+use ftb_core::{Sources, StructureBuilder, TradeoffBuilder};
 use ftb_lower_bounds::esa13_lower_bound;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     // the tree decomposition actually matter.
     let lb = esa13_lower_bound(700);
     let graph = lb.graph.clone();
-    let source = lb.source;
+    let sources = Sources::single(lb.source);
     println!(
         "workload esa13-lower-bound(n=700): n = {}, m = {}, |Pi| = {}",
         graph.num_vertices(),
@@ -25,36 +25,26 @@ fn main() {
         lb.num_pi_edges()
     );
 
-    let base = BuildConfig::new(eps).with_seed(seed);
-    let variants: Vec<(&str, BuildConfig)> = vec![
+    let base = TradeoffBuilder::new(eps).with_config(|c| c.with_seed(seed));
+    let variants: Vec<(&str, TradeoffBuilder)> = vec![
         ("full algorithm", base.clone()),
         (
             "no phase S2",
-            BuildConfig {
-                enable_phase_s2: false,
-                ..base.clone()
-            },
+            base.clone().with_config(|c| c.with_phase_s2(false)),
         ),
         (
             "K = 1 round",
-            BuildConfig {
-                k_override: Some(1),
-                ..base.clone()
-            },
+            base.clone().with_config(|c| c.with_k_override(Some(1))),
         ),
         (
             "budget = 1",
-            BuildConfig {
-                budget_override: Some(1),
-                ..base.clone()
-            },
+            base.clone()
+                .with_config(|c| c.with_budget_override(Some(1))),
         ),
         (
             "exact reinforcement",
-            BuildConfig {
-                exact_reinforcement: true,
-                ..base.clone()
-            },
+            base.clone()
+                .with_config(|c| c.with_exact_reinforcement(true)),
         ),
     ];
 
@@ -69,8 +59,10 @@ fn main() {
             "time ms",
         ],
     );
-    for (name, config) in variants {
-        let s = build_ft_bfs(&graph, source, &config);
+    for (name, builder) in variants {
+        let s = builder
+            .build(&graph, &sources)
+            .expect("the lower-bound instance is valid input");
         table.add_row(vec![
             name.to_string(),
             s.num_backup().to_string(),

@@ -6,7 +6,7 @@
 //! 3/2; sparse random graphs are easy instances and stay near 1.
 
 use ftb_bench::{log_log_slope, Table};
-use ftb_core::{build_baseline_ftbfs, BuildConfig};
+use ftb_core::{BaselineBuilder, Sources, StructureBuilder};
 use ftb_graph::VertexId;
 use ftb_lower_bounds::esa13_lower_bound;
 use ftb_workloads::families;
@@ -14,6 +14,7 @@ use ftb_workloads::families;
 fn main() {
     let sizes = [200usize, 400, 800, 1600];
     let seed = 2u64;
+    let builder = BaselineBuilder::new().with_config(|c| c.with_seed(seed));
 
     // Hard instances.
     let mut hard_points = Vec::new();
@@ -23,7 +24,9 @@ fn main() {
     );
     for &n in &sizes {
         let lb = esa13_lower_bound(n);
-        let s = build_baseline_ftbfs(&lb.graph, lb.source, &BuildConfig::new(1.0).with_seed(seed));
+        let s = builder
+            .build(&lb.graph, &Sources::single(lb.source))
+            .expect("the lower-bound instance is valid input");
         let real_n = lb.graph.num_vertices() as f64;
         hard_points.push((real_n, s.num_edges() as f64));
         table.add_row(vec![
@@ -47,7 +50,9 @@ fn main() {
     );
     for &n in &sizes {
         let graph = families::erdos_renyi_gnp(n, (8.0 / n as f64).min(1.0), seed);
-        let s = build_baseline_ftbfs(&graph, VertexId(0), &BuildConfig::new(1.0).with_seed(seed));
+        let s = builder
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("workload graphs with source 0 are valid input");
         easy_points.push((graph.num_vertices() as f64, s.num_edges() as f64));
         table.add_row(vec![
             graph.num_vertices().to_string(),

@@ -5,15 +5,17 @@
 //! closed-form suggestion `ε ≈ log(R/B) / (2 log n)` (clamped to `[0, 1/2]`).
 
 use ftb_bench::Table;
-use ftb_core::{build_ft_bfs, BuildConfig, CostModel};
+use ftb_core::{build_structure, BuildConfig, BuildPlan, CostModel, Sources};
 use ftb_graph::VertexId;
 use ftb_workloads::{Workload, WorkloadFamily};
 
 fn main() {
     let workload = Workload::new(WorkloadFamily::LayeredDeep, 500, 4);
     let graph = workload.generate();
+    let sources = Sources::single(VertexId(0));
     let n = graph.num_vertices();
     let eps_grid = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let config = BuildConfig::new(0.0).with_seed(4);
     println!(
         "workload {}: n = {n}, m = {}",
         workload.label(),
@@ -24,7 +26,8 @@ fn main() {
     let structures: Vec<_> = eps_grid
         .iter()
         .map(|&eps| {
-            let s = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(eps).with_seed(4));
+            let s = build_structure(&graph, &sources, BuildPlan::Tradeoff { eps }, &config)
+                .expect("workload graphs with source 0 are valid input");
             (eps, s)
         })
         .collect();

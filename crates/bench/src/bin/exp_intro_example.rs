@@ -5,10 +5,12 @@
 //! structure.
 
 use ftb_bench::Table;
-use ftb_core::{build_baseline_ftbfs, build_ft_bfs, BuildConfig};
+use ftb_core::{BaselineBuilder, Sources, StructureBuilder, TradeoffBuilder};
 use ftb_graph::{generators, VertexId};
 
 fn main() {
+    let mixed_builder = TradeoffBuilder::new(0.2).with_config(|c| c.with_seed(6));
+    let baseline_builder = BaselineBuilder::new().with_config(|c| c.with_seed(6));
     let mut table = Table::new(
         "E6: clique-with-pendant — mixed model vs extremes",
         &[
@@ -22,9 +24,13 @@ fn main() {
     );
     for &n in &[50usize, 100, 200, 400] {
         let graph = generators::clique_with_pendant(n);
-        let mixed = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(0.2).with_seed(6));
-        let baseline =
-            build_baseline_ftbfs(&graph, VertexId(0), &BuildConfig::new(1.0).with_seed(6));
+        let sources = Sources::single(VertexId(0));
+        let mixed = mixed_builder
+            .build(&graph, &sources)
+            .expect("the intro example is valid input");
+        let baseline = baseline_builder
+            .build(&graph, &sources)
+            .expect("the intro example is valid input");
         table.add_row(vec![
             n.to_string(),
             graph.num_edges().to_string(),

@@ -5,7 +5,7 @@
 //! certified forced-edge count with the measured structures.
 
 use ftb_bench::Table;
-use ftb_core::{build_ft_mbfs, BuildConfig};
+use ftb_core::{MultiSourceBuilder, Sources};
 use ftb_graph::VertexId;
 use ftb_lower_bounds::multi_source_lower_bound;
 use ftb_workloads::{Workload, WorkloadFamily};
@@ -13,6 +13,7 @@ use ftb_workloads::{Workload, WorkloadFamily};
 fn main() {
     let eps = 0.3;
     let seed = 5u64;
+    let builder = MultiSourceBuilder::new(eps).with_config(|c| c.with_seed(seed));
 
     // Hard instances: one per sigma.
     let mut table = Table::new(
@@ -29,8 +30,9 @@ fn main() {
     );
     for &sigma in &[1usize, 2, 4] {
         let lb = multi_source_lower_bound(700, sigma, eps);
-        let config = BuildConfig::new(eps).with_seed(seed);
-        let mbfs = build_ft_mbfs(&lb.graph, &lb.sources, &config);
+        let mbfs = builder
+            .build_multi(&lb.graph, &Sources::multi(lb.sources.clone()))
+            .expect("the lower-bound instance is valid input");
         let certified = lb.certified_backup_lower_bound(lb.reinforcement_budget());
         table.add_row(vec![
             sigma.to_string(),
@@ -51,12 +53,16 @@ fn main() {
         .map(|i| VertexId::new(i * graph.num_vertices() / 8))
         .collect();
     let mut table = Table::new(
-        &format!("E5b: FT-MBFS union growth on {} (eps = {eps})", workload.label()),
+        &format!(
+            "E5b: FT-MBFS union growth on {} (eps = {eps})",
+            workload.label()
+        ),
         &["sigma", "union edges", "union backup", "union reinforced"],
     );
     for &sigma in &[1usize, 2, 4, 8] {
-        let config = BuildConfig::new(eps).with_seed(seed);
-        let mbfs = build_ft_mbfs(&graph, &sources[..sigma], &config);
+        let mbfs = builder
+            .build_multi(&graph, &Sources::multi(sources[..sigma].to_vec()))
+            .expect("workload gateways are valid sources");
         table.add_row(vec![
             sigma.to_string(),
             mbfs.num_edges().to_string(),
@@ -66,5 +72,7 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape: the union grows sublinearly in sigma on random graphs (shared");
-    println!("edges are reused) while the hard instance forces near-linear growth of the forced part.");
+    println!(
+        "edges are reused) while the hard instance forces near-linear growth of the forced part."
+    );
 }

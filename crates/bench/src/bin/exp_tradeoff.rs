@@ -5,7 +5,7 @@
 //! envelopes `b = O(1/ε · n^{1+ε} log n)` and `r = O(1/ε · n^{1-ε} log n)`.
 
 use ftb_bench::Table;
-use ftb_core::{build_ft_bfs, BuildConfig};
+use ftb_core::{build_structure, BuildConfig, BuildPlan, Sources};
 use ftb_graph::VertexId;
 use ftb_lower_bounds::esa13_lower_bound;
 use ftb_workloads::{Workload, WorkloadFamily};
@@ -14,10 +14,12 @@ fn main() {
     let eps_grid = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
     let n_target = 600usize;
     let seed = 1u64;
+    let config = BuildConfig::new(0.0).with_seed(seed);
 
     for family in [WorkloadFamily::LayeredDeep, WorkloadFamily::ErdosRenyi] {
         let workload = Workload::new(family, n_target, seed);
         let graph = workload.generate();
+        let sources = Sources::single(VertexId(0));
         let n = graph.num_vertices() as f64;
         let mut table = Table::new(
             &format!(
@@ -36,8 +38,8 @@ fn main() {
             ],
         );
         for &eps in &eps_grid {
-            let config = BuildConfig::new(eps).with_seed(seed);
-            let s = build_ft_bfs(&graph, VertexId(0), &config);
+            let s = build_structure(&graph, &sources, BuildPlan::Tradeoff { eps }, &config)
+                .expect("workload graphs with source 0 are valid input");
             let (b_env, r_env) = if eps >= 0.5 {
                 (n.powf(1.5), 0.0)
             } else {
@@ -64,6 +66,7 @@ fn main() {
     // edges: small eps makes its segments heavy, trading backup for
     // reinforcement exactly as Theorem 3.1 describes.
     let lb = esa13_lower_bound(800);
+    let sources = Sources::single(lb.source);
     let n = lb.graph.num_vertices() as f64;
     let mut table = Table::new(
         &format!(
@@ -72,11 +75,18 @@ fn main() {
             lb.graph.num_edges(),
             lb.num_pi_edges()
         ),
-        &["eps", "backup b", "reinforced r", "b envelope", "r envelope", "time ms"],
+        &[
+            "eps",
+            "backup b",
+            "reinforced r",
+            "b envelope",
+            "r envelope",
+            "time ms",
+        ],
     );
     for &eps in &eps_grid {
-        let config = BuildConfig::new(eps).with_seed(seed);
-        let s = build_ft_bfs(&lb.graph, lb.source, &config);
+        let s = build_structure(&lb.graph, &sources, BuildPlan::Tradeoff { eps }, &config)
+            .expect("the lower-bound instance is valid input");
         let (b_env, r_env) = if eps >= 0.5 {
             (n.powf(1.5), 0.0)
         } else {

@@ -16,9 +16,15 @@
 //! For `ε ≥ 1/2` the `n^{3/2}` branch (the ESA'13 baseline) is used, and for
 //! `ε = 0` the reinforced BFS tree — matching the two extremes discussed in
 //! the paper.
+//!
+//! The canonical entry point is [`try_build_ft_bfs`], which validates its
+//! input and reports problems as [`FtbfsError`]; construction is normally
+//! driven through the [`crate::StructureBuilder`] implementations instead of
+//! calling this module directly.
 
-use crate::baseline::{build_baseline_ftbfs, build_reinforced_tree};
+use crate::baseline::{build_baseline_impl, build_reinforced_tree_impl};
 use crate::config::BuildConfig;
+use crate::error::FtbfsError;
 use crate::phase_s1::run_phase_s1;
 use crate::phase_s2::run_phase_s2;
 use crate::stats::BuildStats;
@@ -26,23 +32,75 @@ use crate::structure::FtBfsStructure;
 use crate::verify::unprotected_edges;
 use ftb_graph::{BitSet, Graph, VertexId};
 use ftb_rp::{InterferenceIndex, ReplacementPaths};
-use ftb_sp::{ReplacementDistances, ShortestPathTree, TieBreakWeights};
+use ftb_sp::{ReplacementDistances, ShortestPathTree, TieBreakWeights, UNREACHABLE};
 use ftb_tree::{HeavyPathDecomposition, TreeIndex};
 use std::time::Instant;
 
+/// Validate `(graph, source, config)` as a construction input.
+///
+/// Shared by every [`crate::StructureBuilder`] implementation and the
+/// `try_*` construction functions.
+pub(crate) fn validate_input(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> Result<(), FtbfsError> {
+    config.validate_for(graph.num_vertices())?;
+    if source.index() >= graph.num_vertices() {
+        return Err(FtbfsError::SourceOutOfRange {
+            source,
+            num_vertices: graph.num_vertices(),
+        });
+    }
+    if config.require_connected {
+        let dist = ftb_sp::bfs_distances(graph, source);
+        let num_unreachable = dist.iter().filter(|&&d| d == UNREACHABLE).count();
+        if num_unreachable > 0 {
+            return Err(FtbfsError::DisconnectedSource {
+                source,
+                num_unreachable,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Build an `ε` FT-BFS (equivalently, a `(b, r)` FT-BFS) structure for
-/// `graph` rooted at `source`.
+/// `graph` rooted at `source`, validating the input first.
 ///
 /// The returned structure satisfies
 /// `dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})` for every vertex `v` and every
 /// non-reinforced edge `e`, with `O(1/ε · n^{1+ε} · log n)` backup edges and
 /// `O(1/ε · n^{1-ε} · log n)` reinforced edges (Theorem 3.1).
-pub fn build_ft_bfs(graph: &Graph, source: VertexId, config: &BuildConfig) -> FtBfsStructure {
+///
+/// # Errors
+///
+/// * [`FtbfsError::InvalidEps`] — `config.eps` outside `[0, 1]`,
+/// * [`FtbfsError::SourceOutOfRange`] — `source` not a vertex of `graph`,
+/// * [`FtbfsError::DisconnectedSource`] — only with
+///   [`BuildConfig::require_connected`],
+/// * [`FtbfsError::BudgetOverflow`] — degenerate or overflowing ablation
+///   overrides.
+pub fn try_build_ft_bfs(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> Result<FtBfsStructure, FtbfsError> {
+    validate_input(graph, source, config)?;
+    Ok(build_tradeoff_impl(graph, source, config))
+}
+
+/// The unvalidated construction body; callers must have validated the input.
+pub(crate) fn build_tradeoff_impl(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> FtBfsStructure {
     if config.use_baseline_branch() {
-        return build_baseline_ftbfs(graph, source, config);
+        return build_baseline_impl(graph, source, config);
     }
     if config.eps <= 0.0 {
-        return build_reinforced_tree(graph, source, config);
+        return build_reinforced_tree_impl(graph, source, config);
     }
     let start = Instant::now();
     let n = graph.num_vertices();
@@ -125,9 +183,24 @@ pub fn build_ft_bfs(graph: &Graph, source: VertexId, config: &BuildConfig) -> Ft
     FtBfsStructure::new(source, config.eps, h, reinforced, stats)
 }
 
+/// Build an FT-BFS structure, panicking on invalid input.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TradeoffBuilder` (or `try_build_ft_bfs`) which reports \
+            invalid input as `FtbfsError` instead of panicking"
+)]
+pub fn build_ft_bfs(graph: &Graph, source: VertexId, config: &BuildConfig) -> FtBfsStructure {
+    try_build_ft_bfs(graph, source, config).expect("invalid FT-BFS construction input")
+}
+
 /// Convenience wrapper: build with default configuration for a given `ε`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TradeoffBuilder::new(eps)` (or `try_build_ft_bfs`) instead"
+)]
 pub fn build_ft_bfs_with_eps(graph: &Graph, source: VertexId, eps: f64) -> FtBfsStructure {
-    build_ft_bfs(graph, source, &BuildConfig::new(eps))
+    try_build_ft_bfs(graph, source, &BuildConfig::new(eps))
+        .expect("invalid FT-BFS construction input")
 }
 
 #[cfg(test)]
@@ -140,7 +213,7 @@ mod tests {
 
     fn check_valid(graph: &Graph, eps: f64, seed: u64) -> FtBfsStructure {
         let config = BuildConfig::new(eps).with_seed(seed).serial();
-        let s = build_ft_bfs(graph, VertexId(0), &config);
+        let s = try_build_ft_bfs(graph, VertexId(0), &config).expect("valid input");
         let weights = TieBreakWeights::generate(graph, seed);
         let tree = ShortestPathTree::build(graph, &weights, VertexId(0));
         let report = verify_structure(graph, &tree, &s, &ParallelConfig::serial(), false);
@@ -200,7 +273,7 @@ mod tests {
     fn structure_contains_the_bfs_tree() {
         let g = generators::hypercube(4);
         let config = BuildConfig::new(0.3).serial();
-        let s = build_ft_bfs(&g, VertexId(0), &config);
+        let s = try_build_ft_bfs(&g, VertexId(0), &config).expect("valid input");
         let weights = TieBreakWeights::generate(&g, config.seed);
         let tree = ShortestPathTree::build(&g, &weights, VertexId(0));
         for &e in tree.tree_edges() {
@@ -212,12 +285,9 @@ mod tests {
     fn exact_reinforcement_is_no_larger_and_stays_valid() {
         let g = families::erdos_renyi_gnp(70, 0.1, 13);
         let approx = BuildConfig::new(0.25).with_seed(13).serial();
-        let exact = BuildConfig {
-            exact_reinforcement: true,
-            ..approx.clone()
-        };
-        let sa = build_ft_bfs(&g, VertexId(0), &approx);
-        let se = build_ft_bfs(&g, VertexId(0), &exact);
+        let exact = approx.clone().with_exact_reinforcement(true);
+        let sa = try_build_ft_bfs(&g, VertexId(0), &approx).expect("valid input");
+        let se = try_build_ft_bfs(&g, VertexId(0), &exact).expect("valid input");
         assert!(se.num_reinforced() <= sa.num_reinforced());
         let weights = TieBreakWeights::generate(&g, 13);
         let tree = ShortestPathTree::build(&g, &weights, VertexId(0));
@@ -228,12 +298,9 @@ mod tests {
     fn disabling_phase_s2_keeps_validity_but_costs_reinforcement() {
         let g = families::layered_random(7, 10, 3, 0.4, 17);
         let full = BuildConfig::new(0.2).with_seed(17).serial();
-        let ablated = BuildConfig {
-            enable_phase_s2: false,
-            ..full.clone()
-        };
-        let sf = build_ft_bfs(&g, VertexId(0), &full);
-        let sa = build_ft_bfs(&g, VertexId(0), &ablated);
+        let ablated = full.clone().with_phase_s2(false);
+        let sf = try_build_ft_bfs(&g, VertexId(0), &full).expect("valid input");
+        let sa = try_build_ft_bfs(&g, VertexId(0), &ablated).expect("valid input");
         let weights = TieBreakWeights::generate(&g, 17);
         let tree = ShortestPathTree::build(&g, &weights, VertexId(0));
         assert!(verify_structure(&g, &tree, &sa, &ParallelConfig::serial(), false).is_valid());
@@ -247,19 +314,58 @@ mod tests {
         let parallel = BuildConfig::new(0.3)
             .with_seed(19)
             .with_parallel(ParallelConfig::with_threads(4));
-        let ss = build_ft_bfs(&g, VertexId(0), &serial);
-        let sp = build_ft_bfs(&g, VertexId(0), &parallel);
+        let ss = try_build_ft_bfs(&g, VertexId(0), &serial).expect("valid input");
+        let sp = try_build_ft_bfs(&g, VertexId(0), &parallel).expect("valid input");
         assert_eq!(ss.num_edges(), sp.num_edges());
         assert_eq!(ss.num_reinforced(), sp.num_reinforced());
         assert_eq!(ss.edge_set().to_vec(), sp.edge_set().to_vec());
     }
 
     #[test]
-    fn convenience_wrapper_matches_default_config() {
+    fn deprecated_wrappers_match_the_checked_api() {
         let g = generators::grid(5, 5);
+        #[allow(deprecated)]
         let a = build_ft_bfs_with_eps(&g, VertexId(0), 0.3);
+        #[allow(deprecated)]
         let b = build_ft_bfs(&g, VertexId(0), &BuildConfig::new(0.3));
+        let c = try_build_ft_bfs(&g, VertexId(0), &BuildConfig::new(0.3)).expect("valid input");
         assert_eq!(a.num_edges(), b.num_edges());
         assert_eq!(a.num_reinforced(), b.num_reinforced());
+        assert_eq!(b.num_edges(), c.num_edges());
+        assert_eq!(b.num_reinforced(), c.num_reinforced());
+    }
+
+    #[test]
+    fn invalid_inputs_surface_as_typed_errors() {
+        let g = generators::grid(4, 4);
+        let bad_eps = try_build_ft_bfs(&g, VertexId(0), &BuildConfig::new(2.0));
+        assert!(matches!(bad_eps, Err(FtbfsError::InvalidEps { .. })));
+
+        let bad_source = try_build_ft_bfs(&g, VertexId(999), &BuildConfig::new(0.3));
+        assert!(matches!(
+            bad_source,
+            Err(FtbfsError::SourceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_inputs_error_only_when_required() {
+        // Two disjoint triangles.
+        let mut b = ftb_graph::GraphBuilder::new(6);
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(VertexId(x), VertexId(y));
+        }
+        let g = b.build();
+        let lenient = BuildConfig::new(0.3).serial();
+        let strict = lenient.clone().with_require_connected(true);
+        assert!(try_build_ft_bfs(&g, VertexId(0), &lenient).is_ok());
+        let err = try_build_ft_bfs(&g, VertexId(0), &strict).unwrap_err();
+        assert_eq!(
+            err,
+            FtbfsError::DisconnectedSource {
+                source: VertexId(0),
+                num_unreachable: 3
+            }
+        );
     }
 }

@@ -4,8 +4,15 @@
 //!   `Θ(n^{3/2})` backup edges (this is also the branch Theorem 3.1 uses for
 //!   every `ε ≥ 1/2`),
 //! * `ε = 0` — reinforce the `n − 1` BFS-tree edges, no backup at all.
+//!
+//! The checked entry points are [`try_build_baseline_ftbfs`] and
+//! [`try_build_reinforced_tree`]; the [`crate::BaselineBuilder`] and
+//! [`crate::ReinforcedTreeBuilder`] wrap them behind the
+//! [`crate::StructureBuilder`] trait.
 
+use crate::algorithm::validate_input;
 use crate::config::BuildConfig;
+use crate::error::FtbfsError;
 use crate::stats::BuildStats;
 use crate::structure::FtBfsStructure;
 use ftb_graph::{BitSet, Graph, VertexId};
@@ -16,7 +23,26 @@ use std::time::Instant;
 /// Build the ESA'13 baseline FT-BFS structure (the `ε ≥ 1/2` branch):
 /// `T0` plus the last edge of the canonical replacement path of **every**
 /// vertex–edge pair. No edge is reinforced.
-pub fn build_baseline_ftbfs(graph: &Graph, source: VertexId, config: &BuildConfig) -> FtBfsStructure {
+///
+/// # Errors
+///
+/// See [`crate::algorithm::try_build_ft_bfs`]; the same input validation
+/// applies.
+pub fn try_build_baseline_ftbfs(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> Result<FtBfsStructure, FtbfsError> {
+    validate_input(graph, source, config)?;
+    Ok(build_baseline_impl(graph, source, config))
+}
+
+/// The unvalidated ESA'13 baseline body; callers must validate the input.
+pub(crate) fn build_baseline_impl(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> FtBfsStructure {
     let start = Instant::now();
     let weights = TieBreakWeights::generate(graph, config.seed);
     let tree = ShortestPathTree::build(graph, &weights, source);
@@ -57,7 +83,26 @@ pub fn build_baseline_ftbfs(graph: &Graph, source: VertexId, config: &BuildConfi
 
 /// Build the `ε = 0` extreme: the BFS tree with every tree edge reinforced
 /// and no backup edges.
-pub fn build_reinforced_tree(graph: &Graph, source: VertexId, config: &BuildConfig) -> FtBfsStructure {
+///
+/// # Errors
+///
+/// See [`crate::algorithm::try_build_ft_bfs`]; the same input validation
+/// applies.
+pub fn try_build_reinforced_tree(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> Result<FtBfsStructure, FtbfsError> {
+    validate_input(graph, source, config)?;
+    Ok(build_reinforced_tree_impl(graph, source, config))
+}
+
+/// The unvalidated `ε = 0` body; callers must validate the input.
+pub(crate) fn build_reinforced_tree_impl(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> FtBfsStructure {
     let start = Instant::now();
     let weights = TieBreakWeights::generate(graph, config.seed);
     let tree = ShortestPathTree::build(graph, &weights, source);
@@ -75,6 +120,34 @@ pub fn build_reinforced_tree(graph: &Graph, source: VertexId, config: &BuildConf
         ..Default::default()
     };
     FtBfsStructure::new(source, 0.0, edges, reinforced, stats)
+}
+
+/// Build the ESA'13 baseline, panicking on invalid input.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BaselineBuilder` (or `try_build_baseline_ftbfs`) which \
+            reports invalid input as `FtbfsError` instead of panicking"
+)]
+pub fn build_baseline_ftbfs(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> FtBfsStructure {
+    try_build_baseline_ftbfs(graph, source, config).expect("invalid FT-BFS construction input")
+}
+
+/// Build the reinforced BFS tree, panicking on invalid input.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ReinforcedTreeBuilder` (or `try_build_reinforced_tree`) \
+            which reports invalid input as `FtbfsError` instead of panicking"
+)]
+pub fn build_reinforced_tree(
+    graph: &Graph,
+    source: VertexId,
+    config: &BuildConfig,
+) -> FtBfsStructure {
+    try_build_reinforced_tree(graph, source, config).expect("invalid FT-BFS construction input")
 }
 
 #[cfg(test)]
@@ -99,10 +172,14 @@ mod tests {
             ("clique_pendant", generators::clique_with_pendant(20)),
         ] {
             let config = BuildConfig::new(1.0).serial();
-            let s = build_baseline_ftbfs(&graph, VertexId(0), &config);
+            let s = try_build_baseline_ftbfs(&graph, VertexId(0), &config).expect("valid input");
             let tree = tree_of(&graph, &config, VertexId(0));
             let report = verify_structure(&graph, &tree, &s, &ParallelConfig::serial(), false);
-            assert!(report.is_valid(), "baseline invalid on {name}: {:?}", report.violations.len());
+            assert!(
+                report.is_valid(),
+                "baseline invalid on {name}: {:?}",
+                report.violations.len()
+            );
             assert_eq!(s.num_reinforced(), 0, "{name}");
             assert!(s.stats().used_baseline);
         }
@@ -112,7 +189,7 @@ mod tests {
     fn baseline_size_is_subquadratic_on_dense_graphs() {
         let g = generators::complete(40);
         let config = BuildConfig::new(1.0).serial();
-        let s = build_baseline_ftbfs(&g, VertexId(0), &config);
+        let s = try_build_baseline_ftbfs(&g, VertexId(0), &config).expect("valid input");
         // Θ(n^{3/2}) with a small constant; certainly far below the ~800
         // edges of K_40.
         assert!(s.num_edges() < g.num_edges() / 2);
@@ -123,7 +200,7 @@ mod tests {
     fn reinforced_tree_has_no_backup_and_is_valid() {
         let g = families::erdos_renyi_gnp(60, 0.1, 7);
         let config = BuildConfig::new(0.0).serial();
-        let s = build_reinforced_tree(&g, VertexId(0), &config);
+        let s = try_build_reinforced_tree(&g, VertexId(0), &config).expect("valid input");
         assert_eq!(s.num_backup(), 0);
         assert_eq!(s.num_reinforced(), g.num_vertices() - 1);
         let tree = tree_of(&g, &config, VertexId(0));
@@ -140,7 +217,22 @@ mod tests {
         let n = 40;
         let g = generators::clique_with_pendant(n);
         let config = BuildConfig::new(1.0).serial();
-        let s = build_baseline_ftbfs(&g, VertexId(0), &config);
+        let s = try_build_baseline_ftbfs(&g, VertexId(0), &config).expect("valid input");
         assert!(s.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn checked_and_deprecated_entry_points_agree() {
+        let g = generators::grid(4, 5);
+        let config = BuildConfig::new(1.0).serial();
+        let a = try_build_baseline_ftbfs(&g, VertexId(0), &config).expect("valid input");
+        #[allow(deprecated)]
+        let b = build_baseline_ftbfs(&g, VertexId(0), &config);
+        assert_eq!(a.num_edges(), b.num_edges());
+
+        let bad = try_build_baseline_ftbfs(&g, VertexId(1000), &config);
+        assert!(matches!(bad, Err(FtbfsError::SourceOutOfRange { .. })));
+        let bad = try_build_reinforced_tree(&g, VertexId(1000), &config);
+        assert!(matches!(bad, Err(FtbfsError::SourceOutOfRange { .. })));
     }
 }

@@ -1,5 +1,12 @@
 //! Construction configuration (ε, seeds, ablation toggles).
+//!
+//! [`BuildConfig`] is a fluent builder: start from [`BuildConfig::new`] (or
+//! [`BuildConfig::try_new`] for checked construction) and chain `with_*`
+//! setters. Validation of the whole configuration happens up front in
+//! [`BuildConfig::validate`], which every [`crate::StructureBuilder`] calls
+//! before doing any work.
 
+use crate::error::FtbfsError;
 use ftb_par::ParallelConfig;
 
 /// Configuration of the `(b, r)` FT-BFS construction.
@@ -30,10 +37,16 @@ pub struct BuildConfig {
     pub exact_reinforcement: bool,
     /// Force the ε ≥ 1/2 baseline branch regardless of `eps`.
     pub force_baseline: bool,
+    /// Fail the build with [`FtbfsError::DisconnectedSource`] when the source
+    /// cannot reach every vertex. Off by default: unreachable vertices simply
+    /// stay outside the structure, matching the legacy behaviour.
+    pub require_connected: bool,
 }
 
 impl BuildConfig {
-    /// Default configuration for a given ε.
+    /// Default configuration for a given ε. Does not validate; call
+    /// [`BuildConfig::validate`] (or use [`BuildConfig::try_new`]) before
+    /// building.
     pub fn new(eps: f64) -> Self {
         BuildConfig {
             eps,
@@ -44,7 +57,16 @@ impl BuildConfig {
             enable_phase_s2: true,
             exact_reinforcement: false,
             force_baseline: false,
+            require_connected: false,
         }
+    }
+
+    /// Checked construction: like [`BuildConfig::new`] but rejects an ε
+    /// outside `[0, 1]` immediately.
+    pub fn try_new(eps: f64) -> Result<Self, FtbfsError> {
+        let config = Self::new(eps);
+        config.validate()?;
+        Ok(config)
     }
 
     /// Set the RNG seed.
@@ -63,6 +85,80 @@ impl BuildConfig {
     pub fn serial(mut self) -> Self {
         self.parallel = ParallelConfig::serial();
         self
+    }
+
+    /// Override the number of Phase S1 rounds (ablation knob).
+    pub fn with_k_override(mut self, k: Option<usize>) -> Self {
+        self.k_override = k;
+        self
+    }
+
+    /// Override the per-terminal budget (ablation knob).
+    pub fn with_budget_override(mut self, budget: Option<usize>) -> Self {
+        self.budget_override = budget;
+        self
+    }
+
+    /// Enable or disable Phase S2 (ablation knob).
+    pub fn with_phase_s2(mut self, enable: bool) -> Self {
+        self.enable_phase_s2 = enable;
+        self
+    }
+
+    /// Enable the exact-reinforcement post-pass.
+    pub fn with_exact_reinforcement(mut self, exact: bool) -> Self {
+        self.exact_reinforcement = exact;
+        self
+    }
+
+    /// Force the ε ≥ 1/2 baseline branch.
+    pub fn with_force_baseline(mut self, force: bool) -> Self {
+        self.force_baseline = force;
+        self
+    }
+
+    /// Require the source to reach every vertex; otherwise builds fail with
+    /// [`FtbfsError::DisconnectedSource`].
+    pub fn with_require_connected(mut self, require: bool) -> Self {
+        self.require_connected = require;
+        self
+    }
+
+    /// Validate the configuration independently of any input graph.
+    ///
+    /// Checks `ε ∈ [0, 1]` (finite) and that the ablation overrides describe
+    /// a usable amount of work (no zero rounds / zero budget).
+    pub fn validate(&self) -> Result<(), FtbfsError> {
+        if !self.eps.is_finite() || !(0.0..=1.0).contains(&self.eps) {
+            return Err(FtbfsError::InvalidEps { eps: self.eps });
+        }
+        if self.k_override == Some(0) || self.budget_override == Some(0) {
+            // Report the effective values so the offending zero is visible.
+            return Err(FtbfsError::BudgetOverflow {
+                k_rounds: self.k_rounds(),
+                budget: self.budget_override.unwrap_or(1),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate the configuration against an `n`-vertex input: everything in
+    /// [`BuildConfig::validate`] plus an overflow check of the total
+    /// `K · budget · n` work envelope the phases may allocate.
+    pub fn validate_for(&self, n: usize) -> Result<(), FtbfsError> {
+        self.validate()?;
+        let k = self.k_rounds();
+        let budget = self.budget(n);
+        if k.checked_mul(budget)
+            .and_then(|per_terminal| per_terminal.checked_mul(n))
+            .is_none()
+        {
+            return Err(FtbfsError::BudgetOverflow {
+                k_rounds: k,
+                budget,
+            });
+        }
+        Ok(())
     }
 
     /// The number of Phase S1 rounds: `K = ⌈1/ε⌉ + 2` (Eq. 4), unless
@@ -108,10 +204,7 @@ mod tests {
         assert_eq!(BuildConfig::new(0.25).k_rounds(), 6);
         assert_eq!(BuildConfig::new(0.1).k_rounds(), 12);
         assert_eq!(BuildConfig::new(0.0).k_rounds(), 2);
-        assert_eq!(
-            BuildConfig::new(0.1).with_seed(1).k_rounds(),
-            12
-        );
+        assert_eq!(BuildConfig::new(0.1).with_seed(1).k_rounds(), 12);
         let overridden = BuildConfig {
             k_override: Some(3),
             ..BuildConfig::new(0.1)
@@ -152,5 +245,64 @@ mod tests {
         assert!(c.parallel.is_serial());
         assert!(c.enable_phase_s2);
         assert!(!c.exact_reinforcement);
+        let c = c
+            .with_phase_s2(false)
+            .with_exact_reinforcement(true)
+            .with_force_baseline(true)
+            .with_require_connected(true)
+            .with_k_override(Some(5))
+            .with_budget_override(Some(9));
+        assert!(!c.enable_phase_s2);
+        assert!(c.exact_reinforcement);
+        assert!(c.force_baseline);
+        assert!(c.require_connected);
+        assert_eq!(c.k_rounds(), 5);
+        assert_eq!(c.budget(1_000_000), 9);
+    }
+
+    #[test]
+    fn validation_accepts_the_legal_range() {
+        for eps in [0.0, 0.25, 0.5, 1.0] {
+            assert!(BuildConfig::new(eps).validate().is_ok(), "eps = {eps}");
+            assert!(BuildConfig::try_new(eps).is_ok());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_eps() {
+        for eps in [-0.1, 1.01, f64::NAN, f64::INFINITY, -f64::INFINITY] {
+            let err = BuildConfig::new(eps).validate().unwrap_err();
+            assert!(
+                matches!(err, FtbfsError::InvalidEps { .. }),
+                "eps = {eps} gave {err:?}"
+            );
+            assert!(BuildConfig::try_new(eps).is_err());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_overrides() {
+        let zero_k = BuildConfig::new(0.3).with_k_override(Some(0));
+        assert!(matches!(
+            zero_k.validate(),
+            Err(FtbfsError::BudgetOverflow { .. })
+        ));
+        let zero_budget = BuildConfig::new(0.3).with_budget_override(Some(0));
+        assert!(matches!(
+            zero_budget.validate(),
+            Err(FtbfsError::BudgetOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_overflowing_work_envelopes() {
+        let absurd = BuildConfig::new(0.3)
+            .with_k_override(Some(usize::MAX))
+            .with_budget_override(Some(usize::MAX));
+        assert!(matches!(
+            absurd.validate_for(1000),
+            Err(FtbfsError::BudgetOverflow { .. })
+        ));
+        assert!(BuildConfig::new(0.3).validate_for(1000).is_ok());
     }
 }

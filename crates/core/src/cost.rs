@@ -20,7 +20,10 @@ pub struct CostModel {
 impl CostModel {
     /// Create a cost model; prices must be positive.
     pub fn new(backup_cost: f64, reinforce_cost: f64) -> Self {
-        assert!(backup_cost > 0.0 && reinforce_cost > 0.0, "prices must be positive");
+        assert!(
+            backup_cost > 0.0 && reinforce_cost > 0.0,
+            "prices must be positive"
+        );
         CostModel {
             backup_cost,
             reinforce_cost,

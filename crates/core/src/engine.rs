@@ -1,0 +1,611 @@
+//! Build-once / query-many fault queries: [`FaultQueryEngine`].
+//!
+//! The construction side of this crate produces a static
+//! [`FtBfsStructure`]; this module makes it *servable*. Mirroring the
+//! preprocess-then-query `Server` pattern of route-planning engines, the
+//! engine is built once from a graph and a structure, allocates all scratch
+//! state up front, and then answers an arbitrary number of
+//! post-failure distance and path queries without any per-query allocation.
+//!
+//! # Answering model
+//!
+//! For a query `(v, e)` the engine reports `dist(s, v, G ∖ {e})`, resolved
+//! entirely inside the sparse structure `H`:
+//!
+//! * `e ∉ H` — the BFS tree `T0 ⊆ H` survives, so no distance changes; the
+//!   cached fault-free row is returned without any search.
+//! * `e ∈ H`, not reinforced — one BFS over the compact CSR of `H ∖ {e}`.
+//!   By the defining FT-BFS guarantee (`dist(s, v, H ∖ {e}) ≤
+//!   dist(s, v, G ∖ {e})`, with `≥` from `H ⊆ G`) the answer equals the
+//!   from-scratch distance in `G ∖ {e}` whenever the structure is valid.
+//! * `e ∈ H`, reinforced — reinforced edges are assumed fault-immune, so
+//!   this is a hypothetical query; the engine stays exact by falling back to
+//!   one BFS over the full graph `G ∖ {e}`.
+//!
+//! Consecutive queries against the same failing edge reuse the computed
+//! distance row (a one-row cache), and [`FaultQueryEngine::query_many`]
+//! sorts its batch by edge so each distinct failure is searched exactly
+//! once.
+
+use crate::error::FtbfsError;
+use crate::structure::FtBfsStructure;
+use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_sp::{Path, UNREACHABLE};
+use std::collections::VecDeque;
+
+/// Counters describing how the engine answered its queries so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total queries answered (distance, path and batched).
+    pub queries: usize,
+    /// BFS sweeps over the compact structure CSR.
+    pub structure_bfs_runs: usize,
+    /// BFS sweeps over the full graph (reinforced-edge fallback).
+    pub full_graph_bfs_runs: usize,
+    /// Queries answered from the cached row or the fault-free row.
+    pub cached_answers: usize,
+}
+
+/// Borrowed distance + parent rows of one BFS sweep.
+type RowRefs<'a> = (&'a [u32], &'a [Option<(VertexId, EdgeId)>]);
+
+/// Where the distance row for the current failing edge lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Row {
+    /// The failure does not affect distances; use the fault-free row.
+    FaultFree,
+    /// The scratch row holds the post-failure distances.
+    Scratch,
+}
+
+/// A preprocessed query server answering post-failure distance and path
+/// queries against an [`FtBfsStructure`].
+///
+/// See the module documentation for the answering model. The engine borrows
+/// the parent graph (queries about reinforced-edge failures need it) and
+/// owns the structure plus all scratch buffers; query methods take `&mut
+/// self` purely to reuse those buffers.
+#[derive(Clone, Debug)]
+pub struct FaultQueryEngine<'g> {
+    graph: &'g Graph,
+    structure: FtBfsStructure,
+    /// Compact CSR of `H` (vertex ids preserved).
+    h_graph: Graph,
+    /// Compact edge id (index) → parent graph edge id.
+    h_edge_to_parent: Vec<EdgeId>,
+    /// Parent graph edge id → compact edge id, for edges of `H`.
+    parent_edge_to_h: Vec<Option<u32>>,
+    /// Fault-free distances from the source (computed in `H`; equals the
+    /// graph distances whenever the structure is valid).
+    fault_free_dist: Vec<u32>,
+    /// Fault-free BFS parents in `H` (parent vertex + parent-graph edge id).
+    fault_free_parent: Vec<Option<(VertexId, EdgeId)>>,
+    // --- reusable query state ---------------------------------------------
+    scratch_dist: Vec<u32>,
+    scratch_parent: Vec<Option<(VertexId, EdgeId)>>,
+    queue: VecDeque<VertexId>,
+    cached_edge: Option<EdgeId>,
+    cached_row: Row,
+    stats: QueryStats,
+}
+
+impl<'g> FaultQueryEngine<'g> {
+    /// Preprocess `structure` (built from `graph`) into a query engine.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::StructureMismatch`] when the structure's edge space does
+    /// not match `graph`, [`FtbfsError::VertexOutOfRange`] when its source
+    /// does not exist in `graph`, and
+    /// [`FtbfsError::FaultFreeDistanceMismatch`] when the structure fails to
+    /// preserve the graph's fault-free distances — together these catch a
+    /// structure paired with a graph it was not built from, even one with a
+    /// coincidentally matching edge count.
+    pub fn new(graph: &'g Graph, structure: FtBfsStructure) -> Result<Self, FtbfsError> {
+        if structure.edge_set().capacity() != graph.num_edges() {
+            return Err(FtbfsError::StructureMismatch {
+                structure_edges: structure.edge_set().capacity(),
+                graph_edges: graph.num_edges(),
+            });
+        }
+        if structure.source().index() >= graph.num_vertices() {
+            return Err(FtbfsError::VertexOutOfRange {
+                vertex: structure.source(),
+                num_vertices: graph.num_vertices(),
+            });
+        }
+        let (h_graph, h_edge_to_parent) = structure.to_graph(graph);
+        let mut parent_edge_to_h = vec![None; graph.num_edges()];
+        for (new_idx, &parent) in h_edge_to_parent.iter().enumerate() {
+            parent_edge_to_h[parent.index()] = Some(new_idx as u32);
+        }
+        let n = graph.num_vertices();
+        let mut engine = FaultQueryEngine {
+            graph,
+            structure,
+            h_graph,
+            h_edge_to_parent,
+            parent_edge_to_h,
+            fault_free_dist: Vec::new(),
+            fault_free_parent: Vec::new(),
+            scratch_dist: vec![UNREACHABLE; n],
+            scratch_parent: vec![None; n],
+            queue: VecDeque::with_capacity(n),
+            cached_edge: None,
+            cached_row: Row::FaultFree,
+            stats: QueryStats::default(),
+        };
+        // Fault-free preprocessing: one BFS over H with no edge removed.
+        engine.bfs_structure(None);
+        engine.fault_free_dist = engine.scratch_dist.clone();
+        engine.fault_free_parent = engine.scratch_parent.clone();
+        // Cross-check against the graph's own distances: any valid structure
+        // preserves them, so a divergence means the pairing is wrong.
+        let graph_dist = ftb_sp::bfs_distances(graph, engine.structure.source());
+        if let Some(i) = (0..graph_dist.len()).find(|&i| graph_dist[i] != engine.fault_free_dist[i])
+        {
+            return Err(FtbfsError::FaultFreeDistanceMismatch {
+                vertex: VertexId::new(i),
+            });
+        }
+        Ok(engine)
+    }
+
+    /// The source vertex whose distances the engine serves.
+    pub fn source(&self) -> VertexId {
+        self.structure.source()
+    }
+
+    /// The structure the engine was built from.
+    pub fn structure(&self) -> &FtBfsStructure {
+        &self.structure
+    }
+
+    /// The parent graph the engine was built from.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Query counters accumulated since construction.
+    pub fn query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Fault-free distance `dist(s, v, G)` (`None` if `v` is unreachable).
+    pub fn fault_free_dist(&self, v: VertexId) -> Result<Option<u32>, FtbfsError> {
+        self.check_vertex(v)?;
+        Ok(finite(self.fault_free_dist[v.index()]))
+    }
+
+    /// Post-failure distance `dist(s, v, G ∖ {e})`.
+    ///
+    /// Returns `Ok(None)` when the failure disconnects `v` from the source.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::VertexOutOfRange`] / [`FtbfsError::EdgeOutOfRange`] for
+    /// ids outside the engine's graph.
+    pub fn dist_after_fault(&mut self, v: VertexId, e: EdgeId) -> Result<Option<u32>, FtbfsError> {
+        self.check_vertex(v)?;
+        self.check_edge(e)?;
+        self.stats.queries += 1;
+        let row = self.ensure_row(e);
+        let dist = match row {
+            Row::FaultFree => self.fault_free_dist[v.index()],
+            Row::Scratch => self.scratch_dist[v.index()],
+        };
+        Ok(finite(dist))
+    }
+
+    /// A concrete post-failure shortest path from the source to `v` in
+    /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`.
+    ///
+    /// The path runs inside `H ∖ {e}` except for the hypothetical failure of
+    /// a reinforced edge, where it runs inside `G ∖ {e}` (see the module
+    /// docs). Path extraction allocates the returned [`Path`]; the search
+    /// itself still reuses the engine's scratch state.
+    pub fn path_after_fault(&mut self, v: VertexId, e: EdgeId) -> Result<Option<Path>, FtbfsError> {
+        self.check_vertex(v)?;
+        self.check_edge(e)?;
+        self.stats.queries += 1;
+        let row = self.ensure_row(e);
+        let (dist, parent): RowRefs<'_> = match row {
+            Row::FaultFree => (&self.fault_free_dist, &self.fault_free_parent),
+            Row::Scratch => (&self.scratch_dist, &self.scratch_parent),
+        };
+        if dist[v.index()] == UNREACHABLE {
+            return Ok(None);
+        }
+        let mut vertices = vec![v];
+        let mut edges = Vec::new();
+        let mut cursor = v;
+        while let Some((p, pe)) = parent[cursor.index()] {
+            vertices.push(p);
+            edges.push(pe);
+            cursor = p;
+        }
+        vertices.reverse();
+        edges.reverse();
+        Ok(Some(Path::new(vertices, edges)))
+    }
+
+    /// Answer a batch of `(vertex, failing edge)` queries.
+    ///
+    /// The batch is grouped by failing edge internally, so each distinct
+    /// failure triggers at most one BFS regardless of how many vertices are
+    /// probed against it. Results are returned in input order; `None` marks
+    /// a disconnected vertex.
+    pub fn query_many(
+        &mut self,
+        queries: &[(VertexId, EdgeId)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        for &(v, e) in queries {
+            self.check_vertex(v)?;
+            self.check_edge(e)?;
+        }
+        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+        order.sort_by_key(|&i| queries[i as usize].1);
+        let mut results = vec![None; queries.len()];
+        for i in order {
+            let (v, e) = queries[i as usize];
+            self.stats.queries += 1;
+            let row = self.ensure_row(e);
+            let dist = match row {
+                Row::FaultFree => self.fault_free_dist[v.index()],
+                Row::Scratch => self.scratch_dist[v.index()],
+            };
+            results[i as usize] = finite(dist);
+        }
+        Ok(results)
+    }
+
+    /// Make the distance row for failing edge `e` available and report where
+    /// it lives.
+    fn ensure_row(&mut self, e: EdgeId) -> Row {
+        if !self.structure.contains_edge(e) {
+            // T0 ⊆ H survives the failure: distances are unchanged.
+            self.stats.cached_answers += 1;
+            return Row::FaultFree;
+        }
+        if self.cached_edge == Some(e) {
+            self.stats.cached_answers += 1;
+            return self.cached_row;
+        }
+        if self.structure.is_reinforced(e) {
+            self.bfs_full_graph(e);
+            self.stats.full_graph_bfs_runs += 1;
+        } else {
+            let banned = self.parent_edge_to_h[e.index()];
+            self.bfs_structure(banned);
+            self.stats.structure_bfs_runs += 1;
+        }
+        self.cached_edge = Some(e);
+        self.cached_row = Row::Scratch;
+        Row::Scratch
+    }
+
+    /// BFS over the compact structure CSR, skipping the compact edge
+    /// `banned` (if any), into the scratch row. Parent edges are recorded as
+    /// parent-graph edge ids.
+    fn bfs_structure(&mut self, banned: Option<u32>) {
+        let h_graph = &self.h_graph;
+        let to_parent = &self.h_edge_to_parent;
+        bfs_sweep(
+            self.structure.source(),
+            &mut self.scratch_dist,
+            &mut self.scratch_parent,
+            &mut self.queue,
+            |u| {
+                h_graph
+                    .neighbors(u)
+                    .filter(move |&(_, he)| Some(he.0) != banned)
+                    .map(|(w, he)| (w, to_parent[he.index()]))
+            },
+        );
+    }
+
+    /// BFS over the full parent graph, skipping edge `banned`, into the
+    /// scratch row (exact fallback for reinforced-edge failures).
+    fn bfs_full_graph(&mut self, banned: EdgeId) {
+        let graph = self.graph;
+        bfs_sweep(
+            self.structure.source(),
+            &mut self.scratch_dist,
+            &mut self.scratch_parent,
+            &mut self.queue,
+            |u| graph.neighbors(u).filter(move |&(_, ge)| ge != banned),
+        );
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), FtbfsError> {
+        if v.index() >= self.graph.num_vertices() {
+            return Err(FtbfsError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.graph.num_vertices(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_edge(&self, e: EdgeId) -> Result<(), FtbfsError> {
+        if e.index() >= self.graph.num_edges() {
+            return Err(FtbfsError::EdgeOutOfRange {
+                edge: e,
+                num_edges: self.graph.num_edges(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn finite(d: u32) -> Option<u32> {
+    if d == UNREACHABLE {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// The one BFS loop both sweeps share: reset the scratch rows, then expand
+/// from `source` over whatever adjacency `neighbors` yields. `neighbors`
+/// must already exclude the failed edge and report edges as parent-graph
+/// edge ids.
+fn bfs_sweep<I, F>(
+    source: VertexId,
+    dist: &mut [u32],
+    parent: &mut [Option<(VertexId, EdgeId)>],
+    queue: &mut VecDeque<VertexId>,
+    neighbors: F,
+) where
+    I: Iterator<Item = (VertexId, EdgeId)>,
+    F: Fn(VertexId) -> I,
+{
+    dist.fill(UNREACHABLE);
+    parent.fill(None);
+    queue.clear();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for (w, ge) in neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                parent[w.index()] = Some((u, ge));
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
+    use crate::config::BuildConfig;
+    use ftb_graph::{generators, SubgraphView};
+    use ftb_sp::bfs_distances_view;
+
+    fn engine_for(graph: &Graph, eps: f64, seed: u64) -> FaultQueryEngine<'_> {
+        let s = TradeoffBuilder::new(eps)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        FaultQueryEngine::new(graph, s).expect("matching graph")
+    }
+
+    fn brute_force(graph: &Graph, v: VertexId, e: EdgeId) -> Option<u32> {
+        let view = SubgraphView::full(graph).without_edge(e);
+        let d = bfs_distances_view(&view, VertexId(0))[v.index()];
+        if d == UNREACHABLE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    #[test]
+    fn distances_match_brute_force_on_all_pairs() {
+        for (name, graph) in [
+            ("hypercube", generators::hypercube(3)),
+            ("grid", generators::grid(4, 4)),
+            ("clique_pendant", generators::clique_with_pendant(10)),
+            ("cycle", generators::cycle(12)),
+        ] {
+            let mut engine = engine_for(&graph, 0.3, 7);
+            for e in graph.edge_ids() {
+                for v in graph.vertices() {
+                    let got = engine.dist_after_fault(v, e).expect("in range");
+                    let want = brute_force(&graph, v, e);
+                    assert_eq!(got, want, "{name}: vertex {v:?}, edge {e:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_witnesses_of_the_distances() {
+        let graph = generators::grid(4, 5);
+        let mut engine = engine_for(&graph, 0.25, 3);
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                let d = engine.dist_after_fault(v, e).expect("in range");
+                let p = engine.path_after_fault(v, e).expect("in range");
+                match (d, p) {
+                    (None, None) => {}
+                    (Some(d), Some(p)) => {
+                        assert_eq!(p.len() as u32, d, "path length mismatch at {v:?}/{e:?}");
+                        assert_eq!(p.first(), VertexId(0));
+                        assert_eq!(p.last(), v);
+                        assert!(!p.contains_edge(e), "path uses the failed edge");
+                        // consecutive vertices really are joined by the edges
+                        for (i, &pe) in p.edges().iter().enumerate() {
+                            let edge = graph.edge(pe);
+                            let (a, b) = (p.vertices()[i], p.vertices()[i + 1]);
+                            assert!(edge.is_incident(a) && edge.is_incident(b));
+                        }
+                    }
+                    (d, p) => panic!("distance {d:?} but path {p:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_single_queries() {
+        let graph = generators::hypercube(4);
+        let mut engine = engine_for(&graph, 0.3, 5);
+        let queries: Vec<(VertexId, EdgeId)> = graph
+            .edge_ids()
+            .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+            .collect();
+        let batch = engine.query_many(&queries).expect("in range");
+        let mut engine2 = engine_for(&graph, 0.3, 5);
+        for (i, &(v, e)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], engine2.dist_after_fault(v, e).expect("in range"));
+        }
+        // grouping by edge keeps the number of sweeps at one per distinct
+        // structure edge at most
+        let stats = engine.query_stats();
+        assert!(stats.structure_bfs_runs + stats.full_graph_bfs_runs <= graph.num_edges());
+        assert_eq!(stats.queries, queries.len());
+    }
+
+    #[test]
+    fn repeated_edge_queries_hit_the_row_cache() {
+        let graph = generators::grid(5, 5);
+        let mut engine = engine_for(&graph, 0.3, 11);
+        let e = *engine
+            .structure()
+            .edges()
+            .collect::<Vec<_>>()
+            .first()
+            .expect("structure has edges");
+        for v in graph.vertices() {
+            engine.dist_after_fault(v, e).expect("in range");
+        }
+        let stats = engine.query_stats();
+        assert!(stats.structure_bfs_runs + stats.full_graph_bfs_runs <= 1);
+        assert!(stats.cached_answers >= graph.num_vertices() - 1);
+    }
+
+    #[test]
+    fn non_structure_edges_answer_from_the_fault_free_row() {
+        let graph = generators::complete(8);
+        let mut engine = engine_for(&graph, 0.3, 13);
+        let outside = graph
+            .edge_ids()
+            .find(|&e| !engine.structure().contains_edge(e))
+            .expect("K8 structure is sparse");
+        let before = engine.query_stats();
+        for v in graph.vertices() {
+            let d = engine.dist_after_fault(v, outside).expect("in range");
+            assert_eq!(d, engine.fault_free_dist(v).expect("in range"));
+        }
+        let after = engine.query_stats();
+        assert_eq!(before.structure_bfs_runs, after.structure_bfs_runs);
+        assert_eq!(before.full_graph_bfs_runs, after.full_graph_bfs_runs);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_typed_errors() {
+        let graph = generators::grid(3, 3);
+        let mut engine = engine_for(&graph, 0.3, 1);
+        assert!(matches!(
+            engine.dist_after_fault(VertexId(99), EdgeId(0)),
+            Err(FtbfsError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.dist_after_fault(VertexId(0), EdgeId(999)),
+            Err(FtbfsError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.path_after_fault(VertexId(99), EdgeId(0)),
+            Err(FtbfsError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.query_many(&[(VertexId(0), EdgeId(999))]),
+            Err(FtbfsError::EdgeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_structure_is_rejected() {
+        let g1 = generators::grid(3, 3);
+        let g2 = generators::complete(6);
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.serial())
+            .build(&g1, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        assert!(matches!(
+            FaultQueryEngine::new(&g2, s),
+            Err(FtbfsError::StructureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_structure_with_equal_edge_count_is_rejected() {
+        // complete(7) and cycle(21) both have 21 edges, so the capacity
+        // check alone cannot tell them apart. The K7 structure is sparse
+        // (far fewer than 21 edges), and any proper edge subset of a cycle
+        // distorts distances, so the fault-free cross-check must fire.
+        let k7 = generators::complete(7);
+        let cycle = generators::cycle(21);
+        assert_eq!(k7.num_edges(), cycle.num_edges());
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.serial())
+            .build(&k7, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        assert!(
+            s.num_edges() < k7.num_edges(),
+            "K7 structure must be sparse"
+        );
+        assert!(matches!(
+            FaultQueryEngine::new(&cycle, s),
+            Err(FtbfsError::FaultFreeDistanceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnecting_failures_return_none() {
+        let graph = generators::path(5);
+        let mut engine = engine_for(&graph, 0.3, 2);
+        let e = graph
+            .find_edge(VertexId(1), VertexId(2))
+            .expect("path edge");
+        assert_eq!(
+            engine.dist_after_fault(VertexId(4), e).expect("in range"),
+            None
+        );
+        assert_eq!(
+            engine.path_after_fault(VertexId(4), e).expect("in range"),
+            None
+        );
+        assert_eq!(
+            engine.dist_after_fault(VertexId(1), e).expect("in range"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn reinforced_edge_fallback_is_exact() {
+        // eps = 0 reinforces every tree edge, so every tree-edge query takes
+        // the full-graph fallback; the answers must still be exact.
+        let graph = generators::cycle(9);
+        let s = crate::baseline::try_build_reinforced_tree(
+            &graph,
+            VertexId(0),
+            &BuildConfig::new(0.0).serial(),
+        )
+        .expect("valid input");
+        let mut engine = FaultQueryEngine::new(&graph, s).expect("matching graph");
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                assert_eq!(
+                    engine.dist_after_fault(v, e).expect("in range"),
+                    brute_force(&graph, v, e)
+                );
+            }
+        }
+        assert!(engine.query_stats().full_graph_bfs_runs > 0);
+    }
+}

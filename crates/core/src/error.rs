@@ -1,0 +1,161 @@
+//! Typed errors for construction and querying.
+//!
+//! Every entry point of the redesigned API ([`crate::StructureBuilder`],
+//! [`crate::FaultQueryEngine`], the `try_*` construction functions) reports
+//! invalid input through [`FtbfsError`] instead of panicking. The legacy free
+//! functions (`build_ft_bfs` & friends) remain available as deprecated shims
+//! that unwrap these errors into panics. Validation is stricter than in 0.1:
+//! inputs the old code silently tolerated (e.g. `eps` outside `[0, 1]`,
+//! which the baseline branch happened to accept) now panic through the
+//! shims — migrate to the builders to handle them as values.
+
+use ftb_graph::{EdgeId, VertexId};
+use std::fmt;
+
+/// Errors produced by the FT-BFS builders and the fault-query engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FtbfsError {
+    /// The tradeoff parameter is outside `[0, 1]` (or not a finite number).
+    InvalidEps {
+        /// The offending value.
+        eps: f64,
+    },
+    /// A requested source vertex does not exist in the graph.
+    SourceOutOfRange {
+        /// The offending source.
+        source: VertexId,
+        /// Number of vertices of the graph.
+        num_vertices: usize,
+    },
+    /// The source cannot reach every vertex and the configuration demands a
+    /// connected input ([`crate::BuildConfig::require_connected`]).
+    DisconnectedSource {
+        /// The source whose component does not span the graph.
+        source: VertexId,
+        /// Number of vertices the source cannot reach.
+        num_unreachable: usize,
+    },
+    /// The configured round/budget overrides degenerate to zero work or
+    /// overflow the per-terminal edge-budget accounting.
+    BudgetOverflow {
+        /// The effective number of Phase S1 rounds.
+        k_rounds: usize,
+        /// The effective per-terminal budget.
+        budget: usize,
+    },
+    /// A builder was invoked with an empty source set.
+    EmptySources,
+    /// A query refers to a vertex outside the engine's graph.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices of the graph.
+        num_vertices: usize,
+    },
+    /// A query refers to an edge outside the engine's graph.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges of the graph.
+        num_edges: usize,
+    },
+    /// A structure was paired with a graph it was not built from (edge-space
+    /// capacities disagree).
+    StructureMismatch {
+        /// Edge capacity the structure was built for.
+        structure_edges: usize,
+        /// Edge count of the supplied graph.
+        graph_edges: usize,
+    },
+    /// The structure does not preserve the graph's fault-free distances —
+    /// even with matching edge counts it was built from a different graph
+    /// (or has been corrupted).
+    FaultFreeDistanceMismatch {
+        /// A vertex whose distance in the structure differs from the graph.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for FtbfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtbfsError::InvalidEps { eps } => {
+                write!(f, "tradeoff parameter eps = {eps} is outside [0, 1]")
+            }
+            FtbfsError::SourceOutOfRange {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source {source:?} is out of range for a graph with {num_vertices} vertices"
+            ),
+            FtbfsError::DisconnectedSource {
+                source,
+                num_unreachable,
+            } => write!(
+                f,
+                "source {source:?} cannot reach {num_unreachable} vertices but the \
+                 configuration requires a connected input"
+            ),
+            FtbfsError::BudgetOverflow { k_rounds, budget } => write!(
+                f,
+                "phase budget overflow: K = {k_rounds} rounds with per-terminal budget \
+                 {budget} is not a usable work bound"
+            ),
+            FtbfsError::EmptySources => write!(f, "the source set is empty"),
+            FtbfsError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex:?} is out of range for a graph with {num_vertices} vertices"
+            ),
+            FtbfsError::EdgeOutOfRange { edge, num_edges } => write!(
+                f,
+                "edge {edge:?} is out of range for a graph with {num_edges} edges"
+            ),
+            FtbfsError::StructureMismatch {
+                structure_edges,
+                graph_edges,
+            } => write!(
+                f,
+                "structure covers an edge space of size {structure_edges} but the graph \
+                 has {graph_edges} edges; was it built from a different graph?"
+            ),
+            FtbfsError::FaultFreeDistanceMismatch { vertex } => write!(
+                f,
+                "structure does not preserve the fault-free distance of vertex {vertex:?}; \
+                 was it built from a different graph?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FtbfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_payload() {
+        let e = FtbfsError::InvalidEps { eps: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = FtbfsError::SourceOutOfRange {
+            source: VertexId(9),
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = FtbfsError::EdgeOutOfRange {
+            edge: EdgeId(77),
+            num_edges: 10,
+        };
+        assert!(e.to_string().contains("77"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(FtbfsError::EmptySources);
+        assert!(!e.to_string().is_empty());
+    }
+}

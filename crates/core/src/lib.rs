@@ -3,7 +3,7 @@
 //! This crate is the primary contribution of the reproduced paper
 //! (Parter & Peleg, *Fault Tolerant BFS Structures: A Reinforcement-Backup
 //! Tradeoff*, SPAA 2015). Given an undirected graph `G`, a source `s` and a
-//! parameter `ε ∈ [0, 1]`, [`build_ft_bfs`] constructs a subgraph `H ⊆ G`
+//! parameter `ε ∈ [0, 1]`, the construction produces a subgraph `H ⊆ G`
 //! together with a set of *reinforced* edges `E' ⊆ E(H)` such that for every
 //! vertex `v` and every non-reinforced edge `e`,
 //!
@@ -14,16 +14,25 @@
 //! with `|E(H) ∖ E'| = O(min{1/ε · n^{1+ε} log n, n^{3/2}})` backup edges and
 //! `|E'| = O(1/ε · n^{1-ε} log n)` reinforced edges (Theorem 3.1).
 //!
-//! # Quick start
+//! # Building structures
+//!
+//! All construction strategies sit behind the [`StructureBuilder`] trait:
+//! [`TradeoffBuilder`] (ε-parameterised Theorem 3.1), [`BaselineBuilder`]
+//! (the ESA'13 `Θ(n^{3/2})` extreme), [`ReinforcedTreeBuilder`] (the `ε = 0`
+//! extreme) and [`MultiSourceBuilder`] (Theorem 5.4 unions). Builders
+//! validate input up front and report problems as [`FtbfsError`] — nothing
+//! behind the trait panics. [`BuildPlan`] names a strategy as plain data for
+//! sweeps and configuration.
 //!
 //! ```
-//! use ftb_core::{build_ft_bfs, BuildConfig};
+//! use ftb_core::{BuildConfig, Sources, StructureBuilder, TradeoffBuilder};
 //! use ftb_graph::{generators, VertexId};
 //!
 //! let graph = generators::hypercube(4);
-//! let config = BuildConfig::new(0.3).with_seed(7);
-//! let structure = build_ft_bfs(&graph, VertexId(0), &config);
-//! assert!(structure.num_edges() <= graph.num_edges());
+//! let structure = TradeoffBuilder::new(0.3)
+//!     .with_config(|c| c.with_seed(7))
+//!     .build(&graph, &Sources::single(VertexId(0)))
+//!     .expect("hypercube input is valid");
 //! println!(
 //!     "b = {}, r = {}",
 //!     structure.num_backup(),
@@ -31,21 +40,48 @@
 //! );
 //! ```
 //!
-//! The other entry points are:
-//! * [`baseline::build_baseline_ftbfs`] — the ESA'13 `Θ(n^{3/2})` FT-BFS
-//!   baseline (the `ε = 1` extreme),
-//! * [`baseline::build_reinforced_tree`] — the `ε = 0` extreme,
-//! * [`mbfs::build_ft_mbfs`] — multi-source structures,
-//! * [`verify::verify_structure`] — definition-level validation,
-//! * [`cost::CostModel`] — the `B/R` price model and optimal-ε selection.
+//! # Serving queries
+//!
+//! A built structure becomes a server through [`FaultQueryEngine`]: build
+//! once, then answer `dist_after_fault` / `path_after_fault` /
+//! [`FaultQueryEngine::query_many`] with no per-query allocation.
+//!
+//! ```
+//! use ftb_core::{FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
+//! use ftb_graph::{generators, EdgeId, VertexId};
+//!
+//! let graph = generators::hypercube(4);
+//! let structure = TradeoffBuilder::new(0.3)
+//!     .build(&graph, &Sources::single(VertexId(0)))
+//!     .expect("valid input");
+//! let mut engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+//! let d = engine.dist_after_fault(VertexId(9), EdgeId(0)).expect("in range");
+//! assert!(d.is_some(), "one hypercube failure never disconnects");
+//! ```
+//!
+//! # Legacy free functions
+//!
+//! The original entry points (`build_ft_bfs`, `build_ft_bfs_with_eps`,
+//! `build_baseline_ftbfs`, `build_reinforced_tree`, `build_ft_mbfs`) remain
+//! available as deprecated shims that panic on invalid input; migrate to the
+//! builders or the `try_*` functions ([`try_build_ft_bfs`],
+//! [`try_build_baseline_ftbfs`], [`try_build_reinforced_tree`],
+//! [`try_build_ft_mbfs`]).
+//!
+//! The remaining entry points are [`verify::verify_structure`]
+//! (definition-level validation) and [`cost::CostModel`] (the `B/R` price
+//! model and optimal-ε selection).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod baseline;
+pub mod builder;
 pub mod config;
 pub mod cost;
+pub mod engine;
+pub mod error;
 pub mod mbfs;
 pub mod phase_s1;
 pub mod phase_s2;
@@ -53,11 +89,23 @@ pub mod stats;
 pub mod structure;
 pub mod verify;
 
+pub use algorithm::try_build_ft_bfs;
+#[allow(deprecated)]
 pub use algorithm::{build_ft_bfs, build_ft_bfs_with_eps};
+#[allow(deprecated)]
 pub use baseline::{build_baseline_ftbfs, build_reinforced_tree};
+pub use baseline::{try_build_baseline_ftbfs, try_build_reinforced_tree};
+pub use builder::{
+    build_structure, BaselineBuilder, BuildPlan, MultiSourceBuilder, ReinforcedTreeBuilder,
+    Sources, StructureBuilder, TradeoffBuilder,
+};
 pub use config::BuildConfig;
 pub use cost::CostModel;
-pub use mbfs::{build_ft_mbfs, MultiSourceStructure};
+pub use engine::{FaultQueryEngine, QueryStats};
+pub use error::FtbfsError;
+#[allow(deprecated)]
+pub use mbfs::build_ft_mbfs;
+pub use mbfs::{try_build_ft_mbfs, MultiSourceStructure};
 pub use stats::BuildStats;
 pub use structure::FtBfsStructure;
 pub use verify::{unprotected_edges, verify_structure, VerificationReport, Violation};

@@ -76,7 +76,8 @@ pub fn run_phase_s1(
                     let item = rp.get(p);
                     (item.edge_to_terminal_distance(), item.failing_edge_depth)
                 });
-                let mut distinct: std::collections::HashSet<usize> = std::collections::HashSet::new();
+                let mut distinct: std::collections::HashSet<usize> =
+                    std::collections::HashSet::new();
                 for &p in &pairs {
                     let le = rp.get(p).last_edge;
                     if distinct.contains(&le.index()) {

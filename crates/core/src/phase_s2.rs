@@ -113,7 +113,7 @@ fn cover_terminal(
             per_segment.entry(j).or_default().push(p);
         }
     }
-    for (_j, seg_pairs) in &per_segment {
+    for seg_pairs in per_segment.values() {
         let distinct_last: std::collections::HashSet<usize> = seg_pairs
             .iter()
             .map(|&p| rp.get(p).last_edge.index())
@@ -290,7 +290,7 @@ mod tests {
             &f.hld,
             &config,
             f.graph.num_vertices(),
-            &[i2.clone()],
+            std::slice::from_ref(&i2),
             &mut h,
         );
         for &p in &i2 {
@@ -350,14 +350,17 @@ mod tests {
             &f.hld,
             &config,
             f.graph.num_vertices(),
-            &[i2.clone()],
+            std::slice::from_ref(&i2),
             &mut h,
         );
         // For every terminal and segment holding pairs of I2, the pair with
         // the shallowest failing edge must be covered.
         let mut by_terminal: HashMap<VertexId, Vec<PairId>> = HashMap::new();
         for &p in &i2 {
-            by_terminal.entry(f.rp.get(p).pair.terminal).or_default().push(p);
+            by_terminal
+                .entry(f.rp.get(p).pair.terminal)
+                .or_default()
+                .push(p);
         }
         for (v, pairs) in by_terminal {
             let depth = f.tree.depth(v).unwrap() as usize;

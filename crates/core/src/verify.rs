@@ -150,7 +150,10 @@ mod tests {
     use ftb_graph::generators;
     use ftb_sp::TieBreakWeights;
 
-    fn tree_only_structure(graph: &Graph, reinforce_all: bool) -> (ShortestPathTree, FtBfsStructure) {
+    fn tree_only_structure(
+        graph: &Graph,
+        reinforce_all: bool,
+    ) -> (ShortestPathTree, FtBfsStructure) {
         let w = TieBreakWeights::generate(graph, 1);
         let tree = ShortestPathTree::build(graph, &w, VertexId(0));
         let mut edges = BitSet::new(graph.num_edges());

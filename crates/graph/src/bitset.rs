@@ -103,7 +103,11 @@ impl BitSet {
         BitSetIter {
             set: self,
             word_idx: 0,
-            current: if self.words.is_empty() { 0 } else { self.words[0] },
+            current: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 

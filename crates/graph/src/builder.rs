@@ -3,6 +3,42 @@
 use crate::csr::{Edge, Graph};
 use crate::ids::VertexId;
 use std::collections::HashSet;
+use std::fmt;
+
+/// Typed errors reported by [`GraphBuilder::try_build`].
+///
+/// The CSR representation stores vertex and edge ids as `u32`; inputs beyond
+/// that range used to truncate silently in the infallible path. They are now
+/// diagnosed up front.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// More vertices than a `u32` vertex id can address.
+    TooManyVertices {
+        /// The offending vertex count.
+        num_vertices: usize,
+    },
+    /// More edge slots (`2m`) than a `u32` edge id can address.
+    TooManyEdges {
+        /// The offending edge count.
+        num_edges: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyVertices { num_vertices } => write!(
+                f,
+                "{num_vertices} vertices exceed the u32 CSR vertex-id space"
+            ),
+            GraphError::TooManyEdges { num_edges } => {
+                write!(f, "{num_edges} edges exceed the u32 CSR edge-id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// Accumulates edges and freezes them into an immutable [`Graph`].
 ///
@@ -112,8 +148,35 @@ impl GraphBuilder {
         }
     }
 
+    /// Freeze into an immutable CSR [`Graph`], diagnosing inputs that do not
+    /// fit the `u32` id space as a typed [`GraphError`].
+    pub fn try_build(self) -> Result<Graph, GraphError> {
+        if self.num_vertices > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices {
+                num_vertices: self.num_vertices,
+            });
+        }
+        if self.edges.len() > (u32::MAX / 2) as usize {
+            return Err(GraphError::TooManyEdges {
+                num_edges: self.edges.len(),
+            });
+        }
+        Ok(self.build_unchecked())
+    }
+
     /// Freeze into an immutable CSR [`Graph`].
+    ///
+    /// # Panics
+    /// Panics when the graph does not fit the `u32` id space; use
+    /// [`GraphBuilder::try_build`] to handle that case gracefully.
     pub fn build(self) -> Graph {
+        match self.try_build() {
+            Ok(graph) => graph,
+            Err(err) => panic!("GraphBuilder::build: {err}"),
+        }
+    }
+
+    fn build_unchecked(self) -> Graph {
         let n = self.num_vertices;
         let m = self.edges.len();
         let mut degree = vec![0u32; n];
@@ -178,12 +241,39 @@ mod tests {
     #[test]
     fn add_path_builds_chain() {
         let mut b = GraphBuilder::new(5);
-        let vs: Vec<VertexId> = (0..5).map(|i| VertexId(i)).collect();
+        let vs: Vec<VertexId> = (0..5).map(VertexId).collect();
         b.add_path(&vs);
         let g = b.build();
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.degree(VertexId(0)), 1);
         assert_eq!(g.degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn try_build_accepts_normal_graphs_and_reports_overflow() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.try_build().expect("small graphs always fit");
+        assert_eq!(g.num_edges(), 1);
+
+        // An empty builder claiming more vertices than u32 can address must
+        // be rejected rather than truncated.
+        let mut huge = GraphBuilder::new(0);
+        huge.num_vertices = u32::MAX as usize + 1;
+        assert!(matches!(
+            huge.try_build(),
+            Err(GraphError::TooManyVertices {
+                num_vertices
+            }) if num_vertices == u32::MAX as usize + 1
+        ));
+    }
+
+    #[test]
+    fn graph_error_display_is_informative() {
+        let e = GraphError::TooManyEdges { num_edges: 5 };
+        assert!(e.to_string().contains('5'));
+        let e = GraphError::TooManyVertices { num_vertices: 7 };
+        assert!(e.to_string().contains('7'));
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl Graph {
         } else {
             (v, u)
         };
-        self.neighbors(a)
-            .find(|&(w, _)| w == b)
-            .map(|(_, e)| e)
+        self.neighbors(a).find(|&(w, _)| w == b).map(|(_, e)| e)
     }
 
     /// `true` if `u` and `v` are adjacent.

@@ -125,7 +125,10 @@ pub fn barbell(k: usize, bridge_len: usize) -> Graph {
     for i in 0..k {
         for j in (i + 1)..k {
             b.add_edge(VertexId::new(i), VertexId::new(j));
-            b.add_edge(VertexId::new(k + bridge_len - 1 + i), VertexId::new(k + bridge_len - 1 + j));
+            b.add_edge(
+                VertexId::new(k + bridge_len - 1 + i),
+                VertexId::new(k + bridge_len - 1 + j),
+            );
         }
     }
     // bridge from vertex k-1 through fresh vertices to the second clique's vertex (k+bridge_len-1)

@@ -32,7 +32,7 @@ pub mod stats;
 pub mod subgraph;
 
 pub use bitset::BitSet;
-pub use builder::GraphBuilder;
+pub use builder::{GraphBuilder, GraphError};
 pub use csr::{Edge, Graph, NeighborIter};
 pub use ids::{EdgeId, VertexId};
 pub use stats::GraphStats;

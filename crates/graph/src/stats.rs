@@ -47,7 +47,11 @@ impl GraphStats {
             num_edges: m,
             min_degree,
             max_degree,
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             num_components: connected_components(graph).1,
             isolated_vertices: isolated,
         }

@@ -226,7 +226,8 @@ impl<'a> SubgraphView<'a> {
 /// filtered. This is used when a constructed structure `H` needs to be
 /// handled as a standalone graph.
 pub fn extract_edge_subgraph(graph: &Graph, allowed: &BitSet) -> (Graph, Vec<EdgeId>) {
-    let mut builder = crate::builder::GraphBuilder::with_capacity(graph.num_vertices(), allowed.len());
+    let mut builder =
+        crate::builder::GraphBuilder::with_capacity(graph.num_vertices(), allowed.len());
     let mut mapping = Vec::with_capacity(allowed.len());
     for (eid, edge) in graph.edges() {
         if allowed.contains(eid.index()) {
@@ -273,7 +274,10 @@ mod tests {
         assert_eq!(view.neighbors(VertexId(3)).count(), 0);
         assert_eq!(view.neighbors(VertexId(0)).count(), 2);
         assert_eq!(mask.num_removed(), 1);
-        assert_eq!(mask.removed_vertices().collect::<Vec<_>>(), vec![VertexId(3)]);
+        assert_eq!(
+            mask.removed_vertices().collect::<Vec<_>>(),
+            vec![VertexId(3)]
+        );
     }
 
     #[test]

@@ -62,9 +62,15 @@ impl MultiSourceLowerBound {
 /// Build the Theorem 5.4 instance targeting ≈ `n` vertices, `σ` sources and
 /// `ε ∈ (0, 1/2]`.
 pub fn multi_source_lower_bound(n: usize, sigma: usize, eps: f64) -> MultiSourceLowerBound {
-    assert!(eps > 0.0 && eps <= 0.5, "theorem 5.4 covers eps in (0, 1/2]");
+    assert!(
+        eps > 0.0 && eps <= 0.5,
+        "theorem 5.4 covers eps in (0, 1/2]"
+    );
     assert!(sigma >= 1, "need at least one source");
-    assert!(n >= 64 * sigma, "n too small for the requested number of sources");
+    assert!(
+        n >= 64 * sigma,
+        "n too small for the requested number of sources"
+    );
     let per_source_n = n as f64 / sigma as f64;
     let d = ((per_source_n / 4.0).powf(eps).floor() as usize).max(1);
     let k = (per_source_n.powf(1.0 - 2.0 * eps).floor() as usize).max(1);

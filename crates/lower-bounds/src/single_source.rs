@@ -83,7 +83,10 @@ impl SingleSourceLowerBound {
 /// Panics if `eps` is outside `(0, 0.5]` or `n` is too small to host a single
 /// copy.
 pub fn single_source_lower_bound(n: usize, eps: f64) -> SingleSourceLowerBound {
-    assert!(eps > 0.0 && eps <= 0.5, "theorem 5.1 covers eps in (0, 1/2]");
+    assert!(
+        eps > 0.0 && eps <= 0.5,
+        "theorem 5.1 covers eps in (0, 1/2]"
+    );
     assert!(n >= 32, "lower-bound construction needs n >= 32");
     let nf = n as f64;
     let d = ((nf.powf(eps) / 4.0).floor() as usize).max(1);
@@ -130,18 +133,17 @@ pub fn single_source_lower_bound(n: usize, eps: f64) -> SingleSourceLowerBound {
             b.add_edge(v_star, xv);
         }
         let mut per_copy_forced = Vec::with_capacity(d);
-        for j in 0..d {
+        for &zj in z.iter().take(d) {
             let mut set = Vec::with_capacity(x_size);
             for &xv in &x {
-                b.add_edge(xv, z[j]);
-                set.push((xv, z[j]));
+                b.add_edge(xv, zj);
+                set.push((xv, zj));
             }
             per_copy_forced.push(set);
         }
 
         // record the π edges of this copy
-        let copy_pi: Vec<(VertexId, VertexId)> =
-            path.windows(2).map(|w| (w[0], w[1])).collect();
+        let copy_pi: Vec<(VertexId, VertexId)> = path.windows(2).map(|w| (w[0], w[1])).collect();
         pi_edges.push(copy_pi);
         x_vertices.push(x);
         z_vertices.push(z);

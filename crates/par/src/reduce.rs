@@ -48,10 +48,7 @@ where
         }
     })
     .expect("parallel_map_reduce worker panicked");
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, reduce)
+    partials.into_inner().into_iter().fold(identity, reduce)
 }
 
 /// Parallel sum of `f(i)` for `i` in `0..len`.
@@ -71,7 +68,10 @@ mod tests {
     fn sum_matches_closed_form() {
         let cfg = ParallelConfig::with_threads(4).with_chunk_size(7);
         let n = 10_000u64;
-        assert_eq!(parallel_sum(&cfg, n as usize, |i| i as u64), n * (n - 1) / 2);
+        assert_eq!(
+            parallel_sum(&cfg, n as usize, |i| i as u64),
+            n * (n - 1) / 2
+        );
     }
 
     #[test]

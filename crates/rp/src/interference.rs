@@ -88,10 +88,7 @@ impl<'a> InterferenceIndex<'a> {
         };
         let long_set: std::collections::HashSet<VertexId> =
             long.detour_interior().iter().copied().collect();
-        short
-            .detour_interior()
-            .iter()
-            .any(|z| long_set.contains(z))
+        short.detour_interior().iter().any(|z| long_set.contains(z))
     }
 
     /// `(≁)`-interference: [`Self::interferes`] and the failing edges are not
@@ -152,9 +149,7 @@ impl<'a> InterferenceIndex<'a> {
         };
         let l_depth = self.index.depth(l);
         a.detour_vertices().iter().any(|&z| {
-            self.index.in_tree(z)
-                && self.index.depth(z) > l_depth
-                && self.index.is_ancestor(z, t)
+            self.index.in_tree(z) && self.index.depth(z) > l_depth && self.index.is_ancestor(z, t)
         })
     }
 
@@ -225,9 +220,10 @@ impl<'a> InterferenceIndex<'a> {
     pub fn is_sim_set(&self, subset: &[PairId]) -> bool {
         let member: std::collections::HashSet<PairId> = subset.iter().copied().collect();
         let in_subset = |q: PairId| member.contains(&q);
-        subset
-            .iter()
-            .all(|&p| self.non_sim_interference_set(p, Some(&in_subset)).is_empty())
+        subset.iter().all(|&p| {
+            self.non_sim_interference_set(p, Some(&in_subset))
+                .is_empty()
+        })
     }
 }
 
@@ -249,7 +245,8 @@ mod tests {
         let weights = TieBreakWeights::generate(graph, seed);
         let tree = ShortestPathTree::build(graph, &weights, VertexId(0));
         let dists = ReplacementDistances::compute(graph, &tree, &ParallelConfig::serial());
-        let rp = ReplacementPaths::compute(graph, &weights, &tree, &dists, &ParallelConfig::serial());
+        let rp =
+            ReplacementPaths::compute(graph, &weights, &tree, &dists, &ParallelConfig::serial());
         let index = TreeIndex::build(&tree);
         Fixture { tree, rp, index }
     }
@@ -335,7 +332,10 @@ mod tests {
             let has_non_a_witness = witnesses.iter().any(|q| !is_a.contains(q));
             assert!(has_non_a_witness);
             for q in witnesses.iter().filter(|q| !is_a.contains(*q)) {
-                assert!(is_b.contains(q), "witness {q} of type-B pair {p} must be type B");
+                assert!(
+                    is_b.contains(q),
+                    "witness {q} of type-B pair {p} must be type B"
+                );
             }
         }
     }

@@ -80,7 +80,12 @@ impl ReplacementPath {
 mod tests {
     use super::*;
 
-    fn mk(vertices: Vec<u32>, div_idx: Option<usize>, edge_depth: u32, term_depth: u32) -> ReplacementPath {
+    fn mk(
+        vertices: Vec<u32>,
+        div_idx: Option<usize>,
+        edge_depth: u32,
+        term_depth: u32,
+    ) -> ReplacementPath {
         let vs: Vec<VertexId> = vertices.iter().map(|&v| VertexId(v)).collect();
         let es: Vec<EdgeId> = (0..vs.len() - 1).map(|i| EdgeId(i as u32)).collect();
         let last = *es.last().unwrap();

@@ -36,10 +36,9 @@ impl ReplacementPaths {
             .into_iter()
             .filter(|&v| v != source)
             .collect();
-        let per_terminal: Vec<Vec<ReplacementPath>> =
-            parallel_map(config, terminals.len(), |i| {
-                compute_for_terminal(graph, weights, tree, dists, terminals[i])
-            });
+        let per_terminal: Vec<Vec<ReplacementPath>> = parallel_map(config, terminals.len(), |i| {
+            compute_for_terminal(graph, weights, tree, dists, terminals[i])
+        });
 
         let mut paths = Vec::new();
         let mut index = HashMap::new();
@@ -105,7 +104,10 @@ impl ReplacementPaths {
     /// to pairs that have a replacement path), in increasing depth of the
     /// failing edge.
     pub fn pairs_of_terminal(&self, v: VertexId) -> &[PairId] {
-        self.by_terminal.get(&v).map(|p| p.as_slice()).unwrap_or(&[])
+        self.by_terminal
+            .get(&v)
+            .map(|p| p.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Convenience constructor running the whole Phase S0 pipeline
@@ -151,7 +153,9 @@ fn compute_for_terminal(
 
     let mut out = Vec::with_capacity(k);
     for (idx, &e) in pi_edges.iter().enumerate() {
-        let Some(target) = dists.dist(e, v) else { continue };
+        let Some(target) = dists.dist(e, v) else {
+            continue;
+        };
         if target == UNREACHABLE {
             // The failure disconnects v: dist(s, v, G \ {e}) = ∞ and no
             // protection is required for this pair.
@@ -234,7 +238,15 @@ fn compute_for_terminal(
         let chosen = probe(hi);
         debug_assert!(feasible(&chosen));
         let path = chosen.path_to(v).expect("feasible probe reaches v");
-        push_new_ending(&mut out, pair, &pi_vertices, path, failing_edge_depth, k as u32, tree);
+        push_new_ending(
+            &mut out,
+            pair,
+            &pi_vertices,
+            path,
+            failing_edge_depth,
+            k as u32,
+            tree,
+        );
     }
     out
 }
@@ -283,14 +295,15 @@ mod tests {
     fn full_setup(
         graph: &Graph,
         seed: u64,
-    ) -> (TieBreakWeights, ShortestPathTree, ReplacementDistances, ReplacementPaths) {
+    ) -> (
+        TieBreakWeights,
+        ShortestPathTree,
+        ReplacementDistances,
+        ReplacementPaths,
+    ) {
         let weights = TieBreakWeights::generate(graph, seed);
-        let (tree, dists, rp) = ReplacementPaths::compute_full(
-            graph,
-            &weights,
-            VertexId(0),
-            &ParallelConfig::serial(),
-        );
+        let (tree, dists, rp) =
+            ReplacementPaths::compute_full(graph, &weights, VertexId(0), &ParallelConfig::serial());
         (weights, tree, dists, rp)
     }
 
@@ -356,10 +369,7 @@ mod tests {
                 if z == d || z == v {
                     continue;
                 }
-                assert!(
-                    !pi.contains(&z),
-                    "detour vertex {z:?} lies on π(s, {v:?})"
-                );
+                assert!(!pi.contains(&z), "detour vertex {z:?} lies on π(s, {v:?})");
             }
         }
     }

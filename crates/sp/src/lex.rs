@@ -77,11 +77,7 @@ impl LexSearch {
     }
 
     /// Run the search from `source` over a masked view of the graph.
-    pub fn run_view(
-        view: &SubgraphView<'_>,
-        weights: &TieBreakWeights,
-        source: VertexId,
-    ) -> Self {
+    pub fn run_view(view: &SubgraphView<'_>, weights: &TieBreakWeights, source: VertexId) -> Self {
         Self::run_view_impl(view, weights, source, None)
     }
 
@@ -277,7 +273,11 @@ mod tests {
             + w.weight(g.find_edge(VertexId(1), VertexId(2)).unwrap());
         let via3: u64 = w.weight(g.find_edge(VertexId(0), VertexId(3)).unwrap())
             + w.weight(g.find_edge(VertexId(3), VertexId(2)).unwrap());
-        let expected_mid = if via1 < via3 { VertexId(1) } else { VertexId(3) };
+        let expected_mid = if via1 < via3 {
+            VertexId(1)
+        } else {
+            VertexId(3)
+        };
         assert_eq!(p.vertices()[1], expected_mid);
         assert_eq!(search.cost(VertexId(2)).unwrap().tie, via1.min(via3));
     }

@@ -127,9 +127,7 @@ impl Path {
             let edge = graph.edge(e);
             let (a, b) = (self.vertices[i], self.vertices[i + 1]);
             if !(edge.is_incident(a) && edge.is_incident(b) && a != b) {
-                return Err(format!(
-                    "edge {e:?} does not connect {a:?} and {b:?}"
-                ));
+                return Err(format!("edge {e:?} does not connect {a:?} and {b:?}"));
             }
         }
         let mut seen = std::collections::HashSet::new();

@@ -26,22 +26,14 @@ pub struct ReplacementDistances {
 
 impl ReplacementDistances {
     /// Compute replacement distances for every tree edge of `tree`.
-    pub fn compute(
-        graph: &Graph,
-        tree: &ShortestPathTree,
-        config: &ParallelConfig,
-    ) -> Self {
+    pub fn compute(graph: &Graph, tree: &ShortestPathTree, config: &ParallelConfig) -> Self {
         let edges: Vec<EdgeId> = tree.tree_edges().to_vec();
         let source = tree.source();
         let rows = parallel_map(config, edges.len(), |i| {
             let view = SubgraphView::full(graph).without_edge(edges[i]);
             bfs_distances_view(&view, source)
         });
-        let index_of_edge = edges
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, i))
-            .collect();
+        let index_of_edge = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         ReplacementDistances {
             index_of_edge,
             rows,
@@ -53,9 +45,7 @@ impl ReplacementDistances {
     ///
     /// [`UNREACHABLE`] means the failure disconnects `v` from the source.
     pub fn dist(&self, e: EdgeId, v: VertexId) -> Option<u32> {
-        self.index_of_edge
-            .get(&e)
-            .map(|&i| self.rows[i][v.index()])
+        self.index_of_edge.get(&e).map(|&i| self.rows[i][v.index()])
     }
 
     /// The whole post-failure distance row for edge `e`.

@@ -170,7 +170,10 @@ impl ShortestPathTree {
     /// Walk up from `v` to the root, yielding `(vertex, parent_edge)` pairs
     /// starting at `v` itself (the root yields no pair).
     pub fn ancestors(&self, v: VertexId) -> AncestorIter<'_> {
-        AncestorIter { tree: self, cur: Some(v) }
+        AncestorIter {
+            tree: self,
+            cur: Some(v),
+        }
     }
 
     /// Vertices in non-decreasing depth order (root first); useful for
@@ -253,10 +256,7 @@ mod tests {
             let child = t.child_endpoint(e).unwrap();
             let (parent, pe) = t.parent(child).unwrap();
             assert_eq!(pe, e);
-            assert_eq!(
-                t.depth(child).unwrap(),
-                t.depth(parent).unwrap() + 1
-            );
+            assert_eq!(t.depth(child).unwrap(), t.depth(parent).unwrap() + 1);
             assert_eq!(t.edge_depth(e), t.depth(child));
         }
         assert_eq!(t.tree_edge_set().len(), 14);

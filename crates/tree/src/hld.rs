@@ -322,7 +322,11 @@ mod tests {
         let bound = ((g.num_vertices() as f64).log2().ceil() as usize) + 1;
         for v in g.vertices() {
             let crossed = d.paths_crossed_by(&t, v);
-            assert!(crossed.len() <= bound, "π(s,{v:?}) crosses {} paths", crossed.len());
+            assert!(
+                crossed.len() <= bound,
+                "π(s,{v:?}) crosses {} paths",
+                crossed.len()
+            );
             // glue edges on the root path are also O(log n)
             let glue_on_path = t
                 .path_edges_to(v)
@@ -347,8 +351,7 @@ mod tests {
         // compute subtree sizes
         let mut size = vec![0usize; g.num_vertices()];
         for &v in t.vertices_by_depth().iter().rev() {
-            size[v.index()] =
-                1 + t.children(v).iter().map(|c| size[c.index()]).sum::<usize>();
+            size[v.index()] = 1 + t.children(v).iter().map(|c| size[c.index()]).sum::<usize>();
         }
         for &v in &root_path.vertices {
             for &c in t.children(v) {

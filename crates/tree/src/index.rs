@@ -64,9 +64,9 @@ impl TreeIndex {
         let max_depth = depth.iter().copied().max().unwrap_or(0);
         let levels = (usize::BITS - (max_depth as usize).leading_zeros()).max(1) as usize;
         let mut up = vec![vec![0u32; n]; levels];
-        for i in 0..n {
+        for (i, slot) in up[0].iter_mut().enumerate() {
             let v = VertexId::new(i);
-            up[0][i] = match tree.parent(v) {
+            *slot = match tree.parent(v) {
                 Some((p, _)) => p.0,
                 None => v.0,
             };
@@ -153,12 +153,7 @@ impl TreeIndex {
     /// The paper's `∼` relation on tree edges: `e ∼ e'` iff one of their
     /// child endpoints is an ancestor of the other, i.e. both edges lie on a
     /// common root-to-vertex shortest path.
-    pub fn edges_related(
-        &self,
-        tree: &ShortestPathTree,
-        e: EdgeId,
-        e_prime: EdgeId,
-    ) -> bool {
+    pub fn edges_related(&self, tree: &ShortestPathTree, e: EdgeId, e_prime: EdgeId) -> bool {
         let (Some(b), Some(d)) = (tree.child_endpoint(e), tree.child_endpoint(e_prime)) else {
             return false;
         };
@@ -280,6 +275,9 @@ mod tests {
         let g = generators::path(20_000);
         let (_t, idx) = build(&g, 7);
         assert!(idx.is_ancestor(VertexId(0), VertexId(19_999)));
-        assert_eq!(idx.lca(VertexId(10_000), VertexId(19_999)), Some(VertexId(10_000)));
+        assert_eq!(
+            idx.lca(VertexId(10_000), VertexId(19_999)),
+            Some(VertexId(10_000))
+        );
     }
 }

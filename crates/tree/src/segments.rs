@@ -76,12 +76,7 @@ impl SegmentDecomposition {
             return None;
         }
         // bounds is small (O(log n)); a linear scan is fine and branch-friendly.
-        for j in 0..self.num_segments() {
-            if i < self.bounds[j + 1] {
-                return Some(j);
-            }
-        }
-        None
+        (0..self.num_segments()).find(|&j| i < self.bounds[j + 1])
     }
 
     /// Length (in edges) of segment `j`.

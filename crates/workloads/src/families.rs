@@ -181,11 +181,13 @@ mod tests {
         assert!(is_connected(&a));
         assert_eq!(a.num_edges(), b.num_edges());
         // different seeds almost surely differ
-        assert!(a.num_edges() != c.num_edges() || {
-            let ea: Vec<_> = a.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
-            let ec: Vec<_> = c.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
-            ea != ec
-        });
+        assert!(
+            a.num_edges() != c.num_edges() || {
+                let ea: Vec<_> = a.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
+                let ec: Vec<_> = c.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
+                ea != ec
+            }
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod families;
 pub mod suite;
 
 pub use families::{
-    connectivity_repair, erdos_renyi_gnm, erdos_renyi_gnp, layered_random,
-    preferential_attachment, random_geometric_grid,
+    connectivity_repair, erdos_renyi_gnm, erdos_renyi_gnp, layered_random, preferential_attachment,
+    random_geometric_grid,
 };
 pub use suite::{Workload, WorkloadFamily};

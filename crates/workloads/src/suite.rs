@@ -108,7 +108,12 @@ impl Workload {
 
     /// A human-readable label, e.g. `erdos-renyi(n=500, seed=3)`.
     pub fn label(&self) -> String {
-        format!("{}(n={}, seed={})", self.family.name(), self.target_n, self.seed)
+        format!(
+            "{}(n={}, seed={})",
+            self.family.name(),
+            self.target_n,
+            self.seed
+        )
     }
 }
 

@@ -10,9 +10,11 @@
 //! ```
 
 use ftbfs::graph::VertexId;
-use ftbfs::lower_bounds::{certified_backup_lower_bound, single_source_lower_bound, verify_forcing};
+use ftbfs::lower_bounds::{
+    certified_backup_lower_bound, single_source_lower_bound, verify_forcing,
+};
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
-use ftbfs::{build_ft_bfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, Sources, StructureBuilder, TradeoffBuilder};
 
 fn main() {
     let n = 900;
@@ -45,16 +47,24 @@ fn main() {
     );
 
     // Run the upper-bound construction on the hard instance and compare.
-    let config = BuildConfig::new(eps).with_seed(1);
-    let structure = build_ft_bfs(&lb.graph, lb.source, &config);
+    let builder = TradeoffBuilder::new(eps).with_config(|c| c.with_seed(1));
+    let structure = builder
+        .build(&lb.graph, &Sources::single(lb.source))
+        .expect("the lower-bound instance is valid input");
     println!(
         "constructed structure: b = {}, r = {}",
         structure.num_backup(),
         structure.num_reinforced()
     );
-    let weights = TieBreakWeights::generate(&lb.graph, config.seed);
+    let weights = TieBreakWeights::generate(&lb.graph, builder.config().seed);
     let tree = ShortestPathTree::build(&lb.graph, &weights, lb.source);
-    let report = verify_structure(&lb.graph, &tree, &structure, &config.parallel, false);
+    let report = verify_structure(
+        &lb.graph,
+        &tree,
+        &structure,
+        &builder.config().parallel,
+        false,
+    );
     assert!(report.is_valid());
     let effective_certified = certified_backup_lower_bound(&lb, structure.num_reinforced());
     println!(

@@ -3,9 +3,10 @@
 //! A network operator has an existing topology and two catalogue prices: a
 //! cheap fault-prone link (backup, price `B`) and an expensive fault-immune
 //! link (reinforced, price `R`). The paper's corollary says the sweet spot of
-//! the tradeoff is `ε ≈ log(R/B) / log n`; this example sweeps ε, prices each
-//! resulting structure and compares against the two extremes (reinforce the
-//! whole BFS tree vs. buy the full ESA'13 backup structure).
+//! the tradeoff is `ε ≈ log(R/B) / log n`; this example sweeps ε through the
+//! [`BuildPlan`] interface, prices each resulting structure and compares
+//! against the two extremes (reinforce the whole BFS tree vs. buy the full
+//! ESA'13 backup structure).
 //!
 //! ```bash
 //! cargo run --release --example network_planning
@@ -13,24 +14,33 @@
 
 use ftbfs::graph::VertexId;
 use ftbfs::workloads::{Workload, WorkloadFamily};
-use ftbfs::{build_ft_bfs, BuildConfig, CostModel};
+use ftbfs::{build_structure, BuildConfig, BuildPlan, CostModel, Sources};
 
 fn main() {
     let workload = Workload::new(WorkloadFamily::LayeredDeep, 600, 7);
     let graph = workload.generate();
-    let source = VertexId(0);
+    let sources = Sources::single(VertexId(0));
     let n = graph.num_vertices();
-    println!("topology {}: n = {n}, m = {}", workload.label(), graph.num_edges());
+    let config = BuildConfig::new(0.0).with_seed(7);
+    println!(
+        "topology {}: n = {n}, m = {}",
+        workload.label(),
+        graph.num_edges()
+    );
 
     for ratio in [1.0, 10.0, 100.0, 1000.0] {
         let prices = CostModel::new(1.0, ratio);
         let suggested = prices.optimal_eps(n);
         println!("\n== price ratio R/B = {ratio} -> suggested eps = {suggested:.3} ==");
-        println!("{:>6} | {:>9} | {:>9} | {:>12}", "eps", "backup b", "reinf. r", "total cost");
+        println!(
+            "{:>6} | {:>9} | {:>9} | {:>12}",
+            "eps", "backup b", "reinf. r", "total cost"
+        );
         let mut best: Option<(f64, f64)> = None;
         for &eps in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, suggested] {
-            let config = BuildConfig::new(eps).with_seed(7);
-            let structure = build_ft_bfs(&graph, source, &config);
+            let plan = BuildPlan::Tradeoff { eps };
+            let structure = build_structure(&graph, &sources, plan, &config)
+                .expect("a connected workload with source 0 is valid input");
             let cost = prices.cost_of(&structure);
             println!(
                 "{eps:>6.2} | {:>9} | {:>9} | {cost:>12.1}",

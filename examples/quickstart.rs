@@ -1,4 +1,5 @@
-//! Quickstart: build a `(b, r)` FT-BFS structure and verify it.
+//! Quickstart: build a `(b, r)` FT-BFS structure, verify it, and serve
+//! post-failure queries from it.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -7,7 +8,7 @@
 use ftbfs::graph::VertexId;
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
 use ftbfs::workloads::{Workload, WorkloadFamily};
-use ftbfs::{build_ft_bfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
 
 fn main() {
     // A reproducible random workload: an Erdős–Rényi graph with ~500 vertices.
@@ -23,8 +24,10 @@ fn main() {
 
     // Build the structure for a mid-range tradeoff point.
     let eps = 0.3;
-    let config = BuildConfig::new(eps).with_seed(42);
-    let structure = build_ft_bfs(&graph, source, &config);
+    let builder = TradeoffBuilder::new(eps).with_config(|c| c.with_seed(42));
+    let structure = builder
+        .build(&graph, &Sources::single(source))
+        .expect("a connected workload with source 0 is valid input");
     println!(
         "eps = {eps}: |E(H)| = {}, backup b = {}, reinforced r = {}",
         structure.num_edges(),
@@ -41,9 +44,9 @@ fn main() {
 
     // Verify the defining guarantee from scratch: for every vertex v and
     // every non-reinforced tree edge e, dist(s,v,H\{e}) <= dist(s,v,G\{e}).
-    let weights = TieBreakWeights::generate(&graph, config.seed);
+    let weights = TieBreakWeights::generate(&graph, builder.config().seed);
     let tree = ShortestPathTree::build(&graph, &weights, source);
-    let report = verify_structure(&graph, &tree, &structure, &config.parallel, false);
+    let report = verify_structure(&graph, &tree, &structure, &builder.config().parallel, false);
     println!(
         "verification: {} failing edges checked, {} violations, fault-free distances preserved: {}",
         report.checked_edges,
@@ -51,5 +54,20 @@ fn main() {
         report.fault_free_ok
     );
     assert!(report.is_valid(), "the constructed structure must verify");
+
+    // Preprocess once, query many: the engine answers post-failure distances
+    // out of the sparse structure with no per-query allocation.
+    let mut engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+    let far = VertexId((graph.num_vertices() - 1) as u32);
+    let probes: Vec<_> = graph.edge_ids().take(64).map(|e| (far, e)).collect();
+    let answers = engine.query_many(&probes).expect("probes are in range");
+    let worst = answers.iter().flatten().max();
+    println!(
+        "served {} queries ({} BFS sweeps inside H, {} cache hits); worst probed distance: {:?}",
+        answers.len(),
+        engine.query_stats().structure_bfs_runs,
+        engine.query_stats().cached_answers,
+        worst
+    );
     println!("OK: the structure is a valid (b, r) FT-BFS structure.");
 }

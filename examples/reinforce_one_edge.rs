@@ -12,7 +12,7 @@
 
 use ftbfs::graph::{generators, VertexId};
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
-use ftbfs::{build_baseline_ftbfs, build_ft_bfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, BaselineBuilder, Sources, StructureBuilder, TradeoffBuilder};
 
 fn main() {
     println!(
@@ -21,21 +21,33 @@ fn main() {
     );
     for n in [50usize, 100, 200, 400] {
         let graph = generators::clique_with_pendant(n);
-        let source = VertexId(0);
+        let sources = Sources::single(VertexId(0));
 
         // Mixed model: a small ε gives a tiny reinforcement budget, which the
         // construction spends on the pendant bottleneck edge.
-        let config = BuildConfig::new(0.2).with_seed(5);
-        let mixed = build_ft_bfs(&graph, source, &config);
-        let weights = TieBreakWeights::generate(&graph, config.seed);
-        let tree = ShortestPathTree::build(&graph, &weights, source);
-        assert!(verify_structure(&graph, &tree, &mixed, &config.parallel, false).is_valid());
+        let mixed_builder = TradeoffBuilder::new(0.2).with_config(|c| c.with_seed(5));
+        let mixed = mixed_builder
+            .build(&graph, &sources)
+            .expect("the intro example is valid input");
+        let weights = TieBreakWeights::generate(&graph, mixed_builder.config().seed);
+        let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
+        assert!(verify_structure(
+            &graph,
+            &tree,
+            &mixed,
+            &mixed_builder.config().parallel,
+            false
+        )
+        .is_valid());
 
         // Pure backup (the ESA'13 structure, no reinforcement allowed).
-        let baseline = build_baseline_ftbfs(&graph, source, &BuildConfig::new(1.0).with_seed(5));
+        let baseline = BaselineBuilder::new()
+            .with_config(|c| c.with_seed(5))
+            .build(&graph, &sources)
+            .expect("the intro example is valid input");
 
-        let savings = 100.0
-            * (1.0 - (mixed.num_edges() as f64) / (baseline.num_edges().max(1) as f64));
+        let savings =
+            100.0 * (1.0 - (mixed.num_edges() as f64) / (baseline.num_edges().max(1) as f64));
         println!(
             "{n:>6} | {:>8} | ({:>5}, {:>3}) | {:>14} | {savings:>9.1}%",
             graph.num_edges(),

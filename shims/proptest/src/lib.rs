@@ -1,0 +1,330 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this shim reimplements
+//! the pieces the test suites consume:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`
+//!   header) expanding each case into a plain `#[test]` loop over randomly
+//!   generated inputs,
+//! * [`strategy::Strategy`] with implementations for integer and float
+//!   ranges, tuples, [`prelude::any`]`::<bool>()`,
+//!   [`collection::vec`] and [`collection::btree_set`],
+//! * `prop_assert!` / `prop_assert_eq!` mapped onto the std assertions.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking (a
+//! failing case reports its seed and case number instead), and a fixed
+//! deterministic seed per test function so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed a generator; the `proptest!` expansion derives the seed from
+        /// the test name and case index.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` below `bound` (0 for `bound == 0`).
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                return 0;
+            }
+            ((self.next_u64() as u128) % bound as u128) as usize
+        }
+    }
+
+    /// A value generator: the core abstraction of proptest.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    self.start + v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_uint_range!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Strategy for `any::<T>()` (only the instantiations we need).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        /// Construct the marker strategy.
+        pub fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident . $idx:tt),+));+ $(;)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_strategy_tuple! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy wrapper produced by [`crate::collection::vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy wrapper produced by [`crate::collection::btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let target = self.size.start + rng.below(span);
+            // Best-effort sizing: duplicates may make the set smaller than
+            // `target`, which proptest also permits for saturated domains.
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(4) + 4 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use crate::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vectors of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Ordered sets with roughly `size.start..size.end` elements.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 32 keeps the offline suite fast
+            // while still exercising a meaningful slice of the input space.
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Any, Strategy, TestRng};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// `any::<T>()` — arbitrary values of `T` (only `bool` is instantiated
+    /// by this workspace).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any::new()
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Expand property definitions into deterministic `#[test]` loops.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = <$crate::test_runner::Config as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Deterministic per-test seed: the test path hashed via FNV-1a.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::strategy::TestRng::new(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let run = || -> () { $body };
+                run();
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(n in 1usize..40, pair in (0u32..10, 0u32..10)) {
+            prop_assert!((1..40).contains(&n));
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn collections_respect_bounds(
+            v in crate::collection::vec((0usize..256, any::<bool>()), 0..20),
+            s in crate::collection::btree_set(0usize..50, 0..10),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(s.len() < 10);
+            prop_assert!(v.iter().all(|(x, _)| *x < 256));
+            prop_assert!(s.iter().all(|x| *x < 50));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::{Strategy, TestRng};
+        let mut a = TestRng::new(77);
+        let mut b = TestRng::new(77);
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

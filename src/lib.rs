@@ -5,22 +5,92 @@
 //! Tradeoff* (SPAA 2015):
 //!
 //! * [`graph`] — the CSR graph substrate,
-//! * [`par`] — crossbeam-based data-parallel helpers,
+//! * [`par`] — scoped-thread data-parallel helpers,
 //! * [`sp`] — unique shortest paths, BFS trees, replacement distances,
 //! * [`tree`] — LCA, heavy-path decomposition, path segmentation,
 //! * [`rp`] — Algorithm `Pcons` and interference analysis,
-//! * [`core`] — the `(b, r)` FT-BFS construction, baselines, verifier,
-//!   multi-source structures and the cost model,
+//! * [`core`] — builders, the fault-query engine, the verifier, the cost
+//!   model and multi-source structures,
 //! * [`lower_bounds`] — the Theorem 5.1 / 5.4 lower-bound families,
 //! * [`workloads`] — deterministic experiment workloads.
 //!
-//! The most common entry points are re-exported at the top level:
+//! # Building a structure
+//!
+//! Every construction strategy implements [`StructureBuilder`]; pick one,
+//! configure it fluently, and build:
+//!
+//! ```
+//! use ftbfs::graph::{generators, VertexId};
+//! use ftbfs::{Sources, StructureBuilder, TradeoffBuilder};
+//!
+//! let g = generators::hypercube(4);
+//! let structure = TradeoffBuilder::new(0.3)
+//!     .with_config(|c| c.with_seed(7))
+//!     .build(&g, &Sources::single(VertexId(0)))
+//!     .expect("hypercube input is valid");
+//! assert_eq!(
+//!     structure.num_backup() + structure.num_reinforced(),
+//!     structure.num_edges()
+//! );
+//! ```
+//!
+//! Invalid input surfaces as a typed [`FtbfsError`] instead of a panic:
+//!
+//! ```
+//! use ftbfs::graph::{generators, VertexId};
+//! use ftbfs::{FtbfsError, Sources, StructureBuilder, TradeoffBuilder};
+//!
+//! let g = generators::hypercube(3);
+//! let err = TradeoffBuilder::new(1.5)
+//!     .build(&g, &Sources::single(VertexId(0)))
+//!     .unwrap_err();
+//! assert!(matches!(err, FtbfsError::InvalidEps { .. }));
+//! ```
+//!
+//! # Serving queries
+//!
+//! Preprocess once into a [`FaultQueryEngine`], then answer many
+//! post-failure distance/path queries with no per-query allocation:
+//!
+//! ```
+//! use ftbfs::graph::{generators, VertexId};
+//! use ftbfs::{FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
+//!
+//! let g = generators::cycle(8);
+//! let structure = TradeoffBuilder::new(0.3)
+//!     .build(&g, &Sources::single(VertexId(0)))
+//!     .expect("valid input");
+//! let mut engine = FaultQueryEngine::new(&g, structure).expect("matching graph");
+//! for e in g.edge_ids() {
+//!     // a single failure never disconnects a cycle
+//!     assert!(engine.dist_after_fault(VertexId(4), e).unwrap().is_some());
+//! }
+//! ```
+//!
+//! # Migrating from the 0.1 free functions
+//!
+//! The original free functions remain available but are deprecated:
+//!
+//! | deprecated                | replacement                                      |
+//! |---------------------------|--------------------------------------------------|
+//! | `build_ft_bfs`            | [`TradeoffBuilder`] / [`core::try_build_ft_bfs`] |
+//! | `build_ft_bfs_with_eps`   | [`TradeoffBuilder::new`]                         |
+//! | `build_baseline_ftbfs`    | [`BaselineBuilder`]                              |
+//! | `build_reinforced_tree`   | [`ReinforcedTreeBuilder`]                        |
+//! | `build_ft_mbfs`           | [`MultiSourceBuilder`]                           |
+//!
+//! The shims call the checked `try_*` functions and turn every error into a
+//! panic. Note that validation is stricter than in 0.1: inputs the old code
+//! silently tolerated (e.g. `eps = 2.0`, which ran the baseline branch) now
+//! panic through the shims — migrate to the builders to handle them as
+//! [`FtbfsError`] values instead:
 //!
 //! ```
 //! use ftbfs::{build_ft_bfs, BuildConfig};
 //! use ftbfs::graph::{generators, VertexId};
 //!
 //! let g = generators::hypercube(4);
+//! #[allow(deprecated)]
 //! let structure = build_ft_bfs(&g, VertexId(0), &BuildConfig::new(0.3));
 //! assert!(structure.num_backup() + structure.num_reinforced() == structure.num_edges());
 //! ```
@@ -37,7 +107,17 @@ pub use ftb_tree as tree;
 pub use ftb_workloads as workloads;
 
 pub use ftb_core::{
-    build_baseline_ftbfs, build_ft_bfs, build_ft_bfs_with_eps, build_ft_mbfs,
-    build_reinforced_tree, verify_structure, BuildConfig, CostModel, FtBfsStructure,
-    MultiSourceStructure,
+    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, BuildStats,
+    CostModel, FaultQueryEngine, FtBfsStructure, FtbfsError, MultiSourceBuilder,
+    MultiSourceStructure, QueryStats, ReinforcedTreeBuilder, Sources, StructureBuilder,
+    TradeoffBuilder,
+};
+
+pub use ftb_core::{
+    try_build_baseline_ftbfs, try_build_ft_bfs, try_build_ft_mbfs, try_build_reinforced_tree,
+};
+
+#[allow(deprecated)]
+pub use ftb_core::{
+    build_baseline_ftbfs, build_ft_bfs, build_ft_bfs_with_eps, build_ft_mbfs, build_reinforced_tree,
 };

@@ -1,0 +1,314 @@
+//! Round-trip tests of the redesigned public API: every [`StructureBuilder`]
+//! implementation over several generator families, the definition-level
+//! verifier, the [`FaultQueryEngine`] cross-checked against from-scratch BFS
+//! on small graphs, and the typed error paths.
+
+use ftbfs::graph::{generators, EdgeId, Graph, SubgraphView, VertexId};
+use ftbfs::par::ParallelConfig;
+use ftbfs::sp::{bfs_distances_view, ShortestPathTree, TieBreakWeights, UNREACHABLE};
+use ftbfs::workloads::{Workload, WorkloadFamily};
+use ftbfs::{
+    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, FaultQueryEngine,
+    FtbfsError, MultiSourceBuilder, ReinforcedTreeBuilder, Sources, StructureBuilder,
+    TradeoffBuilder,
+};
+
+const SEED: u64 = 0xA11CE;
+
+fn all_builders() -> Vec<Box<dyn StructureBuilder>> {
+    vec![
+        Box::new(TradeoffBuilder::new(0.3).with_config(|c| c.with_seed(SEED))),
+        Box::new(BaselineBuilder::new().with_config(|c| c.with_seed(SEED))),
+        Box::new(ReinforcedTreeBuilder::new().with_config(|c| c.with_seed(SEED))),
+        Box::new(MultiSourceBuilder::new(0.3).with_config(|c| c.with_seed(SEED))),
+    ]
+}
+
+/// A cross-section of generator families for the round trip: deterministic
+/// generators plus seeded random workloads.
+fn test_graphs(target_n: usize) -> Vec<(String, Graph)> {
+    let mut graphs = vec![
+        ("hypercube".to_string(), generators::hypercube(4)),
+        ("grid".to_string(), generators::grid(5, 6)),
+        (
+            "clique_with_pendant".to_string(),
+            generators::clique_with_pendant(18),
+        ),
+    ];
+    for family in [
+        WorkloadFamily::ErdosRenyi,
+        WorkloadFamily::LayeredShallow,
+        WorkloadFamily::PreferentialAttachment,
+    ] {
+        let w = Workload::new(family, target_n, SEED);
+        graphs.push((w.label(), w.generate()));
+    }
+    graphs
+}
+
+#[test]
+fn every_builder_verifies_across_generator_families() {
+    for (name, graph) in test_graphs(80) {
+        let sources = Sources::single(VertexId(0));
+        for builder in all_builders() {
+            let s = builder
+                .build(&graph, &sources)
+                .unwrap_or_else(|e| panic!("{}: builder {} failed: {e}", name, builder.name()));
+            assert_eq!(
+                s.num_backup() + s.num_reinforced(),
+                s.num_edges(),
+                "{name}/{}: edge accounting broken",
+                builder.name()
+            );
+            let weights = TieBreakWeights::generate(&graph, SEED);
+            let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
+            let report = verify_structure(&graph, &tree, &s, &ParallelConfig::serial(), false);
+            assert!(
+                report.is_valid(),
+                "{name}/{}: {} violations over {} checked edges",
+                builder.name(),
+                report.violations.len(),
+                report.checked_edges
+            );
+        }
+    }
+}
+
+#[test]
+fn build_plans_match_their_builders() {
+    let graph = generators::grid(4, 5);
+    let sources = Sources::single(VertexId(0));
+    let config = BuildConfig::new(0.0).with_seed(SEED).serial();
+    for (plan, builder) in [
+        (
+            BuildPlan::Tradeoff { eps: 0.3 },
+            Box::new(TradeoffBuilder::new(0.3).with_config(|c| c.with_seed(SEED).serial()))
+                as Box<dyn StructureBuilder>,
+        ),
+        (
+            BuildPlan::Baseline,
+            Box::new(BaselineBuilder::new().with_config(|c| c.with_seed(SEED).serial())),
+        ),
+        (
+            BuildPlan::ReinforcedTree,
+            Box::new(ReinforcedTreeBuilder::new().with_config(|c| c.with_seed(SEED).serial())),
+        ),
+    ] {
+        let via_plan = build_structure(&graph, &sources, plan, &config).expect("valid input");
+        let via_builder = builder.build(&graph, &sources).expect("valid input");
+        assert_eq!(via_plan.num_edges(), via_builder.num_edges(), "{plan:?}");
+        assert_eq!(
+            via_plan.num_reinforced(),
+            via_builder.num_reinforced(),
+            "{plan:?}"
+        );
+    }
+}
+
+/// Acceptance criterion: `dist_after_fault(v, e)` agrees with a from-scratch
+/// BFS on `G \ {e}` for **all** `(v, e)` pairs on small graphs (n ≤ 64)
+/// across several workload families.
+#[test]
+fn engine_agrees_with_brute_force_on_all_pairs() {
+    let small_graphs: Vec<(String, Graph)> = vec![
+        ("hypercube".into(), generators::hypercube(4)), // n = 16
+        ("grid".into(), generators::grid(5, 5)),        // n = 25
+        (
+            "clique_with_pendant".into(),
+            generators::clique_with_pendant(12),
+        ),
+        (
+            Workload::new(WorkloadFamily::ErdosRenyi, 40, SEED).label(),
+            Workload::new(WorkloadFamily::ErdosRenyi, 40, SEED).generate(),
+        ),
+        (
+            Workload::new(WorkloadFamily::LayeredShallow, 48, SEED).label(),
+            Workload::new(WorkloadFamily::LayeredShallow, 48, SEED).generate(),
+        ),
+        (
+            Workload::new(WorkloadFamily::GridChords, 36, SEED).label(),
+            Workload::new(WorkloadFamily::GridChords, 36, SEED).generate(),
+        ),
+    ];
+    for (name, graph) in small_graphs {
+        assert!(graph.num_vertices() <= 64, "{name} exceeds the n<=64 bound");
+        for eps in [0.0, 0.3, 1.0] {
+            let structure = TradeoffBuilder::new(eps)
+                .with_config(|c| c.with_seed(SEED).serial())
+                .build(&graph, &Sources::single(VertexId(0)))
+                .expect("valid input");
+            let mut engine =
+                FaultQueryEngine::new(&graph, structure).expect("structure matches graph");
+            for e in graph.edge_ids() {
+                for v in graph.vertices() {
+                    let got = engine.dist_after_fault(v, e).expect("in range");
+                    let view = SubgraphView::full(&graph).without_edge(e);
+                    let brute = bfs_distances_view(&view, VertexId(0))[v.index()];
+                    let want = (brute != UNREACHABLE).then_some(brute);
+                    assert_eq!(
+                        got, want,
+                        "{name} (eps={eps}): dist(s, {v:?}, G\\{{{e:?}}}) mismatch"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_batches_and_paths_are_consistent() {
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 50, SEED).generate();
+    let structure = TradeoffBuilder::new(0.25)
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let mut engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+    let queries: Vec<(VertexId, EdgeId)> = graph
+        .edge_ids()
+        .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+        .collect();
+    let batched = engine.query_many(&queries).expect("in range");
+    for (i, &(v, e)) in queries.iter().enumerate() {
+        assert_eq!(
+            batched[i],
+            engine.dist_after_fault(v, e).expect("in range"),
+            "batched vs single mismatch at ({v:?}, {e:?})"
+        );
+        if let Some(d) = batched[i] {
+            let p = engine
+                .path_after_fault(v, e)
+                .expect("in range")
+                .expect("reachable vertices have witness paths");
+            assert_eq!(p.len() as u32, d);
+            assert!(!p.contains_edge(e));
+        }
+    }
+}
+
+#[test]
+fn invalid_eps_is_a_typed_error_not_a_panic() {
+    let graph = generators::grid(4, 4);
+    let sources = Sources::single(VertexId(0));
+    for eps in [-0.5, 1.5, f64::NAN, f64::INFINITY] {
+        let err = TradeoffBuilder::new(eps)
+            .build(&graph, &sources)
+            .expect_err("bad eps must be rejected");
+        assert!(
+            matches!(err, FtbfsError::InvalidEps { .. }),
+            "eps={eps} produced {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_sources_are_typed_errors() {
+    let graph = generators::grid(4, 4);
+    let out_of_range = TradeoffBuilder::new(0.3)
+        .build(&graph, &Sources::single(VertexId(1000)))
+        .expect_err("out-of-range source must be rejected");
+    assert!(matches!(
+        out_of_range,
+        FtbfsError::SourceOutOfRange {
+            source: VertexId(1000),
+            ..
+        }
+    ));
+
+    let empty = MultiSourceBuilder::new(0.3)
+        .build(&graph, &Sources::multi(Vec::new()))
+        .expect_err("empty source set must be rejected");
+    assert_eq!(empty, FtbfsError::EmptySources);
+
+    let multi_bad = MultiSourceBuilder::new(0.3)
+        .build_multi(&graph, &Sources::multi(vec![VertexId(0), VertexId(77)]))
+        .expect_err("any out-of-range source must be rejected");
+    assert!(matches!(multi_bad, FtbfsError::SourceOutOfRange { .. }));
+}
+
+#[test]
+fn disconnected_source_is_reported_when_required() {
+    // Two disjoint 4-cycles.
+    let mut b = ftbfs::graph::GraphBuilder::new(8);
+    for (x, y) in [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4),
+    ] {
+        b.add_edge(VertexId(x), VertexId(y));
+    }
+    let graph = b.build();
+    let strict = TradeoffBuilder::new(0.3).with_config(|c| c.with_require_connected(true));
+    let err = strict
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect_err("strict mode must reject the disconnected input");
+    assert_eq!(
+        err,
+        FtbfsError::DisconnectedSource {
+            source: VertexId(0),
+            num_unreachable: 4
+        }
+    );
+    // Lenient mode still builds (the unreachable half simply stays out).
+    let lenient = TradeoffBuilder::new(0.3);
+    assert!(lenient.build(&graph, &Sources::single(VertexId(0))).is_ok());
+}
+
+#[test]
+fn degenerate_budget_overrides_are_typed_errors() {
+    let graph = generators::grid(4, 4);
+    let err = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_budget_override(Some(0)))
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect_err("zero budget must be rejected");
+    assert!(matches!(err, FtbfsError::BudgetOverflow { .. }));
+
+    let err = TradeoffBuilder::new(0.3)
+        .with_config(|c| {
+            c.with_k_override(Some(usize::MAX))
+                .with_budget_override(Some(usize::MAX))
+        })
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect_err("overflowing work envelope must be rejected");
+    assert!(matches!(err, FtbfsError::BudgetOverflow { .. }));
+}
+
+#[test]
+fn engine_rejects_foreign_structures_and_bad_queries() {
+    let g1 = generators::grid(3, 4);
+    let g2 = generators::hypercube(4);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.serial())
+        .build(&g1, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    assert!(matches!(
+        FaultQueryEngine::new(&g2, s.clone()),
+        Err(FtbfsError::StructureMismatch { .. })
+    ));
+
+    let mut engine = FaultQueryEngine::new(&g1, s).expect("matching graph");
+    assert!(matches!(
+        engine.dist_after_fault(VertexId(500), EdgeId(0)),
+        Err(FtbfsError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.dist_after_fault(VertexId(0), EdgeId(500)),
+        Err(FtbfsError::EdgeOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn error_messages_are_human_readable() {
+    let graph = generators::grid(3, 3);
+    let err = TradeoffBuilder::new(7.0)
+        .build(&graph, &Sources::single(VertexId(0)))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('7'), "message should name the value: {msg}");
+    let err: Box<dyn std::error::Error> = Box::new(err);
+    assert!(!err.to_string().is_empty());
+}

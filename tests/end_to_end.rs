@@ -6,11 +6,13 @@ use ftbfs::graph::VertexId;
 use ftbfs::par::ParallelConfig;
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
 use ftbfs::workloads::{Workload, WorkloadFamily};
-use ftbfs::{build_baseline_ftbfs, build_ft_bfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, BaselineBuilder, Sources, StructureBuilder, TradeoffBuilder};
 
 fn build_and_verify(graph: &ftbfs::graph::Graph, eps: f64, seed: u64) -> ftbfs::FtBfsStructure {
-    let config = BuildConfig::new(eps).with_seed(seed);
-    let structure = build_ft_bfs(graph, VertexId(0), &config);
+    let structure = TradeoffBuilder::new(eps)
+        .with_config(|c| c.with_seed(seed))
+        .build(graph, &Sources::single(VertexId(0)))
+        .expect("workload graphs with source 0 are valid input");
     let weights = TieBreakWeights::generate(graph, seed);
     let tree = ShortestPathTree::build(graph, &weights, VertexId(0));
     let report = verify_structure(graph, &tree, &structure, &ParallelConfig::default(), false);
@@ -67,7 +69,10 @@ fn theorem_3_1_envelopes_hold_with_generous_constants() {
 #[test]
 fn structures_never_exceed_the_baseline_by_much_and_reinforce_little() {
     let graph = Workload::new(WorkloadFamily::ErdosRenyi, 300, 13).generate();
-    let baseline = build_baseline_ftbfs(&graph, VertexId(0), &BuildConfig::new(1.0).with_seed(13));
+    let baseline = BaselineBuilder::new()
+        .with_config(|c| c.with_seed(13))
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
     for eps in [0.1, 0.25, 0.4] {
         let s = build_and_verify(&graph, eps, 13);
         // The mixed structure never needs more backup edges than the pure
@@ -91,7 +96,10 @@ fn reinforced_edges_are_always_tree_edges() {
     let weights = TieBreakWeights::generate(&graph, seed);
     let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
     for e in s.reinforced_edges() {
-        assert!(tree.is_tree_edge(e), "reinforced edge {e:?} is not a tree edge");
+        assert!(
+            tree.is_tree_edge(e),
+            "reinforced edge {e:?} is not a tree edge"
+        );
         assert!(s.contains_edge(e));
     }
 }
@@ -99,8 +107,10 @@ fn reinforced_edges_are_always_tree_edges() {
 #[test]
 fn deterministic_given_the_same_seed() {
     let graph = Workload::new(WorkloadFamily::PreferentialAttachment, 200, 23).generate();
-    let a = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(0.3).with_seed(23));
-    let b = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(0.3).with_seed(23));
+    let builder = TradeoffBuilder::new(0.3).with_config(|c| c.with_seed(23));
+    let sources = Sources::single(VertexId(0));
+    let a = builder.build(&graph, &sources).expect("valid input");
+    let b = builder.build(&graph, &sources).expect("valid input");
     assert_eq!(a.edge_set().to_vec(), b.edge_set().to_vec());
     assert_eq!(a.reinforced_set().to_vec(), b.reinforced_set().to_vec());
     // a different seed may legitimately produce a different (still valid)
@@ -112,8 +122,10 @@ fn exhaustive_verification_on_a_small_instance() {
     // The cheap verifier only checks tree-edge failures; on a small instance
     // run the exhaustive mode to confirm non-tree failures are harmless too.
     let graph = Workload::new(WorkloadFamily::Hypercube, 64, 29).generate();
-    let config = BuildConfig::new(0.3).with_seed(29);
-    let s = build_ft_bfs(&graph, VertexId(0), &config);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(29))
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
     let weights = TieBreakWeights::generate(&graph, 29);
     let tree = ShortestPathTree::build(&graph, &weights, VertexId(0));
     let report = verify_structure(&graph, &tree, &s, &ParallelConfig::default(), true);

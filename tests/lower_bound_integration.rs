@@ -8,7 +8,7 @@ use ftbfs::lower_bounds::{
 };
 use ftbfs::par::ParallelConfig;
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
-use ftbfs::{build_ft_bfs, build_ft_mbfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, MultiSourceBuilder, Sources, StructureBuilder, TradeoffBuilder};
 
 #[test]
 fn claim_5_3_forcing_shows_up_in_constructed_structures() {
@@ -16,10 +16,12 @@ fn claim_5_3_forcing_shows_up_in_constructed_structures() {
     // whole bipartite block E^i_j must be present in H (otherwise the
     // verified structure could not preserve the replacement distances).
     let lb = single_source_lower_bound(400, 0.3);
-    let config = BuildConfig::new(0.3).with_seed(3);
-    let s = build_ft_bfs(&lb.graph, lb.source, &config);
+    let builder = TradeoffBuilder::new(0.3).with_config(|c| c.with_seed(3));
+    let s = builder
+        .build(&lb.graph, &Sources::single(lb.source))
+        .expect("the lower-bound instance is valid input");
 
-    let weights = TieBreakWeights::generate(&lb.graph, config.seed);
+    let weights = TieBreakWeights::generate(&lb.graph, builder.config().seed);
     let tree = ShortestPathTree::build(&lb.graph, &weights, lb.source);
     assert!(verify_structure(&lb.graph, &tree, &s, &ParallelConfig::default(), false).is_valid());
 
@@ -74,11 +76,13 @@ fn certified_bound_grows_with_eps_at_fixed_n() {
 #[test]
 fn multi_source_structures_on_the_theorem_5_4_instance() {
     let lb = multi_source_lower_bound(500, 2, 0.3);
-    let config = BuildConfig::new(0.3).with_seed(5);
-    let mbfs = build_ft_mbfs(&lb.graph, &lb.sources, &config);
+    let builder = MultiSourceBuilder::new(0.3).with_config(|c| c.with_seed(5));
+    let mbfs = builder
+        .build_multi(&lb.graph, &Sources::multi(lb.sources.clone()))
+        .expect("the lower-bound instance is valid input");
     // every per-source structure is valid
     for (idx, &s) in lb.sources.iter().enumerate() {
-        let weights = TieBreakWeights::generate(&lb.graph, config.seed);
+        let weights = TieBreakWeights::generate(&lb.graph, builder.config().seed);
         let tree = ShortestPathTree::build(&lb.graph, &weights, s);
         let report = verify_structure(
             &lb.graph,

@@ -5,7 +5,7 @@ use ftbfs::graph::VertexId;
 use ftbfs::par::ParallelConfig;
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
 use ftbfs::workloads::families;
-use ftbfs::{build_ft_bfs, verify_structure, BuildConfig};
+use ftbfs::{verify_structure, Sources, StructureBuilder, TradeoffBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -22,8 +22,10 @@ proptest! {
     ) {
         let m = n * avg_degree / 2;
         let graph = families::erdos_renyi_gnm(n, m, seed);
-        let config = BuildConfig::new(eps).with_seed(seed).serial();
-        let structure = build_ft_bfs(&graph, VertexId(0), &config);
+        let structure = TradeoffBuilder::new(eps)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("generated workloads are valid input");
 
         // structural invariants
         prop_assert!(structure.num_edges() <= graph.num_edges());
@@ -54,7 +56,10 @@ proptest! {
         seed in 0u64..500,
     ) {
         let graph = families::erdos_renyi_gnp(n, 0.15, seed);
-        let structure = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(0.0).with_seed(seed));
+        let structure = TradeoffBuilder::new(0.0)
+            .with_config(|c| c.with_seed(seed))
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
         prop_assert_eq!(structure.num_backup(), 0);
         prop_assert_eq!(structure.num_edges(), graph.num_vertices() - 1);
         prop_assert_eq!(structure.num_reinforced(), graph.num_vertices() - 1);
@@ -68,7 +73,10 @@ proptest! {
         seed in 0u64..500,
     ) {
         let graph = families::erdos_renyi_gnp(n, 0.2, seed);
-        let structure = build_ft_bfs(&graph, VertexId(0), &BuildConfig::new(eps).with_seed(seed));
+        let structure = TradeoffBuilder::new(eps)
+            .with_config(|c| c.with_seed(seed))
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
         prop_assert_eq!(structure.num_reinforced(), 0);
         prop_assert!(structure.stats().used_baseline);
     }
