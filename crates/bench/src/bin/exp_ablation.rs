@@ -56,6 +56,7 @@ fn main() {
             "reinforced r",
             "S1 added",
             "S2 added",
+            "HLD levels",
             "time ms",
         ],
     );
@@ -69,6 +70,7 @@ fn main() {
             s.num_reinforced().to_string(),
             s.stats().s1_added_edges.to_string(),
             (s.stats().s2_added_edges + s.stats().s2_glue_added_edges).to_string(),
+            s.stats().hld_levels.to_string(),
             format!("{:.0}", s.stats().construction_ms),
         ]);
     }

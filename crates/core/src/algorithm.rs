@@ -137,7 +137,6 @@ pub(crate) fn build_tradeoff_impl(
     } else {
         (Default::default(), 0)
     };
-    let _ = hld_levels;
 
     // --- Reinforcement -------------------------------------------------------
     // A tree edge is reinforced when some pair's chosen last edge is missing
@@ -176,6 +175,7 @@ pub(crate) fn build_tradeoff_impl(
         s2_added_edges: s2.added,
         s2_sim_sets: s2.sim_sets_processed,
         reinforced_edges: reinforced.len(),
+        hld_levels,
         k_rounds: config.k_rounds(),
         used_baseline: false,
         construction_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -305,6 +305,20 @@ mod tests {
         let tree = ShortestPathTree::build(&g, &weights, VertexId(0));
         assert!(verify_structure(&g, &tree, &sa, &ParallelConfig::serial(), false).is_valid());
         assert!(sa.num_reinforced() >= sf.num_reinforced());
+    }
+
+    #[test]
+    fn hld_levels_are_surfaced_when_phase_s2_runs() {
+        let g = families::layered_random(7, 10, 3, 0.4, 23);
+        let full = BuildConfig::new(0.2).with_seed(23).serial();
+        let s = try_build_ft_bfs(&g, VertexId(0), &full).expect("valid input");
+        assert!(
+            s.stats().hld_levels >= 1,
+            "phase S2 ran, so the decomposition depth must be recorded"
+        );
+        let ablated = full.clone().with_phase_s2(false);
+        let sa = try_build_ft_bfs(&g, VertexId(0), &ablated).expect("valid input");
+        assert_eq!(sa.stats().hld_levels, 0, "no S2, no decomposition");
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct BuildConfig {
     /// cannot reach every vertex. Off by default: unreachable vertices simply
     /// stay outside the structure, matching the legacy behaviour.
     pub require_connected: bool,
+    /// Capacity (in distance rows) of the per-context LRU for fault-query
+    /// engines configured from this build configuration. Structures do not
+    /// carry their config, so this does **not** flow into an engine
+    /// automatically: lift it with
+    /// [`EngineOptions::from_build_config`](crate::engine::EngineOptions::from_build_config)
+    /// and pass the result to `FaultQueryEngine::with_options` /
+    /// `EngineCore::build_with`. Minimum 1 (enforced at engine
+    /// construction).
+    pub engine_lru_rows: usize,
 }
 
 impl BuildConfig {
@@ -58,6 +67,7 @@ impl BuildConfig {
             exact_reinforcement: false,
             force_baseline: false,
             require_connected: false,
+            engine_lru_rows: crate::engine::EngineOptions::DEFAULT_LRU_ROWS,
         }
     }
 
@@ -121,6 +131,13 @@ impl BuildConfig {
     /// [`FtbfsError::DisconnectedSource`].
     pub fn with_require_connected(mut self, require: bool) -> Self {
         self.require_connected = require;
+        self
+    }
+
+    /// Set the per-context LRU row capacity of engines derived from this
+    /// configuration (minimum 1).
+    pub fn with_engine_lru_rows(mut self, rows: usize) -> Self {
+        self.engine_lru_rows = rows.max(1);
         self
     }
 

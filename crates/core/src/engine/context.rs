@@ -1,0 +1,314 @@
+//! The per-thread mutable half of the query engine: [`QueryContext`].
+
+use super::core::EngineCore;
+use super::{bfs_sweep, finite, QueryStats};
+use crate::error::FtbfsError;
+use ftb_graph::{EdgeId, VertexId};
+use ftb_sp::{Path, UNREACHABLE};
+use std::collections::VecDeque;
+
+/// One cached post-failure BFS row, keyed by (source slot, failing edge).
+#[derive(Clone, Debug)]
+struct CachedRow {
+    source_slot: u32,
+    edge: EdgeId,
+    dist: Vec<u32>,
+    parent: Vec<Option<(VertexId, EdgeId)>>,
+    /// Logical timestamp of the last hit (LRU eviction order).
+    last_used: u64,
+}
+
+/// Where the distance row for the current query lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum RowSlot {
+    /// The failure does not affect distances; use the core's fault-free row.
+    FaultFree,
+    /// The indexed LRU row holds the post-failure distances.
+    Cached(usize),
+}
+
+/// Per-thread mutable query state: BFS scratch, visit queue, an LRU of
+/// recently computed post-failure rows, and query counters.
+///
+/// Contexts are created by [`EngineCore::new_context`] and tied to that
+/// core; every query method takes the core by shared reference, so an
+/// `Arc<EngineCore>` plus one context per thread serves queries concurrently
+/// with zero synchronisation. Using a context with a core it was not created
+/// by is a [`FtbfsError::ContextMismatch`].
+///
+/// The LRU holds up to [`EngineOptions::lru_rows`](super::EngineOptions)
+/// rows; repeated and interleaved queries against that many distinct
+/// failures are answered without repeating a BFS.
+#[derive(Clone, Debug)]
+pub struct QueryContext {
+    /// Token of the core this context was created by.
+    core_token: u64,
+    num_vertices: usize,
+    capacity: usize,
+    rows: Vec<CachedRow>,
+    queue: VecDeque<VertexId>,
+    clock: u64,
+    stats: QueryStats,
+}
+
+impl QueryContext {
+    pub(super) fn for_core(core: &EngineCore) -> Self {
+        QueryContext {
+            core_token: core.token,
+            num_vertices: core.graph().num_vertices(),
+            capacity: core.options().lru_rows.max(1),
+            rows: Vec::new(),
+            queue: VecDeque::with_capacity(core.graph().num_vertices()),
+            clock: 0,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Query counters accumulated by this context.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Reset the query counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
+
+    pub(super) fn merge_stats(&mut self, other: &QueryStats) {
+        self.stats.merge(other);
+    }
+
+    /// Fail unless this context was created by `core`.
+    pub(super) fn check_core(&self, core: &EngineCore) -> Result<(), FtbfsError> {
+        if self.core_token != core.token {
+            return Err(FtbfsError::ContextMismatch);
+        }
+        Ok(())
+    }
+
+    /// Post-failure distance `dist(s, v, G ∖ {e})` from the primary source.
+    ///
+    /// Returns `Ok(None)` when the failure disconnects `v` from the source.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::VertexOutOfRange`] / [`FtbfsError::EdgeOutOfRange`] for
+    /// ids outside the core's graph, [`FtbfsError::ContextMismatch`] for a
+    /// foreign core.
+    pub fn dist_after_fault(
+        &mut self,
+        core: &EngineCore,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.checked(core, v, e)?;
+        Ok(self.answer_unchecked(core, 0, v, e))
+    }
+
+    /// Post-failure distance from an explicit source of a multi-source core.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryContext::dist_after_fault`], plus
+    /// [`FtbfsError::SourceNotServed`] for a source the core was not built
+    /// for.
+    pub fn dist_after_fault_from(
+        &mut self,
+        core: &EngineCore,
+        source: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.checked(core, v, e)?;
+        let slot = core.source_slot(source)?;
+        Ok(self.answer_unchecked(core, slot, v, e))
+    }
+
+    /// A concrete post-failure shortest path from the primary source to `v`
+    /// in `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`.
+    ///
+    /// The path runs inside `H ∖ {e}` except for the hypothetical failure of
+    /// a reinforced edge, where it runs inside `G ∖ {e}` (see the module
+    /// docs). Path extraction allocates the returned [`Path`]; the search
+    /// itself reuses the context's scratch state.
+    pub fn path_after_fault(
+        &mut self,
+        core: &EngineCore,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.checked(core, v, e)?;
+        Ok(self.path_unchecked(core, 0, v, e))
+    }
+
+    /// Post-failure path from an explicit source of a multi-source core.
+    pub fn path_after_fault_from(
+        &mut self,
+        core: &EngineCore,
+        source: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.checked(core, v, e)?;
+        let slot = core.source_slot(source)?;
+        Ok(self.path_unchecked(core, slot, v, e))
+    }
+
+    /// Answer a batch of `(vertex, failing edge)` queries against the
+    /// primary source, on the calling thread.
+    ///
+    /// The batch is grouped by failing edge internally, so each distinct
+    /// failure triggers at most one BFS regardless of how many vertices are
+    /// probed against it. Results are returned in input order; `None` marks
+    /// a disconnected vertex. (The facades' `query_many` additionally shards
+    /// edge-groups across threads; a context is the single-thread
+    /// primitive.)
+    pub fn query_many(
+        &mut self,
+        core: &EngineCore,
+        queries: &[(VertexId, EdgeId)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        // Same grouping/answering code as the facades, pinned to the calling
+        // thread — a context is per-thread by contract.
+        super::facade::query_many_sharded(
+            core,
+            self,
+            &ftb_par::ParallelConfig::serial(),
+            queries.len(),
+            |i| {
+                let (v, e) = queries[i];
+                (0, v, e)
+            },
+        )
+    }
+
+    fn checked(&self, core: &EngineCore, v: VertexId, e: EdgeId) -> Result<(), FtbfsError> {
+        self.check_core(core)?;
+        core.check_vertex(v)?;
+        core.check_edge(e)?;
+        Ok(())
+    }
+
+    /// Distance answer with validation already done (shared by the single
+    /// query paths and the facades' batch shards). Counts one query.
+    pub(super) fn answer_unchecked(
+        &mut self,
+        core: &EngineCore,
+        slot: usize,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Option<u32> {
+        self.stats.queries += 1;
+        let row = self.ensure_row(core, slot, e);
+        let (dist, _) = self.row(core, slot, row);
+        finite(dist[v.index()])
+    }
+
+    /// Path answer with validation already done. Counts one query.
+    pub(super) fn path_unchecked(
+        &mut self,
+        core: &EngineCore,
+        slot: usize,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Option<Path> {
+        self.stats.queries += 1;
+        let row = self.ensure_row(core, slot, e);
+        let (dist, parent) = self.row(core, slot, row);
+        if dist[v.index()] == UNREACHABLE {
+            return None;
+        }
+        let mut vertices = vec![v];
+        let mut edges = Vec::new();
+        let mut cursor = v;
+        while let Some((p, pe)) = parent[cursor.index()] {
+            vertices.push(p);
+            edges.push(pe);
+            cursor = p;
+        }
+        vertices.reverse();
+        edges.reverse();
+        Some(Path::new(vertices, edges))
+    }
+
+    /// Borrow the rows a [`RowSlot`] refers to.
+    fn row<'a>(&'a self, core: &'a EngineCore, slot: usize, row: RowSlot) -> super::RowRefs<'a> {
+        match row {
+            RowSlot::FaultFree => core.fault_free_row(slot),
+            RowSlot::Cached(i) => (&self.rows[i].dist, &self.rows[i].parent),
+        }
+    }
+
+    /// Make the distance row for failing edge `e` (as seen from source slot
+    /// `slot`) available and report where it lives.
+    fn ensure_row(&mut self, core: &EngineCore, slot: usize, e: EdgeId) -> RowSlot {
+        if !core.structure().contains_edge(e) {
+            // T0 ⊆ H survives the failure: distances are unchanged.
+            self.stats.cached_answers += 1;
+            return RowSlot::FaultFree;
+        }
+        self.clock += 1;
+        let key_slot = slot as u32;
+        if let Some(i) = self
+            .rows
+            .iter()
+            .position(|r| r.source_slot == key_slot && r.edge == e)
+        {
+            self.rows[i].last_used = self.clock;
+            self.stats.cached_answers += 1;
+            return RowSlot::Cached(i);
+        }
+        // Miss: pick a row to (re)compute into — a fresh one while below
+        // capacity, otherwise evict the least recently used.
+        let i = if self.rows.len() < self.capacity {
+            self.rows.push(CachedRow {
+                source_slot: key_slot,
+                edge: e,
+                dist: vec![UNREACHABLE; self.num_vertices],
+                parent: vec![None; self.num_vertices],
+                last_used: 0,
+            });
+            self.rows.len() - 1
+        } else {
+            (0..self.rows.len())
+                .min_by_key(|&j| self.rows[j].last_used)
+                .expect("capacity >= 1")
+        };
+        let source = core.sources()[slot];
+        let row = &mut self.rows[i];
+        if core.structure().is_reinforced(e) {
+            // Reinforced edges are fault-immune by assumption; stay exact on
+            // the hypothetical failure with one BFS over the full graph.
+            let graph = core.graph();
+            bfs_sweep(
+                source,
+                &mut row.dist,
+                &mut row.parent,
+                &mut self.queue,
+                |u| graph.neighbors(u).filter(move |&(_, ge)| ge != e),
+            );
+            self.stats.full_graph_bfs_runs += 1;
+        } else {
+            let banned = core.parent_edge_to_h[e.index()];
+            let h_graph = &core.h_graph;
+            let to_parent = &core.h_edge_to_parent;
+            bfs_sweep(
+                source,
+                &mut row.dist,
+                &mut row.parent,
+                &mut self.queue,
+                |u| {
+                    h_graph
+                        .neighbors(u)
+                        .filter(move |&(_, he)| Some(he.0) != banned)
+                        .map(|(w, he)| (w, to_parent[he.index()]))
+                },
+            );
+            self.stats.structure_bfs_runs += 1;
+        }
+        row.source_slot = key_slot;
+        row.edge = e;
+        row.last_used = self.clock;
+        RowSlot::Cached(i)
+    }
+}

@@ -1,0 +1,314 @@
+//! The immutable, shareable half of the query engine: [`EngineCore`] and its
+//! construction-time options.
+
+use super::context::QueryContext;
+use crate::error::FtbfsError;
+use crate::mbfs::MultiSourceStructure;
+use crate::structure::FtBfsStructure;
+use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_par::ParallelConfig;
+use ftb_sp::UNREACHABLE;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serving-side tuning knobs, independent of how the structure was built.
+///
+/// Pass to [`EngineCore::build_with`] (or
+/// [`FaultQueryEngine::with_options`](super::FaultQueryEngine::with_options));
+/// [`EngineOptions::from_build_config`] lifts the engine-relevant fields out
+/// of a [`BuildConfig`](crate::BuildConfig).
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Capacity, in distance rows, of each context's LRU of post-failure
+    /// rows (keyed by failing edge and source). Each row costs `O(n)` memory
+    /// per context; minimum 1 (the 0.2 one-row cache behaviour).
+    pub lru_rows: usize,
+    /// Thread configuration for sharded `query_many` batches. Groups of
+    /// queries sharing a failing edge are distributed over this many
+    /// workers, each with its own [`QueryContext`]. A serial configuration
+    /// answers the whole batch on the calling thread.
+    pub parallel: ParallelConfig,
+}
+
+impl EngineOptions {
+    /// Default LRU capacity: a few rows is enough to absorb interleaved
+    /// queries against a small working set of failures without the memory
+    /// cost growing past `O(n)` per context in spirit.
+    pub const DEFAULT_LRU_ROWS: usize = 8;
+
+    /// Default options: [`Self::DEFAULT_LRU_ROWS`] rows and the default
+    /// (all-cores, env-overridable) [`ParallelConfig`].
+    pub fn new() -> Self {
+        EngineOptions {
+            lru_rows: Self::DEFAULT_LRU_ROWS,
+            parallel: ParallelConfig::default(),
+        }
+    }
+
+    /// Set the per-context LRU row capacity (minimum 1).
+    pub fn with_lru_rows(mut self, rows: usize) -> Self {
+        self.lru_rows = rows.max(1);
+        self
+    }
+
+    /// Set the batch-sharding thread configuration.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Answer batches strictly on the calling thread.
+    pub fn serial(mut self) -> Self {
+        self.parallel = ParallelConfig::serial();
+        self
+    }
+
+    /// Lift the engine-relevant fields out of a build configuration
+    /// (LRU capacity and worker threads).
+    pub fn from_build_config(config: &crate::BuildConfig) -> Self {
+        EngineOptions {
+            lru_rows: config.engine_lru_rows.max(1),
+            parallel: config.parallel.clone(),
+        }
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One fault-free BFS row (distances + parents) for a served source.
+#[derive(Clone, Debug)]
+pub(super) struct FaultFreeRow {
+    pub(super) dist: Vec<u32>,
+    pub(super) parent: Vec<Option<(VertexId, EdgeId)>>,
+}
+
+static NEXT_CORE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// The immutable preprocessed half of the fault-query engine.
+///
+/// An `EngineCore` owns everything queries read and nothing they write: a
+/// copy of the parent graph (for the reinforced-edge fallback), the
+/// structure's edge/reinforcement sets, the compact CSR of `H`, and one
+/// fault-free distance/parent row per served source. It is `Send + Sync`;
+/// wrap it in an [`Arc`](std::sync::Arc) and create one [`QueryContext`] per
+/// thread with [`EngineCore::new_context`] to serve queries concurrently.
+///
+/// Cores are built either from a single-source
+/// [`FtBfsStructure`] ([`EngineCore::build`]) or from a
+/// [`MultiSourceStructure`] ([`EngineCore::build_multi`]), in which case one
+/// fault-free row per source is preprocessed and per-source queries all
+/// resolve against the one shared union CSR.
+#[derive(Debug)]
+pub struct EngineCore {
+    /// Owned copy of the parent graph (reinforced-edge fallback BFS).
+    graph: Graph,
+    /// The served structure; for a multi-source core this is the collapsed
+    /// union (edge and reinforcement sets are the union sets).
+    structure: FtBfsStructure,
+    /// The served sources; queries name them by vertex id. Slot 0 is the
+    /// primary source (the single source, or the first of the union).
+    sources: Vec<VertexId>,
+    /// Compact CSR of `H` (vertex ids preserved).
+    pub(super) h_graph: Graph,
+    /// Compact edge id (index) → parent graph edge id.
+    pub(super) h_edge_to_parent: Vec<EdgeId>,
+    /// Parent graph edge id → compact edge id, for edges of `H`.
+    pub(super) parent_edge_to_h: Vec<Option<u32>>,
+    /// Fault-free rows, one per source slot.
+    fault_free: Vec<FaultFreeRow>,
+    options: EngineOptions,
+    /// Identity tying contexts to the core that created them.
+    pub(super) token: u64,
+}
+
+impl EngineCore {
+    /// Preprocess a single-source `structure` (built from `graph`) into a
+    /// shareable core with default [`EngineOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::StructureMismatch`] when the structure's edge space does
+    /// not match `graph`, [`FtbfsError::VertexOutOfRange`] when a source does
+    /// not exist in `graph`, and
+    /// [`FtbfsError::FaultFreeDistanceMismatch`] when the structure fails to
+    /// preserve the graph's fault-free distances — together these catch a
+    /// structure paired with a graph it was not built from, even one with a
+    /// coincidentally matching edge count.
+    pub fn build(graph: &Graph, structure: FtBfsStructure) -> Result<Self, FtbfsError> {
+        Self::build_with(graph, structure, EngineOptions::default())
+    }
+
+    /// Like [`EngineCore::build`] with explicit options.
+    pub fn build_with(
+        graph: &Graph,
+        structure: FtBfsStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let sources = vec![structure.source()];
+        Self::assemble(graph, structure, sources, options)
+    }
+
+    /// Preprocess a multi-source structure into one shared core: the union
+    /// `H` becomes a single compact CSR and every source gets its own
+    /// fault-free row, so per-source queries are served without collapsing
+    /// to the primary source.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineCore::build`], checked for every source.
+    pub fn build_multi(graph: &Graph, structure: MultiSourceStructure) -> Result<Self, FtbfsError> {
+        Self::build_multi_with(graph, structure, EngineOptions::default())
+    }
+
+    /// Like [`EngineCore::build_multi`] with explicit options.
+    pub fn build_multi_with(
+        graph: &Graph,
+        structure: MultiSourceStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let sources = structure.sources().to_vec();
+        Self::assemble(graph, structure.into_union_structure(), sources, options)
+    }
+
+    fn assemble(
+        graph: &Graph,
+        structure: FtBfsStructure,
+        sources: Vec<VertexId>,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        if structure.edge_set().capacity() != graph.num_edges() {
+            return Err(FtbfsError::StructureMismatch {
+                structure_edges: structure.edge_set().capacity(),
+                graph_edges: graph.num_edges(),
+            });
+        }
+        for &s in &sources {
+            if s.index() >= graph.num_vertices() {
+                return Err(FtbfsError::VertexOutOfRange {
+                    vertex: s,
+                    num_vertices: graph.num_vertices(),
+                });
+            }
+        }
+        let (h_graph, h_edge_to_parent) = structure.to_graph(graph);
+        let mut parent_edge_to_h = vec![None; graph.num_edges()];
+        for (new_idx, &parent) in h_edge_to_parent.iter().enumerate() {
+            parent_edge_to_h[parent.index()] = Some(new_idx as u32);
+        }
+        let n = graph.num_vertices();
+
+        // Fault-free preprocessing: one BFS over H per source, cross-checked
+        // against the graph's own distances. Any valid structure preserves
+        // them, so a divergence means the pairing is wrong.
+        let mut fault_free = Vec::with_capacity(sources.len());
+        let mut queue = VecDeque::with_capacity(n);
+        for &s in &sources {
+            let mut row = FaultFreeRow {
+                dist: vec![UNREACHABLE; n],
+                parent: vec![None; n],
+            };
+            super::bfs_sweep(s, &mut row.dist, &mut row.parent, &mut queue, |u| {
+                h_graph
+                    .neighbors(u)
+                    .map(|(w, he)| (w, h_edge_to_parent[he.index()]))
+            });
+            let graph_dist = ftb_sp::bfs_distances(graph, s);
+            if let Some(i) = (0..graph_dist.len()).find(|&i| graph_dist[i] != row.dist[i]) {
+                return Err(FtbfsError::FaultFreeDistanceMismatch {
+                    vertex: VertexId::new(i),
+                });
+            }
+            fault_free.push(row);
+        }
+
+        Ok(EngineCore {
+            graph: graph.clone(),
+            structure,
+            sources,
+            h_graph,
+            h_edge_to_parent,
+            parent_edge_to_h,
+            fault_free,
+            options,
+            token: NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Create a fresh per-thread query context sized for this core.
+    ///
+    /// Contexts are cheap (`O(n)` scratch plus up to
+    /// [`EngineOptions::lru_rows`] cached rows) and are the only mutable
+    /// state queries need — one per worker thread is the intended pattern.
+    pub fn new_context(&self) -> QueryContext {
+        QueryContext::for_core(self)
+    }
+
+    /// The served structure (the collapsed union for a multi-source core).
+    pub fn structure(&self) -> &FtBfsStructure {
+        &self.structure
+    }
+
+    /// The parent graph (the core's owned copy).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The served sources; slot order is the row order used internally.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// The primary source (slot 0).
+    pub fn primary_source(&self) -> VertexId {
+        self.sources[0]
+    }
+
+    /// The serving options the core was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Fault-free distance `dist(s, v, G)` from the slot-`slot` source
+    /// (`None` if `v` is unreachable).
+    pub(super) fn fault_free_dist_slot(&self, slot: usize, v: VertexId) -> Option<u32> {
+        super::finite(self.fault_free[slot].dist[v.index()])
+    }
+
+    /// Borrow the fault-free row of a source slot.
+    pub(super) fn fault_free_row(&self, slot: usize) -> super::RowRefs<'_> {
+        let row = &self.fault_free[slot];
+        (&row.dist, &row.parent)
+    }
+
+    /// Resolve a source vertex to its row slot.
+    pub(super) fn source_slot(&self, source: VertexId) -> Result<usize, FtbfsError> {
+        self.sources
+            .iter()
+            .position(|&s| s == source)
+            .ok_or(FtbfsError::SourceNotServed { source })
+    }
+
+    pub(super) fn check_vertex(&self, v: VertexId) -> Result<(), FtbfsError> {
+        if v.index() >= self.graph.num_vertices() {
+            return Err(FtbfsError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.graph.num_vertices(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(super) fn check_edge(&self, e: EdgeId) -> Result<(), FtbfsError> {
+        if e.index() >= self.graph.num_edges() {
+            return Err(FtbfsError::EdgeOutOfRange {
+                edge: e,
+                num_edges: self.graph.num_edges(),
+            });
+        }
+        Ok(())
+    }
+}

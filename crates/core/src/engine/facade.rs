@@ -1,0 +1,277 @@
+//! The single-source serving facade: [`FaultQueryEngine`], plus the
+//! edge-group sharding shared with the multi-source facade.
+
+use super::context::QueryContext;
+use super::core::{EngineCore, EngineOptions};
+use super::{finite, QueryStats};
+use crate::error::FtbfsError;
+use crate::structure::FtBfsStructure;
+use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_par::parallel_map_init;
+use ftb_sp::Path;
+use std::sync::Arc;
+
+/// A preprocessed query server answering post-failure distance and path
+/// queries against an [`FtBfsStructure`].
+///
+/// This is the single-source facade over the core/context split (see the
+/// [module docs](super)): it owns an `Arc`-shared [`EngineCore`] plus one
+/// [`QueryContext`] and keeps the build-once/query-many API of 0.2 —
+/// query methods take `&mut self` purely to reuse the context's buffers.
+/// [`FaultQueryEngine::query_many`] additionally shards the batch's
+/// edge-groups across worker threads (per [`EngineOptions::parallel`]),
+/// each worker with its own context, with deterministic input-order
+/// results. Use [`FaultQueryEngine::core`] to share the preprocessed data
+/// with other threads directly.
+#[derive(Clone, Debug)]
+pub struct FaultQueryEngine<'g> {
+    graph: &'g Graph,
+    core: Arc<EngineCore>,
+    ctx: QueryContext,
+}
+
+impl<'g> FaultQueryEngine<'g> {
+    /// Preprocess `structure` (built from `graph`) into a query engine with
+    /// default [`EngineOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineCore::build`]: [`FtbfsError::StructureMismatch`],
+    /// [`FtbfsError::VertexOutOfRange`] and
+    /// [`FtbfsError::FaultFreeDistanceMismatch`] catch a structure paired
+    /// with a graph it was not built from.
+    pub fn new(graph: &'g Graph, structure: FtBfsStructure) -> Result<Self, FtbfsError> {
+        Self::with_options(graph, structure, EngineOptions::default())
+    }
+
+    /// Like [`FaultQueryEngine::new`] with explicit serving options (LRU
+    /// capacity, batch-sharding threads).
+    pub fn with_options(
+        graph: &'g Graph,
+        structure: FtBfsStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let core = Arc::new(EngineCore::build_with(graph, structure, options)?);
+        let ctx = core.new_context();
+        Ok(FaultQueryEngine { graph, core, ctx })
+    }
+
+    /// Wrap an already-preprocessed shared core in a facade with its own
+    /// fresh context. The core must have been built from `graph`.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::CoreGraphMismatch`] when `graph` does not match the
+    /// core's graph (vertex/edge counts are compared; full preprocessing
+    /// validation happened when the core was built).
+    pub fn from_core(graph: &'g Graph, core: Arc<EngineCore>) -> Result<Self, FtbfsError> {
+        if core.graph().num_edges() != graph.num_edges()
+            || core.graph().num_vertices() != graph.num_vertices()
+        {
+            return Err(FtbfsError::CoreGraphMismatch {
+                core_vertices: core.graph().num_vertices(),
+                core_edges: core.graph().num_edges(),
+                graph_vertices: graph.num_vertices(),
+                graph_edges: graph.num_edges(),
+            });
+        }
+        let ctx = core.new_context();
+        Ok(FaultQueryEngine { graph, core, ctx })
+    }
+
+    /// The shared immutable core — clone the `Arc` to serve the same
+    /// preprocessed data from other threads via
+    /// [`EngineCore::new_context`].
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// The source vertex whose distances the engine serves.
+    pub fn source(&self) -> VertexId {
+        self.core.primary_source()
+    }
+
+    /// The structure the engine was built from.
+    pub fn structure(&self) -> &FtBfsStructure {
+        self.core.structure()
+    }
+
+    /// The parent graph the engine was built from.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Query counters accumulated since construction (sharded batch work
+    /// included).
+    pub fn query_stats(&self) -> QueryStats {
+        self.ctx.stats()
+    }
+
+    /// Fault-free distance `dist(s, v, G)` (`None` if `v` is unreachable).
+    pub fn fault_free_dist(&self, v: VertexId) -> Result<Option<u32>, FtbfsError> {
+        self.core.check_vertex(v)?;
+        Ok(self.core.fault_free_dist_slot(0, v))
+    }
+
+    /// Post-failure distance `dist(s, v, G ∖ {e})`.
+    ///
+    /// Returns `Ok(None)` when the failure disconnects `v` from the source.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::VertexOutOfRange`] / [`FtbfsError::EdgeOutOfRange`] for
+    /// ids outside the engine's graph.
+    pub fn dist_after_fault(&mut self, v: VertexId, e: EdgeId) -> Result<Option<u32>, FtbfsError> {
+        self.ctx.dist_after_fault(&self.core, v, e)
+    }
+
+    /// A concrete post-failure shortest path from the source to `v` in
+    /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`. See
+    /// [`QueryContext::path_after_fault`].
+    pub fn path_after_fault(&mut self, v: VertexId, e: EdgeId) -> Result<Option<Path>, FtbfsError> {
+        self.ctx.path_after_fault(&self.core, v, e)
+    }
+
+    /// Answer a batch of `(vertex, failing edge)` queries.
+    ///
+    /// The batch is grouped by failing edge, so each distinct failure
+    /// triggers at most one BFS regardless of how many vertices are probed
+    /// against it; groups needing a BFS are sharded across
+    /// [`EngineOptions::parallel`] worker threads, each with its own
+    /// context. Results are returned in input order and are byte-identical
+    /// to the serial path; `None` marks a disconnected vertex.
+    pub fn query_many(
+        &mut self,
+        queries: &[(VertexId, EdgeId)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        let parallel = self.core.options().parallel.clone();
+        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
+            let (v, e) = queries[i];
+            (0, v, e)
+        })
+    }
+}
+
+/// One batch group: all queries (by position in the sorted order) that share
+/// a failing edge and source slot.
+struct EdgeGroup {
+    slot: usize,
+    edge: EdgeId,
+    /// Range into the sorted index order.
+    start: usize,
+    end: usize,
+}
+
+/// The shared `query_many` orchestration of both facades (and, with a
+/// serial `parallel`, of [`QueryContext::query_many`]).
+///
+/// `query_at` maps a batch index to `(source slot, vertex, failing edge)`;
+/// the caller guarantees slots are in range. Queries are validated, grouped
+/// by (slot, edge), fault-free groups are answered inline from the core's
+/// rows, and the remaining groups — each needing exactly one BFS — are
+/// sharded over `parallel` workers, one fresh context per worker. Results
+/// land in input order; worker counters are merged into `ctx` so the
+/// caller's stats stay complete.
+pub(super) fn query_many_sharded<Q>(
+    core: &EngineCore,
+    ctx: &mut QueryContext,
+    parallel: &ftb_par::ParallelConfig,
+    len: usize,
+    query_at: Q,
+) -> Result<Vec<Option<u32>>, FtbfsError>
+where
+    Q: Fn(usize) -> (usize, VertexId, EdgeId) + Sync,
+{
+    ctx.check_core(core)?;
+    for i in 0..len {
+        let (_, v, e) = query_at(i);
+        core.check_vertex(v)?;
+        core.check_edge(e)?;
+    }
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    order.sort_by_key(|&i| {
+        let (slot, _, e) = query_at(i as usize);
+        (slot, e.index())
+    });
+
+    // Cut the sorted order into (slot, edge) groups.
+    let mut groups: Vec<EdgeGroup> = Vec::new();
+    for (pos, &qi) in order.iter().enumerate() {
+        let (slot, _, e) = query_at(qi as usize);
+        match groups.last_mut() {
+            Some(g) if g.slot == slot && g.edge == e => g.end = pos + 1,
+            _ => groups.push(EdgeGroup {
+                slot,
+                edge: e,
+                start: pos,
+                end: pos + 1,
+            }),
+        }
+    }
+
+    let mut results = vec![None; len];
+    // Fault-free groups (edge outside H) read straight off the core's
+    // preprocessed rows — no BFS, no sharding needed.
+    let mut inline = QueryStats::default();
+    let mut bfs_groups: Vec<EdgeGroup> = Vec::new();
+    for g in groups {
+        if core.structure().contains_edge(g.edge) {
+            bfs_groups.push(g);
+            continue;
+        }
+        let (dist, _) = core.fault_free_row(g.slot);
+        for &qi in &order[g.start..g.end] {
+            let (_, v, _) = query_at(qi as usize);
+            results[qi as usize] = finite(dist[v.index()]);
+        }
+        inline.queries += g.end - g.start;
+        inline.cached_answers += g.end - g.start;
+    }
+    ctx.merge_stats(&inline);
+
+    // Shard the BFS groups: each group is one unit of work (one BFS plus its
+    // row lookups), so chunk size 1 balances skew between cheap and
+    // expensive failures.
+    let parallel = parallel.clone().with_chunk_size(1);
+    if parallel.is_serial() || bfs_groups.len() < 2 {
+        for g in &bfs_groups {
+            for &qi in &order[g.start..g.end] {
+                let (slot, v, e) = query_at(qi as usize);
+                results[qi as usize] = ctx.answer_unchecked(core, slot, v, e);
+            }
+        }
+        return Ok(results);
+    }
+
+    let sharded = parallel_map_init(
+        &parallel,
+        bfs_groups.len(),
+        || (core.new_context(), QueryStats::default()),
+        |(wctx, seen), gi| {
+            let g = &bfs_groups[gi];
+            let mut answers: Vec<(u32, Option<u32>)> = Vec::with_capacity(g.end - g.start);
+            for &qi in &order[g.start..g.end] {
+                let (slot, v, e) = query_at(qi as usize);
+                answers.push((qi, wctx.answer_unchecked(core, slot, v, e)));
+            }
+            // Report only this group's counter increments; the worker
+            // context (and its running totals) persists across groups.
+            let total = wctx.stats();
+            let delta = QueryStats {
+                queries: total.queries - seen.queries,
+                structure_bfs_runs: total.structure_bfs_runs - seen.structure_bfs_runs,
+                full_graph_bfs_runs: total.full_graph_bfs_runs - seen.full_graph_bfs_runs,
+                cached_answers: total.cached_answers - seen.cached_answers,
+            };
+            *seen = total;
+            (answers, delta)
+        },
+    );
+    for (answers, delta) in sharded {
+        for (qi, d) in answers {
+            results[qi as usize] = d;
+        }
+        ctx.merge_stats(&delta);
+    }
+    Ok(results)
+}

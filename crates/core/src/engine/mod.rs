@@ -1,0 +1,141 @@
+//! Build-once / query-many fault queries, layered for concurrent serving.
+//!
+//! The construction side of this crate produces a static
+//! [`FtBfsStructure`](crate::FtBfsStructure); this module makes it
+//! *servable*. Mirroring the preprocess-then-query `Server` pattern of
+//! route-planning engines, preprocessing happens once and every subsequent
+//! post-failure distance/path query runs against reusable scratch state with
+//! no per-query allocation.
+//!
+//! # The three layers
+//!
+//! * [`EngineCore`] — the **immutable** preprocessed data: an owned copy of
+//!   the parent graph, the structure's edge/reinforcement sets, a compact CSR
+//!   of `H`, and one fault-free distance/parent row per served source.
+//!   `EngineCore` is `Send + Sync`; wrap it in an `Arc` and any number of
+//!   threads can serve queries from the same core concurrently.
+//! * [`QueryContext`] — the cheap **per-thread** mutable state: BFS scratch
+//!   rows, a visit queue, an LRU of recently computed post-failure distance
+//!   rows (keyed by failing edge, capacity [`EngineOptions::lru_rows`]), and
+//!   query counters. Create one per worker with [`EngineCore::new_context`];
+//!   contexts are *not* shared between threads.
+//! * Facades — [`FaultQueryEngine`] (single source, the 0.2 API) and
+//!   [`MultiSourceEngine`] (per-source queries against one shared core) own
+//!   an `Arc<EngineCore>` plus one context and add batch orchestration:
+//!   their `query_many` groups a batch by failing edge and shards the groups
+//!   across threads via [`ftb_par::parallel_map_init`], one fresh context per
+//!   worker, with deterministic input-order results.
+//!
+//! # Answering model
+//!
+//! For a query `(v, e)` the engine reports `dist(s, v, G ∖ {e})`, resolved
+//! entirely inside the sparse structure `H`:
+//!
+//! * `e ∉ H` — the BFS tree `T0 ⊆ H` survives, so no distance changes; the
+//!   core's fault-free row is returned without any search.
+//! * `e ∈ H`, not reinforced — one BFS over the compact CSR of `H ∖ {e}`.
+//!   By the defining FT-BFS guarantee (`dist(s, v, H ∖ {e}) ≤
+//!   dist(s, v, G ∖ {e})`, with `≥` from `H ⊆ G`) the answer equals the
+//!   from-scratch distance in `G ∖ {e}` whenever the structure is valid.
+//! * `e ∈ H`, reinforced — reinforced edges are assumed fault-immune, so
+//!   this is a hypothetical query; the engine stays exact by falling back to
+//!   one BFS over the full graph `G ∖ {e}`.
+//!
+//! Each context keeps the last [`EngineOptions::lru_rows`] computed rows, so
+//! interleaved queries against a small working set of failing edges never
+//! repeat a search; batches additionally group by edge so each distinct
+//! failure is searched exactly once per batch.
+//!
+//! # Thread-safety contract
+//!
+//! `EngineCore` is immutable after construction and `Send + Sync`; share it
+//! freely (`Arc<EngineCore>`). `QueryContext` is `Send` but deliberately not
+//! shared: each thread creates its own via [`EngineCore::new_context`] and
+//! queries through it with `&mut`. A context is tied to the core that
+//! created it — using it with a different core yields
+//! [`FtbfsError::ContextMismatch`](crate::FtbfsError::ContextMismatch).
+
+mod context;
+mod core;
+mod facade;
+mod multi;
+#[cfg(test)]
+mod tests;
+
+pub use self::core::{EngineCore, EngineOptions};
+pub use context::QueryContext;
+pub use facade::FaultQueryEngine;
+pub use multi::MultiSourceEngine;
+
+use ftb_graph::{EdgeId, VertexId};
+use ftb_sp::UNREACHABLE;
+use std::collections::VecDeque;
+
+/// Counters describing how an engine (or a single context) answered its
+/// queries so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total queries answered (distance, path and batched).
+    pub queries: usize,
+    /// BFS sweeps over the compact structure CSR.
+    pub structure_bfs_runs: usize,
+    /// BFS sweeps over the full graph (reinforced-edge fallback).
+    pub full_graph_bfs_runs: usize,
+    /// Queries answered from an already-computed row (the fault-free row or
+    /// an LRU hit).
+    pub cached_answers: usize,
+}
+
+impl QueryStats {
+    /// Accumulate another stats block into this one (used when merging the
+    /// counters of per-worker contexts after a sharded batch).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.structure_bfs_runs += other.structure_bfs_runs;
+        self.full_graph_bfs_runs += other.full_graph_bfs_runs;
+        self.cached_answers += other.cached_answers;
+    }
+}
+
+/// Borrowed distance + parent rows of one BFS sweep.
+type RowRefs<'a> = (&'a [u32], &'a [Option<(VertexId, EdgeId)>]);
+
+/// `None` for the `UNREACHABLE` sentinel, `Some(d)` otherwise.
+fn finite(d: u32) -> Option<u32> {
+    if d == UNREACHABLE {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// The one BFS loop every sweep shares: reset the output rows, then expand
+/// from `source` over whatever adjacency `neighbors` yields. `neighbors`
+/// must already exclude the failed edge and report edges as parent-graph
+/// edge ids.
+fn bfs_sweep<I, F>(
+    source: VertexId,
+    dist: &mut [u32],
+    parent: &mut [Option<(VertexId, EdgeId)>],
+    queue: &mut VecDeque<VertexId>,
+    neighbors: F,
+) where
+    I: Iterator<Item = (VertexId, EdgeId)>,
+    F: Fn(VertexId) -> I,
+{
+    dist.fill(UNREACHABLE);
+    parent.fill(None);
+    queue.clear();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for (w, ge) in neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                parent[w.index()] = Some((u, ge));
+                queue.push_back(w);
+            }
+        }
+    }
+}

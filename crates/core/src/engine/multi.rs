@@ -1,0 +1,150 @@
+//! The multi-source serving facade: [`MultiSourceEngine`].
+
+use super::context::QueryContext;
+use super::core::{EngineCore, EngineOptions};
+use super::facade::query_many_sharded;
+use super::QueryStats;
+use crate::error::FtbfsError;
+use crate::mbfs::MultiSourceStructure;
+use crate::structure::FtBfsStructure;
+use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_sp::Path;
+use std::sync::Arc;
+
+/// A query server over a [`MultiSourceStructure`]: per-source post-failure
+/// queries against **one** shared compact CSR of the union `H`, instead of
+/// collapsing to the primary source.
+///
+/// Preprocessing builds one fault-free row per source over the union
+/// structure; a query names its source explicitly and is exact for it,
+/// because every per-source structure is contained in the union and the
+/// union only ever adds edges (the FT-BFS guarantee survives supersets).
+/// Like [`FaultQueryEngine`](super::FaultQueryEngine), the facade owns an
+/// `Arc`-shared [`EngineCore`] plus one [`QueryContext`], and
+/// [`MultiSourceEngine::query_many`] shards edge-groups across threads.
+#[derive(Clone, Debug)]
+pub struct MultiSourceEngine<'g> {
+    graph: &'g Graph,
+    core: Arc<EngineCore>,
+    ctx: QueryContext,
+}
+
+impl<'g> MultiSourceEngine<'g> {
+    /// Preprocess `structure` (built from `graph`) into a per-source query
+    /// engine with default [`EngineOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineCore::build_multi`] — the structure/graph pairing is
+    /// validated for every source.
+    pub fn new(graph: &'g Graph, structure: MultiSourceStructure) -> Result<Self, FtbfsError> {
+        Self::with_options(graph, structure, EngineOptions::default())
+    }
+
+    /// Like [`MultiSourceEngine::new`] with explicit serving options.
+    pub fn with_options(
+        graph: &'g Graph,
+        structure: MultiSourceStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let core = Arc::new(EngineCore::build_multi_with(graph, structure, options)?);
+        let ctx = core.new_context();
+        Ok(MultiSourceEngine { graph, core, ctx })
+    }
+
+    /// The shared immutable core — clone the `Arc` to serve the same
+    /// preprocessed data from other threads via
+    /// [`EngineCore::new_context`].
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// The served sources, in slot order.
+    pub fn sources(&self) -> &[VertexId] {
+        self.core.sources()
+    }
+
+    /// The collapsed union structure the engine serves.
+    pub fn structure(&self) -> &FtBfsStructure {
+        self.core.structure()
+    }
+
+    /// The parent graph the engine was built from.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Query counters accumulated since construction (sharded batch work
+    /// included).
+    pub fn query_stats(&self) -> QueryStats {
+        self.ctx.stats()
+    }
+
+    /// Fault-free distance `dist(source, v, G)` (`None` if unreachable).
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::SourceNotServed`] for a source the structure was not
+    /// built for, [`FtbfsError::VertexOutOfRange`] for a bad vertex.
+    pub fn fault_free_dist(
+        &self,
+        source: VertexId,
+        v: VertexId,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.core.check_vertex(v)?;
+        let slot = self.core.source_slot(source)?;
+        Ok(self.core.fault_free_dist_slot(slot, v))
+    }
+
+    /// Post-failure distance `dist(source, v, G ∖ {e})`.
+    ///
+    /// Returns `Ok(None)` when the failure disconnects `v` from `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::SourceNotServed`] / [`FtbfsError::VertexOutOfRange`] /
+    /// [`FtbfsError::EdgeOutOfRange`].
+    pub fn dist_after_fault(
+        &mut self,
+        source: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.ctx.dist_after_fault_from(&self.core, source, v, e)
+    }
+
+    /// A concrete post-failure shortest path from `source` to `v` in
+    /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`.
+    pub fn path_after_fault(
+        &mut self,
+        source: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.ctx.path_after_fault_from(&self.core, source, v, e)
+    }
+
+    /// Answer a batch of `(source, vertex, failing edge)` queries.
+    ///
+    /// Grouped by (source, failing edge) and sharded across
+    /// [`EngineOptions::parallel`] workers exactly like
+    /// [`FaultQueryEngine::query_many`](super::FaultQueryEngine::query_many);
+    /// results are returned in input order, byte-identical to the serial
+    /// path.
+    pub fn query_many(
+        &mut self,
+        queries: &[(VertexId, VertexId, EdgeId)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        // Resolve sources to slots up front so the sharded path only deals
+        // in validated slots.
+        let mut slots = Vec::with_capacity(queries.len());
+        for &(source, _, _) in queries {
+            slots.push(self.core.source_slot(source)?);
+        }
+        let parallel = self.core.options().parallel.clone();
+        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
+            let (_, v, e) = queries[i];
+            (slots[i], v, e)
+        })
+    }
+}

@@ -1,0 +1,515 @@
+use super::*;
+use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
+use crate::config::BuildConfig;
+use crate::error::FtbfsError;
+use crate::mbfs::try_build_ft_mbfs;
+use ftb_graph::{generators, EdgeId, Graph, SubgraphView, VertexId};
+use ftb_par::ParallelConfig;
+use ftb_sp::{bfs_distances_view, UNREACHABLE};
+use std::sync::Arc;
+
+fn engine_for(graph: &Graph, eps: f64, seed: u64) -> FaultQueryEngine<'_> {
+    let s = TradeoffBuilder::new(eps)
+        .with_config(|c| c.with_seed(seed).serial())
+        .build(graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    FaultQueryEngine::new(graph, s).expect("matching graph")
+}
+
+fn brute_force_from(graph: &Graph, s: VertexId, v: VertexId, e: EdgeId) -> Option<u32> {
+    let view = SubgraphView::full(graph).without_edge(e);
+    let d = bfs_distances_view(&view, s)[v.index()];
+    if d == UNREACHABLE {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+fn brute_force(graph: &Graph, v: VertexId, e: EdgeId) -> Option<u32> {
+    brute_force_from(graph, VertexId(0), v, e)
+}
+
+#[test]
+fn engine_core_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineCore>();
+    assert_send_sync::<Arc<EngineCore>>();
+    fn assert_send<T: Send>() {}
+    assert_send::<QueryContext>();
+}
+
+#[test]
+fn distances_match_brute_force_on_all_pairs() {
+    for (name, graph) in [
+        ("hypercube", generators::hypercube(3)),
+        ("grid", generators::grid(4, 4)),
+        ("clique_pendant", generators::clique_with_pendant(10)),
+        ("cycle", generators::cycle(12)),
+    ] {
+        let mut engine = engine_for(&graph, 0.3, 7);
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                let got = engine.dist_after_fault(v, e).expect("in range");
+                let want = brute_force(&graph, v, e);
+                assert_eq!(got, want, "{name}: vertex {v:?}, edge {e:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn paths_are_valid_witnesses_of_the_distances() {
+    let graph = generators::grid(4, 5);
+    let mut engine = engine_for(&graph, 0.25, 3);
+    for e in graph.edge_ids() {
+        for v in graph.vertices() {
+            let d = engine.dist_after_fault(v, e).expect("in range");
+            let p = engine.path_after_fault(v, e).expect("in range");
+            match (d, p) {
+                (None, None) => {}
+                (Some(d), Some(p)) => {
+                    assert_eq!(p.len() as u32, d, "path length mismatch at {v:?}/{e:?}");
+                    assert_eq!(p.first(), VertexId(0));
+                    assert_eq!(p.last(), v);
+                    assert!(!p.contains_edge(e), "path uses the failed edge");
+                    // consecutive vertices really are joined by the edges
+                    for (i, &pe) in p.edges().iter().enumerate() {
+                        let edge = graph.edge(pe);
+                        let (a, b) = (p.vertices()[i], p.vertices()[i + 1]);
+                        assert!(edge.is_incident(a) && edge.is_incident(b));
+                    }
+                }
+                (d, p) => panic!("distance {d:?} but path {p:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_queries_match_single_queries() {
+    let graph = generators::hypercube(4);
+    let mut engine = engine_for(&graph, 0.3, 5);
+    let queries: Vec<(VertexId, EdgeId)> = graph
+        .edge_ids()
+        .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+        .collect();
+    let batch = engine.query_many(&queries).expect("in range");
+    let mut engine2 = engine_for(&graph, 0.3, 5);
+    for (i, &(v, e)) in queries.iter().enumerate() {
+        assert_eq!(batch[i], engine2.dist_after_fault(v, e).expect("in range"));
+    }
+    // grouping by edge keeps the number of sweeps at one per distinct
+    // structure edge at most
+    let stats = engine.query_stats();
+    assert!(stats.structure_bfs_runs + stats.full_graph_bfs_runs <= graph.num_edges());
+    assert_eq!(stats.queries, queries.len());
+}
+
+#[test]
+fn sharded_and_serial_batches_are_identical() {
+    let graph = generators::grid(6, 6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(9).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let queries: Vec<(VertexId, EdgeId)> = graph
+        .edge_ids()
+        .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+        .collect();
+    let mut serial =
+        FaultQueryEngine::with_options(&graph, s.clone(), EngineOptions::new().serial())
+            .expect("matching graph");
+    let mut sharded = FaultQueryEngine::with_options(
+        &graph,
+        s,
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+    )
+    .expect("matching graph");
+    let a = serial.query_many(&queries).expect("in range");
+    let b = sharded.query_many(&queries).expect("in range");
+    assert_eq!(a, b, "sharded batch diverged from the serial path");
+    // Both paths account for every query in their counters.
+    assert_eq!(serial.query_stats().queries, queries.len());
+    assert_eq!(sharded.query_stats().queries, queries.len());
+}
+
+#[test]
+fn repeated_edge_queries_hit_the_row_cache() {
+    let graph = generators::grid(5, 5);
+    let mut engine = engine_for(&graph, 0.3, 11);
+    let e = *engine
+        .structure()
+        .edges()
+        .collect::<Vec<_>>()
+        .first()
+        .expect("structure has edges");
+    for v in graph.vertices() {
+        engine.dist_after_fault(v, e).expect("in range");
+    }
+    let stats = engine.query_stats();
+    assert!(stats.structure_bfs_runs + stats.full_graph_bfs_runs <= 1);
+    assert!(stats.cached_answers >= graph.num_vertices() - 1);
+}
+
+#[test]
+fn lru_capacity_bounds_recomputation() {
+    let graph = generators::grid(5, 5);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(11).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let edges: Vec<EdgeId> = s.edges().take(3).collect();
+    assert!(edges.len() >= 3, "structure too small for the LRU test");
+
+    // Capacity 1 (the 0.2 one-row behaviour): a round-robin over three
+    // failures evicts on every step, so every query repeats its BFS.
+    let mut one = FaultQueryEngine::with_options(
+        &graph,
+        s.clone(),
+        EngineOptions::new().with_lru_rows(1).serial(),
+    )
+    .expect("matching graph");
+    for _ in 0..4 {
+        for &e in &edges {
+            one.dist_after_fault(VertexId(1), e).expect("in range");
+        }
+    }
+    let one_runs = one.query_stats().structure_bfs_runs + one.query_stats().full_graph_bfs_runs;
+    assert_eq!(one_runs, 12, "capacity 1 must recompute on every rotation");
+
+    // Capacity 4: the working set fits, so each failure is searched once.
+    let mut four =
+        FaultQueryEngine::with_options(&graph, s, EngineOptions::new().with_lru_rows(4).serial())
+            .expect("matching graph");
+    for _ in 0..4 {
+        for &e in &edges {
+            four.dist_after_fault(VertexId(1), e).expect("in range");
+        }
+    }
+    let four_runs = four.query_stats().structure_bfs_runs + four.query_stats().full_graph_bfs_runs;
+    assert_eq!(four_runs, 3, "capacity 4 must keep the working set cached");
+    assert_eq!(four.query_stats().cached_answers, 9);
+}
+
+#[test]
+fn non_structure_edges_answer_from_the_fault_free_row() {
+    let graph = generators::complete(8);
+    let mut engine = engine_for(&graph, 0.3, 13);
+    let outside = graph
+        .edge_ids()
+        .find(|&e| !engine.structure().contains_edge(e))
+        .expect("K8 structure is sparse");
+    let before = engine.query_stats();
+    for v in graph.vertices() {
+        let d = engine.dist_after_fault(v, outside).expect("in range");
+        assert_eq!(d, engine.fault_free_dist(v).expect("in range"));
+    }
+    let after = engine.query_stats();
+    assert_eq!(before.structure_bfs_runs, after.structure_bfs_runs);
+    assert_eq!(before.full_graph_bfs_runs, after.full_graph_bfs_runs);
+}
+
+#[test]
+fn out_of_range_queries_are_typed_errors() {
+    let graph = generators::grid(3, 3);
+    let mut engine = engine_for(&graph, 0.3, 1);
+    assert!(matches!(
+        engine.dist_after_fault(VertexId(99), EdgeId(0)),
+        Err(FtbfsError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.dist_after_fault(VertexId(0), EdgeId(999)),
+        Err(FtbfsError::EdgeOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.path_after_fault(VertexId(99), EdgeId(0)),
+        Err(FtbfsError::VertexOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.query_many(&[(VertexId(0), EdgeId(999))]),
+        Err(FtbfsError::EdgeOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn contexts_are_tied_to_their_core() {
+    let g1 = generators::grid(3, 3);
+    let g2 = generators::grid(3, 3);
+    let build = |g: &Graph| {
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.serial())
+            .build(g, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        EngineCore::build(g, s).expect("matching graph")
+    };
+    let core1 = build(&g1);
+    let core2 = build(&g2);
+    let mut ctx1 = core1.new_context();
+    assert!(ctx1
+        .dist_after_fault(&core1, VertexId(1), EdgeId(0))
+        .is_ok());
+    assert_eq!(
+        ctx1.dist_after_fault(&core2, VertexId(1), EdgeId(0)),
+        Err(FtbfsError::ContextMismatch)
+    );
+    assert_eq!(
+        ctx1.query_many(&core2, &[(VertexId(1), EdgeId(0))]),
+        Err(FtbfsError::ContextMismatch)
+    );
+}
+
+#[test]
+fn mismatched_structure_is_rejected() {
+    let g1 = generators::grid(3, 3);
+    let g2 = generators::complete(6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.serial())
+        .build(&g1, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    assert!(matches!(
+        FaultQueryEngine::new(&g2, s),
+        Err(FtbfsError::StructureMismatch { .. })
+    ));
+}
+
+#[test]
+fn mismatched_structure_with_equal_edge_count_is_rejected() {
+    // complete(7) and cycle(21) both have 21 edges, so the capacity
+    // check alone cannot tell them apart. The K7 structure is sparse
+    // (far fewer than 21 edges), and any proper edge subset of a cycle
+    // distorts distances, so the fault-free cross-check must fire.
+    let k7 = generators::complete(7);
+    let cycle = generators::cycle(21);
+    assert_eq!(k7.num_edges(), cycle.num_edges());
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.serial())
+        .build(&k7, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    assert!(
+        s.num_edges() < k7.num_edges(),
+        "K7 structure must be sparse"
+    );
+    assert!(matches!(
+        FaultQueryEngine::new(&cycle, s),
+        Err(FtbfsError::FaultFreeDistanceMismatch { .. })
+    ));
+}
+
+#[test]
+fn disconnecting_failures_return_none() {
+    let graph = generators::path(5);
+    let mut engine = engine_for(&graph, 0.3, 2);
+    let e = graph
+        .find_edge(VertexId(1), VertexId(2))
+        .expect("path edge");
+    assert_eq!(
+        engine.dist_after_fault(VertexId(4), e).expect("in range"),
+        None
+    );
+    assert_eq!(
+        engine.path_after_fault(VertexId(4), e).expect("in range"),
+        None
+    );
+    assert_eq!(
+        engine.dist_after_fault(VertexId(1), e).expect("in range"),
+        Some(1)
+    );
+}
+
+#[test]
+fn reinforced_edge_fallback_is_exact() {
+    // eps = 0 reinforces every tree edge, so every tree-edge query takes
+    // the full-graph fallback; the answers must still be exact.
+    let graph = generators::cycle(9);
+    let s = crate::baseline::try_build_reinforced_tree(
+        &graph,
+        VertexId(0),
+        &BuildConfig::new(0.0).serial(),
+    )
+    .expect("valid input");
+    let mut engine = FaultQueryEngine::new(&graph, s).expect("matching graph");
+    for e in graph.edge_ids() {
+        for v in graph.vertices() {
+            assert_eq!(
+                engine.dist_after_fault(v, e).expect("in range"),
+                brute_force(&graph, v, e)
+            );
+        }
+    }
+    assert!(engine.query_stats().full_graph_bfs_runs > 0);
+}
+
+#[test]
+fn shared_core_serves_a_second_facade() {
+    let graph = generators::grid(4, 4);
+    let mut a = engine_for(&graph, 0.3, 21);
+    let mut b = FaultQueryEngine::from_core(&graph, a.core().clone()).expect("same graph");
+    for e in graph.edge_ids().take(6) {
+        assert_eq!(
+            a.dist_after_fault(VertexId(9), e).expect("in range"),
+            b.dist_after_fault(VertexId(9), e).expect("in range"),
+        );
+    }
+    let other = generators::complete(9);
+    assert!(matches!(
+        FaultQueryEngine::from_core(&other, a.core().clone()),
+        Err(FtbfsError::CoreGraphMismatch { .. })
+    ));
+}
+
+#[test]
+fn multi_source_engine_is_exact_per_source() {
+    let graph = generators::grid(5, 5);
+    let sources = [VertexId(0), VertexId(12), VertexId(24)];
+    let m = try_build_ft_mbfs(
+        &graph,
+        &sources,
+        &BuildConfig::new(0.3).with_seed(3).serial(),
+    )
+    .expect("valid input");
+    let mut engine = MultiSourceEngine::new(&graph, m).expect("matching graph");
+    assert_eq!(engine.sources(), &sources);
+    for &s in &sources {
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                let got = engine.dist_after_fault(s, v, e).expect("in range");
+                let want = brute_force_from(&graph, s, v, e);
+                assert_eq!(got, want, "source {s:?}, vertex {v:?}, edge {e:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_source_batches_match_singles_and_check_sources() {
+    let graph = generators::hypercube(4);
+    let sources = [VertexId(0), VertexId(15)];
+    let m = try_build_ft_mbfs(
+        &graph,
+        &sources,
+        &BuildConfig::new(0.3).with_seed(5).serial(),
+    )
+    .expect("valid input");
+    let mut engine = MultiSourceEngine::with_options(
+        &graph,
+        m.clone(),
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+    )
+    .expect("matching graph");
+    let mut queries: Vec<(VertexId, VertexId, EdgeId)> = Vec::new();
+    for e in graph.edge_ids() {
+        for &s in &sources {
+            for v in graph.vertices() {
+                queries.push((s, v, e));
+            }
+        }
+    }
+    let batch = engine.query_many(&queries).expect("in range");
+    let mut single = MultiSourceEngine::new(&graph, m).expect("matching graph");
+    for (i, &(s, v, e)) in queries.iter().enumerate() {
+        assert_eq!(
+            batch[i],
+            single.dist_after_fault(s, v, e).expect("in range")
+        );
+    }
+    assert_eq!(
+        single.dist_after_fault(VertexId(7), VertexId(0), EdgeId(0)),
+        Err(FtbfsError::SourceNotServed {
+            source: VertexId(7)
+        })
+    );
+    assert!(matches!(
+        single.query_many(&[(VertexId(7), VertexId(0), EdgeId(0))]),
+        Err(FtbfsError::SourceNotServed { .. })
+    ));
+}
+
+#[test]
+fn multi_source_paths_are_witnesses() {
+    let graph = generators::grid(4, 4);
+    let sources = [VertexId(0), VertexId(15)];
+    let m = try_build_ft_mbfs(
+        &graph,
+        &sources,
+        &BuildConfig::new(0.25).with_seed(7).serial(),
+    )
+    .expect("valid input");
+    let mut engine = MultiSourceEngine::new(&graph, m).expect("matching graph");
+    for &s in &sources {
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                let d = engine.dist_after_fault(s, v, e).expect("in range");
+                let p = engine.path_after_fault(s, v, e).expect("in range");
+                match (d, p) {
+                    (None, None) => {}
+                    (Some(d), Some(p)) => {
+                        assert_eq!(p.len() as u32, d);
+                        assert_eq!(p.first(), s);
+                        assert_eq!(p.last(), v);
+                        assert!(!p.contains_edge(e));
+                    }
+                    (d, p) => panic!("distance {d:?} but path {p:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_contexts_share_one_core() {
+    // EngineCore owns its data, so Arc<EngineCore> moves into real spawned
+    // threads; each thread gets its own context and must agree with the
+    // serial engine on every answer.
+    let graph = generators::grid(6, 5);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(31).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = Arc::new(EngineCore::build(&graph, s).expect("matching graph"));
+    let queries: Vec<(VertexId, EdgeId)> = graph
+        .edge_ids()
+        .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+        .collect();
+    let expected: Vec<Option<u32>> = {
+        let mut ctx = core.new_context();
+        queries
+            .iter()
+            .map(|&(v, e)| ctx.dist_after_fault(&core, v, e).expect("in range"))
+            .collect()
+    };
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let core = Arc::clone(&core);
+        let queries = queries.clone();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = core.new_context();
+            // Different threads walk the batch from different offsets so the
+            // LRU states genuinely diverge.
+            let n = queries.len();
+            for i in 0..n {
+                let (v, e) = queries[(i + t * n / 4) % n];
+                let got = ctx.dist_after_fault(&core, v, e).expect("in range");
+                assert_eq!(got, expected[(i + t * n / 4) % n]);
+            }
+            ctx.stats().queries
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().expect("worker panicked"), queries.len());
+    }
+}
+
+#[test]
+fn engine_options_from_build_config() {
+    let cfg = BuildConfig::new(0.3).with_engine_lru_rows(5).serial();
+    let opts = EngineOptions::from_build_config(&cfg);
+    assert_eq!(opts.lru_rows, 5);
+    assert!(opts.parallel.is_serial());
+    assert_eq!(EngineOptions::new().with_lru_rows(0).lru_rows, 1);
+    assert_eq!(
+        EngineOptions::default().lru_rows,
+        EngineOptions::DEFAULT_LRU_ROWS
+    );
+}

@@ -74,6 +74,26 @@ pub enum FtbfsError {
         /// A vertex whose distance in the structure differs from the graph.
         vertex: VertexId,
     },
+    /// A query context was used with an engine core it was not created by
+    /// (`EngineCore::new_context` ties each context to its core).
+    ContextMismatch,
+    /// A facade was attached to a shared engine core whose graph does not
+    /// match the supplied one.
+    CoreGraphMismatch {
+        /// Vertex count of the core's graph.
+        core_vertices: usize,
+        /// Edge count of the core's graph.
+        core_edges: usize,
+        /// Vertex count of the supplied graph.
+        graph_vertices: usize,
+        /// Edge count of the supplied graph.
+        graph_edges: usize,
+    },
+    /// A per-source query named a source the engine core does not serve.
+    SourceNotServed {
+        /// The requested source.
+        source: VertexId,
+    },
 }
 
 impl fmt::Display for FtbfsError {
@@ -126,6 +146,27 @@ impl fmt::Display for FtbfsError {
                 f,
                 "structure does not preserve the fault-free distance of vertex {vertex:?}; \
                  was it built from a different graph?"
+            ),
+            FtbfsError::ContextMismatch => write!(
+                f,
+                "query context used with an engine core it was not created by; create \
+                 contexts with `EngineCore::new_context` on the core they will serve"
+            ),
+            FtbfsError::CoreGraphMismatch {
+                core_vertices,
+                core_edges,
+                graph_vertices,
+                graph_edges,
+            } => write!(
+                f,
+                "shared engine core was built from a graph with {core_vertices} vertices \
+                 and {core_edges} edges but the supplied graph has {graph_vertices} \
+                 vertices and {graph_edges} edges"
+            ),
+            FtbfsError::SourceNotServed { source } => write!(
+                f,
+                "source {source:?} is not served by this engine core; it was not among \
+                 the sources the structure was built for"
             ),
         }
     }

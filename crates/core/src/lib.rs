@@ -42,9 +42,13 @@
 //!
 //! # Serving queries
 //!
-//! A built structure becomes a server through [`FaultQueryEngine`]: build
-//! once, then answer `dist_after_fault` / `path_after_fault` /
-//! [`FaultQueryEngine::query_many`] with no per-query allocation.
+//! A built structure becomes a server through the [`engine`] module: an
+//! immutable [`EngineCore`] (shareable across threads via `Arc`), cheap
+//! per-thread [`QueryContext`]s, and the [`FaultQueryEngine`] /
+//! [`MultiSourceEngine`] facades. Build once, then answer
+//! `dist_after_fault` / `path_after_fault` /
+//! [`FaultQueryEngine::query_many`] with no per-query allocation; batches
+//! are grouped by failing edge and sharded across worker threads.
 //!
 //! ```
 //! use ftb_core::{FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
@@ -101,7 +105,9 @@ pub use builder::{
 };
 pub use config::BuildConfig;
 pub use cost::CostModel;
-pub use engine::{FaultQueryEngine, QueryStats};
+pub use engine::{
+    EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext, QueryStats,
+};
 pub use error::FtbfsError;
 #[allow(deprecated)]
 pub use mbfs::build_ft_mbfs;

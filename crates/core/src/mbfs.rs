@@ -133,6 +133,7 @@ impl MultiSourceStructure {
             stats.s2_glue_added_edges += p.s2_glue_added_edges;
             stats.s2_added_edges += p.s2_added_edges;
             stats.s2_sim_sets += p.s2_sim_sets;
+            stats.hld_levels = stats.hld_levels.max(p.hld_levels);
             stats.k_rounds = stats.k_rounds.max(p.k_rounds);
             stats.used_baseline |= p.used_baseline;
             stats.construction_ms += p.construction_ms;
@@ -297,6 +298,23 @@ mod tests {
         );
         let bad = try_build_ft_mbfs(&g, &[VertexId(0), VertexId(500)], &config);
         assert!(matches!(bad, Err(FtbfsError::SourceOutOfRange { .. })));
+    }
+
+    #[test]
+    fn deprecated_shim_matches_the_checked_api_and_panics_on_bad_input() {
+        let g = families::erdos_renyi_gnp(30, 0.2, 5);
+        let config = BuildConfig::new(0.3).serial();
+        #[allow(deprecated)]
+        let shim = build_ft_mbfs(&g, &[VertexId(0), VertexId(5)], &config);
+        let checked =
+            try_build_ft_mbfs(&g, &[VertexId(0), VertexId(5)], &config).expect("valid input");
+        assert_eq!(shim.num_edges(), checked.num_edges());
+        assert_eq!(shim.num_reinforced(), checked.num_reinforced());
+        let panicked = std::panic::catch_unwind(|| {
+            #[allow(deprecated)]
+            build_ft_mbfs(&g, &[], &config)
+        });
+        assert!(panicked.is_err(), "the 0.1 shim must panic on bad input");
     }
 
     #[test]

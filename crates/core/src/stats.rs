@@ -36,6 +36,9 @@ pub struct BuildStats {
     /// Tree edges whose chosen replacement-path last edges were not all in
     /// `H` at the end, i.e. the edges the algorithm reinforces.
     pub reinforced_edges: usize,
+    /// Levels of the heavy-path decomposition Phase S2 recursed through
+    /// (0 when Phase S2 did not run — ablation, baseline or ε = 0 branch).
+    pub hld_levels: usize,
     /// `K = ⌈1/ε⌉ + 2` actually used (0 when the baseline branch is taken).
     pub k_rounds: usize,
     /// `true` if the `ε ≥ 1/2` baseline branch was taken.

@@ -9,12 +9,34 @@ pub struct ParallelConfig {
     chunk_size: usize,
 }
 
+/// Environment variable overriding the thread count of
+/// [`ParallelConfig::new`] / [`ParallelConfig::default`].
+///
+/// CI sets this to force the multi-threaded code paths (construction sweeps,
+/// sharded `query_many`) even where a default would pick the core count, and
+/// to pin them to a known width. Explicit configurations
+/// ([`ParallelConfig::serial`], [`ParallelConfig::with_threads`]) are never
+/// overridden.
+pub const FORCE_THREADS_ENV: &str = "FTBFS_FORCE_THREADS";
+
+/// Parse the value of [`FORCE_THREADS_ENV`]: a positive integer thread count,
+/// anything else (missing, empty, unparsable, zero) means "no override".
+fn parse_forced_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+}
+
 impl ParallelConfig {
-    /// Use all available cores (as reported by the OS).
+    /// Use all available cores (as reported by the OS), unless the
+    /// [`FORCE_THREADS_ENV`] environment variable pins an explicit count.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let forced = std::env::var(FORCE_THREADS_ENV).ok();
+        let threads = parse_forced_threads(forced.as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         ParallelConfig {
             threads,
             chunk_size: 16,
@@ -79,6 +101,17 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(4).threads(), 4);
         assert!(ParallelConfig::serial().is_serial());
         assert!(!ParallelConfig::with_threads(2).is_serial());
+    }
+
+    #[test]
+    fn forced_thread_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_forced_threads(None), None);
+        assert_eq!(parse_forced_threads(Some("")), None);
+        assert_eq!(parse_forced_threads(Some("abc")), None);
+        assert_eq!(parse_forced_threads(Some("0")), None);
+        assert_eq!(parse_forced_threads(Some("-3")), None);
+        assert_eq!(parse_forced_threads(Some("4")), Some(4));
+        assert_eq!(parse_forced_threads(Some(" 8 ")), Some(8));
     }
 
     #[test]

@@ -51,8 +51,31 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    parallel_map_init(config, len, || (), |(), i| f(i))
+}
+
+/// Compute `vec![f(s, 0), f(s, 1), ..., f(s, len-1)]` in parallel, where `s`
+/// is a per-worker mutable state created once by `init` and reused across
+/// every index that worker processes.
+///
+/// This is the primitive behind sharded fault-query serving: `init` builds a
+/// per-thread scratch context (buffers, caches), and `f` reuses it for each
+/// work item instead of allocating per item. With a serial configuration a
+/// single state is created and the loop degenerates to a plain fold-map.
+///
+/// The output order matches the index order regardless of scheduling.
+pub fn parallel_map_init<S, R, I, F>(config: &ParallelConfig, len: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
     if config.is_serial() || len <= config.chunk_size() {
-        return (0..len).map(f).collect();
+        let mut state = init();
+        return (0..len).map(|i| f(&mut state, i)).collect();
     }
     // Collect (index, value) pairs per worker, then scatter into place. This
     // avoids unsafe writes into uninitialised memory while keeping each
@@ -64,6 +87,7 @@ where
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
+                let mut state = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -72,7 +96,7 @@ where
                     }
                     let end = (start + chunk).min(len);
                     for i in start..end {
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                 }
                 buckets.lock().push(local);
@@ -139,6 +163,105 @@ mod tests {
         let a = parallel_map(&serial, 300, |i| (i as u64).wrapping_mul(2654435761));
         let b = parallel_map(&parallel, 300, |i| (i as u64).wrapping_mul(2654435761));
         assert_eq!(a, b);
+    }
+
+    /// Deterministic splitmix64 step — a cheap stand-in for a seeded RNG so
+    /// the workload below is randomized but reproducible.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn serial_and_multithread_configs_agree_on_a_randomized_workload() {
+        // Randomized per-item work with a skewed cost profile: expensive items
+        // scattered through the range make workers finish chunks out of order,
+        // which is exactly the scheduling the index-order guarantee must
+        // survive.
+        let mut seed = 0xF7B5_2024u64;
+        let work: Vec<u64> = (0..700).map(|_| splitmix64(&mut seed)).collect();
+        let eval = |items: &[u64], i: usize| -> u64 {
+            let spin = (items[i] % 97) * (items[i] % 13);
+            let mut acc = items[i];
+            for _ in 0..spin {
+                acc = acc.rotate_left(7) ^ 0xA5A5_A5A5_A5A5_A5A5;
+            }
+            acc
+        };
+        let expected = parallel_map(&ParallelConfig::serial(), work.len(), |i| eval(&work, i));
+        for threads in [2usize, 4, 8] {
+            for chunk in [1usize, 3, 16] {
+                let cfg = ParallelConfig::with_threads(threads).with_chunk_size(chunk);
+                let got = parallel_map(&cfg, work.len(), |i| eval(&work, i));
+                assert_eq!(
+                    got, expected,
+                    "threads = {threads}, chunk = {chunk}: output diverged from serial"
+                );
+                for (i, v) in got.iter().enumerate() {
+                    assert_eq!(*v, eval(&work, i), "index order broken at {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state_and_preserves_order() {
+        let inits = AtomicU64::new(0);
+        let cfg = ParallelConfig::with_threads(4).with_chunk_size(2);
+        let n = 600usize;
+        // Each worker's state counts how many items it has seen; the result
+        // pairs the index with a strictly positive per-worker sequence number.
+        let out = parallel_map_init(
+            &cfg,
+            n,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out.len(), n);
+        let total_inits = inits.load(Ordering::Relaxed);
+        assert!(
+            total_inits <= 4,
+            "states must be per worker, not per item (got {total_inits} inits)"
+        );
+        let mut seen_per_state_total = 0usize;
+        for (i, (idx, seq)) in out.iter().enumerate() {
+            assert_eq!(*idx, i, "index order broken at {i}");
+            assert!(*seq >= 1);
+            seen_per_state_total = seen_per_state_total.max(*seq);
+        }
+        assert!(seen_per_state_total >= n / 4, "state reuse did not happen");
+    }
+
+    #[test]
+    fn map_init_serial_uses_one_state_and_empty_skips_init() {
+        let inits = AtomicU64::new(0);
+        let out = parallel_map_init(
+            &ParallelConfig::serial(),
+            5,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i| i * 2,
+        );
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+
+        let out = parallel_map_init(
+            &ParallelConfig::with_threads(4),
+            0,
+            || panic!("init must not run for an empty range"),
+            |(), i| i,
+        );
+        assert!(out.is_empty());
     }
 
     proptest! {

@@ -11,9 +11,14 @@
 //! The entry points are:
 //! * [`parallel_for_each`] — run a closure for every index in `0..n`,
 //! * [`parallel_map`] — compute a `Vec<R>` with `out[i] = f(i)`,
+//! * [`parallel_map_init`] — like `parallel_map`, but each worker creates a
+//!   reusable mutable state once (the primitive behind per-thread query
+//!   contexts in sharded fault-query serving),
 //! * [`parallel_map_reduce`] — map then fold with an associative combiner,
 //! * [`ParallelConfig`] — thread-count control (including forcing serial
-//!   execution, which the experiment harness uses for timing baselines).
+//!   execution, which the experiment harness uses for timing baselines, and
+//!   the [`config::FORCE_THREADS_ENV`] CI override pinning the default
+//!   width).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +27,8 @@ pub mod config;
 pub mod executor;
 pub mod reduce;
 
-pub use config::ParallelConfig;
-pub use executor::{parallel_for_each, parallel_map};
+pub use config::{ParallelConfig, FORCE_THREADS_ENV};
+pub use executor::{parallel_for_each, parallel_map, parallel_map_init};
 pub use reduce::{parallel_map_reduce, parallel_sum};
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 use ftbfs::graph::VertexId;
 use ftbfs::sp::{ShortestPathTree, TieBreakWeights};
 use ftbfs::workloads::{Workload, WorkloadFamily};
-use ftbfs::{verify_structure, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
+use ftbfs::{
+    verify_structure, EngineOptions, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder,
+};
 
 fn main() {
     // A reproducible random workload: an Erdős–Rényi graph with ~500 vertices.
@@ -56,8 +58,13 @@ fn main() {
     assert!(report.is_valid(), "the constructed structure must verify");
 
     // Preprocess once, query many: the engine answers post-failure distances
-    // out of the sparse structure with no per-query allocation.
-    let mut engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+    // out of the sparse structure with no per-query allocation. Serving
+    // knobs (per-context LRU rows, batch-sharding threads) are lifted from
+    // the build configuration; see the concurrent_serving example for
+    // serving one shared EngineCore from many threads.
+    let options = EngineOptions::from_build_config(builder.config());
+    let mut engine =
+        FaultQueryEngine::with_options(&graph, structure, options).expect("matching graph");
     let far = VertexId((graph.num_vertices() - 1) as u32);
     let probes: Vec<_> = graph.edge_ids().take(64).map(|e| (far, e)).collect();
     let answers = engine.query_many(&probes).expect("probes are in range");

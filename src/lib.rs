@@ -108,9 +108,9 @@ pub use ftb_workloads as workloads;
 
 pub use ftb_core::{
     build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, BuildStats,
-    CostModel, FaultQueryEngine, FtBfsStructure, FtbfsError, MultiSourceBuilder,
-    MultiSourceStructure, QueryStats, ReinforcedTreeBuilder, Sources, StructureBuilder,
-    TradeoffBuilder,
+    CostModel, EngineCore, EngineOptions, FaultQueryEngine, FtBfsStructure, FtbfsError,
+    MultiSourceBuilder, MultiSourceEngine, MultiSourceStructure, QueryContext, QueryStats,
+    ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
 };
 
 pub use ftb_core::{

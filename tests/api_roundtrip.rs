@@ -8,10 +8,11 @@ use ftbfs::par::ParallelConfig;
 use ftbfs::sp::{bfs_distances_view, ShortestPathTree, TieBreakWeights, UNREACHABLE};
 use ftbfs::workloads::{Workload, WorkloadFamily};
 use ftbfs::{
-    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, FaultQueryEngine,
-    FtbfsError, MultiSourceBuilder, ReinforcedTreeBuilder, Sources, StructureBuilder,
-    TradeoffBuilder,
+    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, EngineCore,
+    EngineOptions, FaultQueryEngine, FtbfsError, MultiSourceBuilder, MultiSourceEngine,
+    ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
 };
+use std::sync::Arc;
 
 const SEED: u64 = 0xA11CE;
 
@@ -183,6 +184,156 @@ fn engine_batches_and_paths_are_consistent() {
             assert!(!p.contains_edge(e));
         }
     }
+}
+
+/// Acceptance criterion: parallel `query_many` (2+ worker threads, multi-row
+/// LRU enabled) agrees with brute-force BFS **and** with the serial path on
+/// all `(v, e)` pairs of several generated graphs.
+#[test]
+fn parallel_query_many_agrees_with_brute_force_and_serial() {
+    let graphs: Vec<(String, Graph)> = vec![
+        ("hypercube".into(), generators::hypercube(4)),
+        ("grid".into(), generators::grid(5, 5)),
+        (
+            Workload::new(WorkloadFamily::ErdosRenyi, 40, SEED).label(),
+            Workload::new(WorkloadFamily::ErdosRenyi, 40, SEED).generate(),
+        ),
+        (
+            Workload::new(WorkloadFamily::GridChords, 36, SEED).label(),
+            Workload::new(WorkloadFamily::GridChords, 36, SEED).generate(),
+        ),
+    ];
+    for (name, graph) in graphs {
+        let structure = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(SEED).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        let queries: Vec<(VertexId, EdgeId)> = graph
+            .edge_ids()
+            .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+            .collect();
+
+        let mut serial = FaultQueryEngine::with_options(
+            &graph,
+            structure.clone(),
+            EngineOptions::new().with_lru_rows(4).serial(),
+        )
+        .expect("matching graph");
+        let serial_answers = serial.query_many(&queries).expect("in range");
+
+        for threads in [2usize, 4] {
+            let mut sharded = FaultQueryEngine::with_options(
+                &graph,
+                structure.clone(),
+                EngineOptions::new()
+                    .with_lru_rows(4)
+                    .with_parallel(ParallelConfig::with_threads(threads)),
+            )
+            .expect("matching graph");
+            let answers = sharded.query_many(&queries).expect("in range");
+            assert_eq!(
+                answers, serial_answers,
+                "{name}: {threads}-thread batch diverged from serial"
+            );
+        }
+        for (i, &(v, e)) in queries.iter().enumerate() {
+            let view = SubgraphView::full(&graph).without_edge(e);
+            let brute = bfs_distances_view(&view, VertexId(0))[v.index()];
+            let want = (brute != UNREACHABLE).then_some(brute);
+            assert_eq!(
+                serial_answers[i], want,
+                "{name}: dist(s, {v:?}, G\\{{{e:?}}}) mismatch"
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: two contexts created by `EngineCore::new_context`
+/// serve queries concurrently from one `Arc<EngineCore>` on real threads.
+#[test]
+fn two_contexts_serve_concurrently_from_one_shared_core() {
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 60, SEED).generate();
+    let structure = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = Arc::new(EngineCore::build(&graph, structure).expect("matching graph"));
+
+    // Expected answers from a plain serial context.
+    let queries: Vec<(VertexId, EdgeId)> = graph
+        .edge_ids()
+        .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+        .collect();
+    let expected: Vec<Option<u32>> = {
+        let mut ctx = core.new_context();
+        ctx.query_many(&core, &queries).expect("in range")
+    };
+
+    // Two real threads, one context each, interleaved access patterns: the
+    // core is shared immutably, the contexts never touch each other.
+    let forward = {
+        let core = Arc::clone(&core);
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let mut ctx = core.new_context();
+            queries
+                .iter()
+                .map(|&(v, e)| ctx.dist_after_fault(&core, v, e).expect("in range"))
+                .collect::<Vec<_>>()
+        })
+    };
+    let backward = {
+        let core = Arc::clone(&core);
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let mut ctx = core.new_context();
+            let mut answers: Vec<Option<u32>> = queries
+                .iter()
+                .rev()
+                .map(|&(v, e)| ctx.dist_after_fault(&core, v, e).expect("in range"))
+                .collect();
+            answers.reverse();
+            answers
+        })
+    };
+    assert_eq!(forward.join().expect("forward worker panicked"), expected);
+    assert_eq!(backward.join().expect("backward worker panicked"), expected);
+}
+
+#[test]
+fn multi_source_engine_serves_each_source_exactly() {
+    let graph = Workload::new(WorkloadFamily::LayeredShallow, 48, SEED).generate();
+    let sources = vec![VertexId(0), VertexId(10), VertexId(20)];
+    let mbfs = MultiSourceBuilder::new(0.3)
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build_multi(&graph, &Sources::multi(sources.clone()))
+        .expect("valid input");
+    let mut engine = MultiSourceEngine::with_options(
+        &graph,
+        mbfs,
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(2)),
+    )
+    .expect("matching graph");
+    assert_eq!(engine.sources(), sources.as_slice());
+    let mut queries = Vec::new();
+    for &s in &sources {
+        for e in graph.edge_ids() {
+            for v in graph.vertices() {
+                queries.push((s, v, e));
+            }
+        }
+    }
+    let batch = engine.query_many(&queries).expect("in range");
+    for (i, &(s, v, e)) in queries.iter().enumerate() {
+        let view = SubgraphView::full(&graph).without_edge(e);
+        let brute = bfs_distances_view(&view, s)[v.index()];
+        let want = (brute != UNREACHABLE).then_some(brute);
+        assert_eq!(batch[i], want, "source {s:?}, vertex {v:?}, edge {e:?}");
+    }
+    assert!(matches!(
+        engine.dist_after_fault(VertexId(1), VertexId(0), EdgeId(0)),
+        Err(FtbfsError::SourceNotServed { .. })
+    ));
 }
 
 #[test]
