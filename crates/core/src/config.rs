@@ -50,6 +50,13 @@ pub struct BuildConfig {
     /// `EngineCore::build_with`. Minimum 1 (enforced at engine
     /// construction).
     pub engine_lru_rows: usize,
+    /// Maximum fault-set size (`|F|`) engines configured from this build
+    /// configuration accept; larger sets are rejected with
+    /// [`FtbfsError::FaultSetTooLarge`]. Like `engine_lru_rows`, lift it via
+    /// [`EngineOptions::from_build_config`](crate::engine::EngineOptions::from_build_config).
+    /// Default 2 (the dual-failure regime of the paper's successors);
+    /// minimum 1.
+    pub max_faults: usize,
 }
 
 impl BuildConfig {
@@ -68,6 +75,7 @@ impl BuildConfig {
             force_baseline: false,
             require_connected: false,
             engine_lru_rows: crate::engine::EngineOptions::DEFAULT_LRU_ROWS,
+            max_faults: crate::engine::EngineOptions::DEFAULT_MAX_FAULTS,
         }
     }
 
@@ -138,6 +146,13 @@ impl BuildConfig {
     /// configuration (minimum 1).
     pub fn with_engine_lru_rows(mut self, rows: usize) -> Self {
         self.engine_lru_rows = rows.max(1);
+        self
+    }
+
+    /// Set the maximum fault-set size engines derived from this
+    /// configuration accept (minimum 1).
+    pub fn with_max_faults(mut self, max: usize) -> Self {
+        self.max_faults = max.max(1);
         self
     }
 
@@ -275,6 +290,14 @@ mod tests {
         assert!(c.require_connected);
         assert_eq!(c.k_rounds(), 5);
         assert_eq!(c.budget(1_000_000), 9);
+    }
+
+    #[test]
+    fn max_faults_defaults_to_two_and_clamps_to_one() {
+        let c = BuildConfig::new(0.3);
+        assert_eq!(c.max_faults, 2);
+        assert_eq!(c.clone().with_max_faults(4).max_faults, 4);
+        assert_eq!(c.with_max_faults(0).max_faults, 1);
     }
 
     #[test]

@@ -3,15 +3,15 @@
 use super::core::EngineCore;
 use super::{bfs_sweep, finite, QueryStats};
 use crate::error::FtbfsError;
-use ftb_graph::{EdgeId, VertexId};
+use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
 use ftb_sp::{Path, UNREACHABLE};
 use std::collections::VecDeque;
 
-/// One cached post-failure BFS row, keyed by (source slot, failing edge).
+/// One cached post-failure BFS row, keyed by (source slot, fault set).
 #[derive(Clone, Debug)]
 struct CachedRow {
     source_slot: u32,
-    edge: EdgeId,
+    faults: FaultSet,
     dist: Vec<u32>,
     parent: Vec<Option<(VertexId, EdgeId)>>,
     /// Logical timestamp of the last hit (LRU eviction order).
@@ -21,7 +21,7 @@ struct CachedRow {
 /// Where the distance row for the current query lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(super) enum RowSlot {
-    /// The failure does not affect distances; use the core's fault-free row.
+    /// The faults do not affect distances; use the core's fault-free row.
     FaultFree,
     /// The indexed LRU row holds the post-failure distances.
     Cached(usize),
@@ -37,8 +37,9 @@ pub(super) enum RowSlot {
 /// by is a [`FtbfsError::ContextMismatch`].
 ///
 /// The LRU holds up to [`EngineOptions::lru_rows`](super::EngineOptions)
-/// rows; repeated and interleaved queries against that many distinct
-/// failures are answered without repeating a BFS.
+/// rows keyed by **fault set** (a single-edge query and its singleton-set
+/// twin share one row); repeated and interleaved queries against that many
+/// distinct failure patterns are answered without repeating a BFS.
 #[derive(Clone, Debug)]
 pub struct QueryContext {
     /// Token of the core this context was created by.
@@ -102,7 +103,7 @@ impl QueryContext {
         e: EdgeId,
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked(core, v, e)?;
-        Ok(self.answer_unchecked(core, 0, v, e))
+        Ok(self.answer_unchecked(core, 0, v, &FaultSet::from(e)))
     }
 
     /// Post-failure distance from an explicit source of a multi-source core.
@@ -121,7 +122,42 @@ impl QueryContext {
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked(core, v, e)?;
         let slot = core.source_slot(source)?;
-        Ok(self.answer_unchecked(core, slot, v, e))
+        Ok(self.answer_unchecked(core, slot, v, &FaultSet::from(e)))
+    }
+
+    /// Post-failure distance `dist(s, v, G ∖ F)` from the primary source,
+    /// for an arbitrary fault set `F` of edges and vertices.
+    ///
+    /// Returns `Ok(None)` when the faults disconnect `v` from the source —
+    /// in particular whenever `F` contains `v` itself or the source.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::VertexOutOfRange`] for a bad query vertex,
+    /// [`FtbfsError::InvalidFault`] / [`FtbfsError::FaultSetTooLarge`] for a
+    /// bad fault set, [`FtbfsError::ContextMismatch`] for a foreign core.
+    pub fn dist_after_faults(
+        &mut self,
+        core: &EngineCore,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.checked_faults(core, v, faults)?;
+        Ok(self.answer_unchecked(core, 0, v, faults))
+    }
+
+    /// Post-failure distance `dist(source, v, G ∖ F)` from an explicit
+    /// source of a multi-source core.
+    pub fn dist_after_faults_from(
+        &mut self,
+        core: &EngineCore,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.checked_faults(core, v, faults)?;
+        let slot = core.source_slot(source)?;
+        Ok(self.answer_unchecked(core, slot, v, faults))
     }
 
     /// A concrete post-failure shortest path from the primary source to `v`
@@ -138,7 +174,7 @@ impl QueryContext {
         e: EdgeId,
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked(core, v, e)?;
-        Ok(self.path_unchecked(core, 0, v, e))
+        Ok(self.path_unchecked(core, 0, v, &FaultSet::from(e)))
     }
 
     /// Post-failure path from an explicit source of a multi-source core.
@@ -151,7 +187,35 @@ impl QueryContext {
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked(core, v, e)?;
         let slot = core.source_slot(source)?;
-        Ok(self.path_unchecked(core, slot, v, e))
+        Ok(self.path_unchecked(core, slot, v, &FaultSet::from(e)))
+    }
+
+    /// A concrete post-failure shortest path from the primary source to `v`
+    /// in `G ∖ F`, avoiding every failed edge and vertex, or `Ok(None)` when
+    /// the faults disconnect `v`. Errors as
+    /// [`QueryContext::dist_after_faults`].
+    pub fn path_after_faults(
+        &mut self,
+        core: &EngineCore,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.checked_faults(core, v, faults)?;
+        Ok(self.path_unchecked(core, 0, v, faults))
+    }
+
+    /// Post-failure path under a fault set from an explicit source of a
+    /// multi-source core.
+    pub fn path_after_faults_from(
+        &mut self,
+        core: &EngineCore,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.checked_faults(core, v, faults)?;
+        let slot = core.source_slot(source)?;
+        Ok(self.path_unchecked(core, slot, v, faults))
     }
 
     /// Answer a batch of `(vertex, failing edge)` queries against the
@@ -168,6 +232,12 @@ impl QueryContext {
         core: &EngineCore,
         queries: &[(VertexId, EdgeId)],
     ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.check_core(core)?;
+        for &(v, e) in queries {
+            core.check_vertex(v)?;
+            core.check_edge(e)?;
+        }
+        let fault_sets: Vec<FaultSet> = queries.iter().map(|&(_, e)| FaultSet::from(e)).collect();
         // Same grouping/answering code as the facades, pinned to the calling
         // thread — a context is per-thread by contract.
         super::facade::query_many_sharded(
@@ -175,10 +245,29 @@ impl QueryContext {
             self,
             &ftb_par::ParallelConfig::serial(),
             queries.len(),
-            |i| {
-                let (v, e) = queries[i];
-                (0, v, e)
-            },
+            |i| (0, queries[i].0, &fault_sets[i]),
+        )
+    }
+
+    /// Answer a batch of `(vertex, fault set)` queries against the primary
+    /// source, on the calling thread. Grouped by fault set like
+    /// [`QueryContext::query_many`].
+    pub fn query_many_faults(
+        &mut self,
+        core: &EngineCore,
+        queries: &[(VertexId, FaultSet)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.check_core(core)?;
+        for (v, faults) in queries {
+            core.check_vertex(*v)?;
+            core.check_fault_set(faults)?;
+        }
+        super::facade::query_many_sharded(
+            core,
+            self,
+            &ftb_par::ParallelConfig::serial(),
+            queries.len(),
+            |i| (0, queries[i].0, &queries[i].1),
         )
     }
 
@@ -189,6 +278,18 @@ impl QueryContext {
         Ok(())
     }
 
+    fn checked_faults(
+        &self,
+        core: &EngineCore,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<(), FtbfsError> {
+        self.check_core(core)?;
+        core.check_vertex(v)?;
+        core.check_fault_set(faults)?;
+        Ok(())
+    }
+
     /// Distance answer with validation already done (shared by the single
     /// query paths and the facades' batch shards). Counts one query.
     pub(super) fn answer_unchecked(
@@ -196,10 +297,10 @@ impl QueryContext {
         core: &EngineCore,
         slot: usize,
         v: VertexId,
-        e: EdgeId,
+        faults: &FaultSet,
     ) -> Option<u32> {
         self.stats.queries += 1;
-        let row = self.ensure_row(core, slot, e);
+        let row = self.ensure_row(core, slot, faults);
         let (dist, _) = self.row(core, slot, row);
         finite(dist[v.index()])
     }
@@ -210,10 +311,10 @@ impl QueryContext {
         core: &EngineCore,
         slot: usize,
         v: VertexId,
-        e: EdgeId,
+        faults: &FaultSet,
     ) -> Option<Path> {
         self.stats.queries += 1;
-        let row = self.ensure_row(core, slot, e);
+        let row = self.ensure_row(core, slot, faults);
         let (dist, parent) = self.row(core, slot, row);
         if dist[v.index()] == UNREACHABLE {
             return None;
@@ -239,11 +340,12 @@ impl QueryContext {
         }
     }
 
-    /// Make the distance row for failing edge `e` (as seen from source slot
-    /// `slot`) available and report where it lives.
-    fn ensure_row(&mut self, core: &EngineCore, slot: usize, e: EdgeId) -> RowSlot {
-        if !core.structure().contains_edge(e) {
-            // T0 ⊆ H survives the failure: distances are unchanged.
+    /// Make the distance row for fault set `faults` (as seen from source
+    /// slot `slot`) available and report where it lives.
+    fn ensure_row(&mut self, core: &EngineCore, slot: usize, faults: &FaultSet) -> RowSlot {
+        if core.faults_preserve_distances(faults) {
+            // Every fault is an edge outside H: T0 ⊆ H survives and the
+            // distances are unchanged.
             self.stats.cached_answers += 1;
             return RowSlot::FaultFree;
         }
@@ -252,7 +354,7 @@ impl QueryContext {
         if let Some(i) = self
             .rows
             .iter()
-            .position(|r| r.source_slot == key_slot && r.edge == e)
+            .position(|r| r.source_slot == key_slot && r.faults == *faults)
         {
             self.rows[i].last_used = self.clock;
             self.stats.cached_answers += 1;
@@ -263,7 +365,7 @@ impl QueryContext {
         let i = if self.rows.len() < self.capacity {
             self.rows.push(CachedRow {
                 source_slot: key_slot,
-                edge: e,
+                faults: faults.clone(),
                 dist: vec![UNREACHABLE; self.num_vertices],
                 parent: vec![None; self.num_vertices],
                 last_used: 0,
@@ -276,38 +378,64 @@ impl QueryContext {
         };
         let source = core.sources()[slot];
         let row = &mut self.rows[i];
-        if core.structure().is_reinforced(e) {
-            // Reinforced edges are fault-immune by assumption; stay exact on
-            // the hypothetical failure with one BFS over the full graph.
-            let graph = core.graph();
-            bfs_sweep(
-                source,
-                &mut row.dist,
-                &mut row.parent,
-                &mut self.queue,
-                |u| graph.neighbors(u).filter(move |&(_, ge)| ge != e),
-            );
-            self.stats.full_graph_bfs_runs += 1;
-        } else {
-            let banned = core.parent_edge_to_h[e.index()];
-            let h_graph = &core.h_graph;
-            let to_parent = &core.h_edge_to_parent;
-            bfs_sweep(
-                source,
-                &mut row.dist,
-                &mut row.parent,
-                &mut self.queue,
-                |u| {
-                    h_graph
-                        .neighbors(u)
-                        .filter(move |&(_, he)| Some(he.0) != banned)
-                        .map(|(w, he)| (w, to_parent[he.index()]))
-                },
-            );
-            self.stats.structure_bfs_runs += 1;
+        match faults.as_single_edge() {
+            Some(e) if !core.structure().is_reinforced(e) => {
+                // The paper's regime: one non-reinforced structure edge.
+                // The FT-BFS guarantee makes a BFS over the compact CSR of
+                // H ∖ {e} exact.
+                let banned = core.parent_edge_to_h[e.index()];
+                let h_graph = &core.h_graph;
+                let to_parent = &core.h_edge_to_parent;
+                bfs_sweep(
+                    source,
+                    &mut row.dist,
+                    &mut row.parent,
+                    &mut self.queue,
+                    |u| {
+                        h_graph
+                            .neighbors(u)
+                            .filter(move |&(_, he)| Some(he.0) != banned)
+                            .map(|(w, he)| (w, to_parent[he.index()]))
+                    },
+                );
+                self.stats.structure_bfs_runs += 1;
+            }
+            _ => {
+                // Everything beyond the single-failure guarantee — vertex
+                // faults, multi-fault sets touching H, and the hypothetical
+                // failure of a reinforced (fault-immune-by-assumption) edge —
+                // stays exact with one BFS over the full graph G ∖ F. The
+                // banned-element filter scans the canonical fault slice: at
+                // most `max_faults` entries, so membership is a short linear
+                // scan, cheaper than any hashing at these sizes.
+                let banned = faults.as_slice();
+                if banned.contains(&Fault::Vertex(source)) {
+                    // The source itself failed: nothing is reachable
+                    // (matching `bfs_distances_view` over a masked source).
+                    // No search runs, so no sweep is counted.
+                    row.dist.fill(UNREACHABLE);
+                    row.parent.fill(None);
+                } else {
+                    let graph = core.graph();
+                    bfs_sweep(
+                        source,
+                        &mut row.dist,
+                        &mut row.parent,
+                        &mut self.queue,
+                        |u| {
+                            graph.neighbors(u).filter(move |&(w, ge)| {
+                                !banned.contains(&Fault::Edge(ge))
+                                    && !banned.contains(&Fault::Vertex(w))
+                            })
+                        },
+                    );
+                    self.stats.full_graph_bfs_runs += 1;
+                }
+            }
         }
+        let row = &mut self.rows[i];
         row.source_slot = key_slot;
-        row.edge = e;
+        row.faults = faults.clone();
         row.last_used = self.clock;
         RowSlot::Cached(i)
     }

@@ -5,7 +5,7 @@ use super::context::QueryContext;
 use crate::error::FtbfsError;
 use crate::mbfs::MultiSourceStructure;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_graph::{EdgeId, FaultSet, Graph, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_sp::UNREACHABLE;
 use std::collections::VecDeque;
@@ -20,14 +20,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Capacity, in distance rows, of each context's LRU of post-failure
-    /// rows (keyed by failing edge and source). Each row costs `O(n)` memory
+    /// rows (keyed by fault set and source). Each row costs `O(n)` memory
     /// per context; minimum 1 (the 0.2 one-row cache behaviour).
     pub lru_rows: usize,
     /// Thread configuration for sharded `query_many` batches. Groups of
-    /// queries sharing a failing edge are distributed over this many
+    /// queries sharing a fault set are distributed over this many
     /// workers, each with its own [`QueryContext`]. A serial configuration
     /// answers the whole batch on the calling thread.
     pub parallel: ParallelConfig,
+    /// Maximum fault-set size (`|F|`) the engine accepts; larger sets are
+    /// rejected with [`FtbfsError::FaultSetTooLarge`]. Answering a set that
+    /// is not a single non-reinforced structure edge costs one BFS over the
+    /// full graph (see the [module docs](super)), so the cap bounds the
+    /// worst-case per-row work a caller can trigger. Minimum 1.
+    pub max_faults: usize,
 }
 
 impl EngineOptions {
@@ -36,12 +42,20 @@ impl EngineOptions {
     /// cost growing past `O(n)` per context in spirit.
     pub const DEFAULT_LRU_ROWS: usize = 8;
 
-    /// Default options: [`Self::DEFAULT_LRU_ROWS`] rows and the default
-    /// (all-cores, env-overridable) [`ParallelConfig`].
+    /// Default fault cap: dual failures, matching the richest regime with
+    /// dedicated structures in the literature (Parter 2015). Raising it is
+    /// safe — larger sets are answered by recomputed BFS — but each extra
+    /// fault widens the space of distinct rows the LRU has to absorb.
+    pub const DEFAULT_MAX_FAULTS: usize = 2;
+
+    /// Default options: [`Self::DEFAULT_LRU_ROWS`] rows, the default
+    /// (all-cores, env-overridable) [`ParallelConfig`] and
+    /// [`Self::DEFAULT_MAX_FAULTS`] faults per query.
     pub fn new() -> Self {
         EngineOptions {
             lru_rows: Self::DEFAULT_LRU_ROWS,
             parallel: ParallelConfig::default(),
+            max_faults: Self::DEFAULT_MAX_FAULTS,
         }
     }
 
@@ -63,12 +77,19 @@ impl EngineOptions {
         self
     }
 
+    /// Set the maximum accepted fault-set size (minimum 1).
+    pub fn with_max_faults(mut self, max: usize) -> Self {
+        self.max_faults = max.max(1);
+        self
+    }
+
     /// Lift the engine-relevant fields out of a build configuration
-    /// (LRU capacity and worker threads).
+    /// (LRU capacity, worker threads and the fault cap).
     pub fn from_build_config(config: &crate::BuildConfig) -> Self {
         EngineOptions {
             lru_rows: config.engine_lru_rows.max(1),
             parallel: config.parallel.clone(),
+            max_faults: config.max_faults.max(1),
         }
     }
 }
@@ -310,5 +331,37 @@ impl EngineCore {
             });
         }
         Ok(())
+    }
+
+    /// Validate a fault set against this core: every member id in range
+    /// ([`FtbfsError::InvalidFault`]) and the set no larger than the
+    /// configured [`EngineOptions::max_faults`]
+    /// ([`FtbfsError::FaultSetTooLarge`]).
+    pub fn check_fault_set(&self, faults: &FaultSet) -> Result<(), FtbfsError> {
+        if faults.len() > self.options.max_faults {
+            return Err(FtbfsError::FaultSetTooLarge {
+                got: faults.len(),
+                max: self.options.max_faults,
+            });
+        }
+        if let Some(fault) = faults.first_invalid(&self.graph) {
+            return Err(FtbfsError::InvalidFault {
+                fault,
+                num_vertices: self.graph.num_vertices(),
+                num_edges: self.graph.num_edges(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` if `faults` cannot change any distance: every fault is an edge
+    /// outside `H` (so `T0 ⊆ H ⊆ G ∖ F` survives and distances are
+    /// squeezed between the fault-free values on both sides). Vertex faults
+    /// never qualify — removing a vertex always changes its own row entry.
+    pub(super) fn faults_preserve_distances(&self, faults: &FaultSet) -> bool {
+        faults.iter().all(|f| match f {
+            ftb_graph::Fault::Edge(e) => !self.structure.contains_edge(e),
+            ftb_graph::Fault::Vertex(_) => false,
+        })
     }
 }

@@ -1,12 +1,12 @@
 //! The single-source serving facade: [`FaultQueryEngine`], plus the
-//! edge-group sharding shared with the multi-source facade.
+//! fault-group sharding shared with the multi-source facade.
 
 use super::context::QueryContext;
 use super::core::{EngineCore, EngineOptions};
 use super::{finite, QueryStats};
 use crate::error::FtbfsError;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_graph::{EdgeId, FaultSet, Graph, VertexId};
 use ftb_par::parallel_map_init;
 use ftb_sp::Path;
 use std::sync::Arc;
@@ -18,8 +18,13 @@ use std::sync::Arc;
 /// [module docs](super)): it owns an `Arc`-shared [`EngineCore`] plus one
 /// [`QueryContext`] and keeps the build-once/query-many API of 0.2 —
 /// query methods take `&mut self` purely to reuse the context's buffers.
+/// Single-edge failures use the historic `dist_after_fault` /
+/// `path_after_fault` / `query_many` methods; arbitrary fault sets (edges
+/// and vertices, `|F|` up to [`EngineOptions::max_faults`]) go through
+/// [`FaultQueryEngine::dist_after_faults`] and friends — the single-edge
+/// methods are thin delegations onto the same machinery.
 /// [`FaultQueryEngine::query_many`] additionally shards the batch's
-/// edge-groups across worker threads (per [`EngineOptions::parallel`]),
+/// fault-groups across worker threads (per [`EngineOptions::parallel`]),
 /// each worker with its own context, with deterministic input-order
 /// results. Use [`FaultQueryEngine::core`] to share the preprocessed data
 /// with other threads directly.
@@ -45,7 +50,7 @@ impl<'g> FaultQueryEngine<'g> {
     }
 
     /// Like [`FaultQueryEngine::new`] with explicit serving options (LRU
-    /// capacity, batch-sharding threads).
+    /// capacity, batch-sharding threads, fault cap).
     pub fn with_options(
         graph: &'g Graph,
         structure: FtBfsStructure,
@@ -125,6 +130,29 @@ impl<'g> FaultQueryEngine<'g> {
         self.ctx.dist_after_fault(&self.core, v, e)
     }
 
+    /// Post-failure distance `dist(s, v, G ∖ F)` for an arbitrary fault set
+    /// of edges and vertices.
+    ///
+    /// Returns `Ok(None)` when the faults disconnect `v` — in particular
+    /// whenever `F` contains `v` itself or the source. A set that is exactly
+    /// one non-reinforced structure edge is served by the paper's sparse
+    /// structure; every other set is answered exactly by a recomputed BFS
+    /// over `G ∖ F` (see the [module docs](super) for the complexity
+    /// caveat).
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::VertexOutOfRange`] for a bad query vertex,
+    /// [`FtbfsError::InvalidFault`] / [`FtbfsError::FaultSetTooLarge`] for a
+    /// bad fault set.
+    pub fn dist_after_faults(
+        &mut self,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.ctx.dist_after_faults(&self.core, v, faults)
+    }
+
     /// A concrete post-failure shortest path from the source to `v` in
     /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`. See
     /// [`QueryContext::path_after_fault`].
@@ -132,11 +160,23 @@ impl<'g> FaultQueryEngine<'g> {
         self.ctx.path_after_fault(&self.core, v, e)
     }
 
+    /// A concrete post-failure shortest path from the source to `v` in
+    /// `G ∖ F`, avoiding every failed edge and vertex, or `Ok(None)` when
+    /// the faults disconnect `v`. Errors as
+    /// [`FaultQueryEngine::dist_after_faults`].
+    pub fn path_after_faults(
+        &mut self,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.ctx.path_after_faults(&self.core, v, faults)
+    }
+
     /// Answer a batch of `(vertex, failing edge)` queries.
     ///
     /// The batch is grouped by failing edge, so each distinct failure
-    /// triggers at most one BFS regardless of how many vertices are probed
-    /// against it; groups needing a BFS are sharded across
+    /// triggers at most one BFS per worker regardless of how many vertices
+    /// are probed against it; groups needing a BFS are sharded across
     /// [`EngineOptions::parallel`] worker threads, each with its own
     /// context. Results are returned in input order and are byte-identical
     /// to the serial path; `None` marks a disconnected vertex.
@@ -144,35 +184,74 @@ impl<'g> FaultQueryEngine<'g> {
         &mut self,
         queries: &[(VertexId, EdgeId)],
     ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.ctx.check_core(&self.core)?;
+        for &(v, e) in queries {
+            self.core.check_vertex(v)?;
+            self.core.check_edge(e)?;
+        }
+        let fault_sets: Vec<FaultSet> = queries.iter().map(|&(_, e)| FaultSet::from(e)).collect();
         let parallel = self.core.options().parallel.clone();
         query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            let (v, e) = queries[i];
-            (0, v, e)
+            (0, queries[i].0, &fault_sets[i])
+        })
+    }
+
+    /// Answer a batch of `(vertex, fault set)` queries.
+    ///
+    /// Grouped by canonical fault set and sharded exactly like
+    /// [`FaultQueryEngine::query_many`]; oversized groups (one hot fault
+    /// probed by a large slice of the batch) are additionally split across
+    /// workers so a skewed batch no longer serialises on one thread.
+    pub fn query_many_faults(
+        &mut self,
+        queries: &[(VertexId, FaultSet)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.ctx.check_core(&self.core)?;
+        for (v, faults) in queries {
+            self.core.check_vertex(*v)?;
+            self.core.check_fault_set(faults)?;
+        }
+        let parallel = self.core.options().parallel.clone();
+        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
+            (0, queries[i].0, &queries[i].1)
         })
     }
 }
 
-/// One batch group: all queries (by position in the sorted order) that share
-/// a failing edge and source slot.
-struct EdgeGroup {
+/// One unit of sharded batch work: a contiguous range of the sorted index
+/// order whose queries all share a source slot and fault set. Usually a
+/// whole fault-group; oversized groups are split into several units (see
+/// [`split_threshold`]).
+struct WorkUnit {
     slot: usize,
-    edge: EdgeId,
     /// Range into the sorted index order.
     start: usize,
     end: usize,
 }
 
+/// Above this many queries, a single fault-group is split into multiple
+/// work units so one hot fault cannot serialise a skewed batch on one
+/// worker. Each unit re-resolves the group's row in its worker's context —
+/// at most one extra BFS per worker that touches the fault (the LRU absorbs
+/// the rest) in exchange for spreading the row lookups.
+fn split_threshold(bfs_queries: usize, workers: usize) -> usize {
+    const MIN_SPLIT: usize = 64;
+    MIN_SPLIT.max(bfs_queries.div_ceil(4 * workers.max(1)))
+}
+
 /// The shared `query_many` orchestration of both facades (and, with a
 /// serial `parallel`, of [`QueryContext::query_many`]).
 ///
-/// `query_at` maps a batch index to `(source slot, vertex, failing edge)`;
-/// the caller guarantees slots are in range. Queries are validated, grouped
-/// by (slot, edge), fault-free groups are answered inline from the core's
-/// rows, and the remaining groups — each needing exactly one BFS — are
-/// sharded over `parallel` workers, one fresh context per worker. Results
+/// `query_at` maps a batch index to `(source slot, vertex, fault set)`; the
+/// **caller validates** slots, vertices and fault sets before calling.
+/// Queries are grouped by (slot, canonical fault set), distance-preserving
+/// groups (every fault an edge outside `H`) are answered inline from the
+/// core's rows, and the remaining groups — each needing one BFS per worker
+/// that touches it — are sharded over `parallel` workers, one fresh context
+/// per worker, with oversized groups split across several units. Results
 /// land in input order; worker counters are merged into `ctx` so the
 /// caller's stats stay complete.
-pub(super) fn query_many_sharded<Q>(
+pub(super) fn query_many_sharded<'q, Q>(
     core: &EngineCore,
     ctx: &mut QueryContext,
     parallel: &ftb_par::ParallelConfig,
@@ -180,29 +259,30 @@ pub(super) fn query_many_sharded<Q>(
     query_at: Q,
 ) -> Result<Vec<Option<u32>>, FtbfsError>
 where
-    Q: Fn(usize) -> (usize, VertexId, EdgeId) + Sync,
+    Q: Fn(usize) -> (usize, VertexId, &'q FaultSet) + Sync,
 {
-    ctx.check_core(core)?;
-    for i in 0..len {
-        let (_, v, e) = query_at(i);
-        core.check_vertex(v)?;
-        core.check_edge(e)?;
-    }
     let mut order: Vec<u32> = (0..len as u32).collect();
-    order.sort_by_key(|&i| {
-        let (slot, _, e) = query_at(i as usize);
-        (slot, e.index())
+    order.sort_by(|&a, &b| {
+        let (slot_a, _, f_a) = query_at(a as usize);
+        let (slot_b, _, f_b) = query_at(b as usize);
+        (slot_a, f_a).cmp(&(slot_b, f_b))
     });
 
-    // Cut the sorted order into (slot, edge) groups.
-    let mut groups: Vec<EdgeGroup> = Vec::new();
+    // Cut the sorted order into (slot, fault set) groups.
+    let mut groups: Vec<WorkUnit> = Vec::new();
     for (pos, &qi) in order.iter().enumerate() {
-        let (slot, _, e) = query_at(qi as usize);
+        let (slot, _, faults) = query_at(qi as usize);
+        let same = match groups.last() {
+            Some(g) => {
+                let (pslot, _, pfaults) = query_at(order[g.start] as usize);
+                pslot == slot && pfaults == faults
+            }
+            None => false,
+        };
         match groups.last_mut() {
-            Some(g) if g.slot == slot && g.edge == e => g.end = pos + 1,
-            _ => groups.push(EdgeGroup {
+            Some(g) if same => g.end = pos + 1,
+            _ => groups.push(WorkUnit {
                 slot,
-                edge: e,
                 start: pos,
                 end: pos + 1,
             }),
@@ -210,13 +290,15 @@ where
     }
 
     let mut results = vec![None; len];
-    // Fault-free groups (edge outside H) read straight off the core's
-    // preprocessed rows — no BFS, no sharding needed.
+    // Distance-preserving groups (every fault an edge outside H) read
+    // straight off the core's preprocessed rows — no BFS, no sharding
+    // needed.
     let mut inline = QueryStats::default();
-    let mut bfs_groups: Vec<EdgeGroup> = Vec::new();
+    let mut bfs_units: Vec<WorkUnit> = Vec::new();
     for g in groups {
-        if core.structure().contains_edge(g.edge) {
-            bfs_groups.push(g);
+        let (_, _, faults) = query_at(order[g.start] as usize);
+        if !core.faults_preserve_distances(faults) {
+            bfs_units.push(g);
             continue;
         }
         let (dist, _) = core.fault_free_row(g.slot);
@@ -229,15 +311,50 @@ where
     }
     ctx.merge_stats(&inline);
 
-    // Shard the BFS groups: each group is one unit of work (one BFS plus its
-    // row lookups), so chunk size 1 balances skew between cheap and
+    // Shard the BFS units: each is one BFS (in its worker's context) plus
+    // its row lookups, so chunk size 1 balances skew between cheap and
     // expensive failures.
     let parallel = parallel.clone().with_chunk_size(1);
-    if parallel.is_serial() || bfs_groups.len() < 2 {
-        for g in &bfs_groups {
+    if parallel.is_serial() {
+        for g in &bfs_units {
             for &qi in &order[g.start..g.end] {
-                let (slot, v, e) = query_at(qi as usize);
-                results[qi as usize] = ctx.answer_unchecked(core, slot, v, e);
+                let (slot, v, faults) = query_at(qi as usize);
+                results[qi as usize] = ctx.answer_unchecked(core, slot, v, faults);
+            }
+        }
+        return Ok(results);
+    }
+
+    // Split oversized groups so a single hot fault is shared by several
+    // workers instead of serialising on one. This must happen before the
+    // too-little-work bailout below: the skewed extreme — every BFS query
+    // in the batch naming one fault — is exactly one group.
+    let bfs_queries: usize = bfs_units.iter().map(|g| g.end - g.start).sum();
+    let threshold = split_threshold(bfs_queries, parallel.threads());
+    let mut units: Vec<WorkUnit> = Vec::with_capacity(bfs_units.len());
+    for g in bfs_units {
+        let mut start = g.start;
+        while g.end - start > threshold {
+            units.push(WorkUnit {
+                slot: g.slot,
+                start,
+                end: start + threshold,
+            });
+            start += threshold;
+        }
+        units.push(WorkUnit {
+            slot: g.slot,
+            start,
+            end: g.end,
+        });
+    }
+
+    // Not enough independent units to pay for worker spawn-up.
+    if units.len() < 2 {
+        for g in &units {
+            for &qi in &order[g.start..g.end] {
+                let (slot, v, faults) = query_at(qi as usize);
+                results[qi as usize] = ctx.answer_unchecked(core, slot, v, faults);
             }
         }
         return Ok(results);
@@ -245,17 +362,17 @@ where
 
     let sharded = parallel_map_init(
         &parallel,
-        bfs_groups.len(),
+        units.len(),
         || (core.new_context(), QueryStats::default()),
         |(wctx, seen), gi| {
-            let g = &bfs_groups[gi];
+            let g = &units[gi];
             let mut answers: Vec<(u32, Option<u32>)> = Vec::with_capacity(g.end - g.start);
             for &qi in &order[g.start..g.end] {
-                let (slot, v, e) = query_at(qi as usize);
-                answers.push((qi, wctx.answer_unchecked(core, slot, v, e)));
+                let (slot, v, faults) = query_at(qi as usize);
+                answers.push((qi, wctx.answer_unchecked(core, slot, v, faults)));
             }
-            // Report only this group's counter increments; the worker
-            // context (and its running totals) persists across groups.
+            // Report only this unit's counter increments; the worker
+            // context (and its running totals) persists across units.
             let total = wctx.stats();
             let delta = QueryStats {
                 queries: total.queries - seen.queries,

@@ -16,35 +16,61 @@
 //!   threads can serve queries from the same core concurrently.
 //! * [`QueryContext`] — the cheap **per-thread** mutable state: BFS scratch
 //!   rows, a visit queue, an LRU of recently computed post-failure distance
-//!   rows (keyed by failing edge, capacity [`EngineOptions::lru_rows`]), and
+//!   rows (keyed by fault set, capacity [`EngineOptions::lru_rows`]), and
 //!   query counters. Create one per worker with [`EngineCore::new_context`];
 //!   contexts are *not* shared between threads.
 //! * Facades — [`FaultQueryEngine`] (single source, the 0.2 API) and
 //!   [`MultiSourceEngine`] (per-source queries against one shared core) own
 //!   an `Arc<EngineCore>` plus one context and add batch orchestration:
-//!   their `query_many` groups a batch by failing edge and shards the groups
+//!   their `query_many` groups a batch by fault set and shards the groups
 //!   across threads via [`ftb_par::parallel_map_init`], one fresh context per
-//!   worker, with deterministic input-order results.
+//!   worker, with deterministic input-order results; oversized groups are
+//!   split so one hot fault cannot serialise a skewed batch on one worker.
+//!
+//! # Fault model
+//!
+//! Queries name their failures as a
+//! [`FaultSet`](ftb_graph::FaultSet) — a small canonical set of
+//! [`Fault`](ftb_graph::Fault)s, each a failed **edge** or a failed
+//! **vertex** (the vertex and all incident edges disappear). The historic
+//! single-edge methods (`dist_after_fault` & friends) are thin delegations
+//! onto the same machinery with a singleton set and return byte-identical
+//! results. Sets larger than [`EngineOptions::max_faults`] (default 2) are
+//! rejected with
+//! [`FtbfsError::FaultSetTooLarge`](crate::FtbfsError::FaultSetTooLarge).
 //!
 //! # Answering model
 //!
-//! For a query `(v, e)` the engine reports `dist(s, v, G ∖ {e})`, resolved
-//! entirely inside the sparse structure `H`:
+//! For a query `(v, F)` the engine reports `dist(s, v, G ∖ F)`:
 //!
-//! * `e ∉ H` — the BFS tree `T0 ⊆ H` survives, so no distance changes; the
-//!   core's fault-free row is returned without any search.
-//! * `e ∈ H`, not reinforced — one BFS over the compact CSR of `H ∖ {e}`.
-//!   By the defining FT-BFS guarantee (`dist(s, v, H ∖ {e}) ≤
-//!   dist(s, v, G ∖ {e})`, with `≥` from `H ⊆ G`) the answer equals the
-//!   from-scratch distance in `G ∖ {e}` whenever the structure is valid.
-//! * `e ∈ H`, reinforced — reinforced edges are assumed fault-immune, so
-//!   this is a hypothetical query; the engine stays exact by falling back to
-//!   one BFS over the full graph `G ∖ {e}`.
+//! * every fault in `F` an edge outside `H` — the BFS tree `T0 ⊆ H`
+//!   survives, and `dist(G) ≤ dist(G ∖ F) ≤ dist(H ∖ F) = dist(H) =
+//!   dist(G)` squeezes the answer to the fault-free value; the core's
+//!   preprocessed row is returned without any search.
+//! * `F = {e}`, a single non-reinforced structure edge — one BFS over the
+//!   compact CSR of `H ∖ {e}`. By the defining FT-BFS guarantee
+//!   (`dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})`, with `≥` from `H ⊆ G`)
+//!   the answer equals the from-scratch distance in `G ∖ {e}` whenever the
+//!   structure is valid.
+//! * everything else — vertex faults, multi-fault sets touching `H`, and
+//!   the hypothetical failure of a reinforced (fault-immune-by-assumption)
+//!   edge — one BFS over the full graph `G ∖ F`. The paper's structure
+//!   guarantees nothing beyond a single edge failure, so the engine stays
+//!   exact by recomputation; these rows cost `O(n + m)` rather than
+//!   `O(|H|)` per miss. (Dedicated multi-fault structures — Parter–Peleg
+//!   2013 for vertex faults, Parter 2015 for dual failures — are the
+//!   natural upgrade path behind this same interface.)
 //!
-//! Each context keeps the last [`EngineOptions::lru_rows`] computed rows, so
-//! interleaved queries against a small working set of failing edges never
-//! repeat a search; batches additionally group by edge so each distinct
-//! failure is searched exactly once per batch.
+//! A query whose fault set contains the target vertex or the source itself
+//! reports the vertex disconnected (`Ok(None)`), matching brute-force BFS
+//! over the masked graph.
+//!
+//! Each context keeps the last [`EngineOptions::lru_rows`] computed rows
+//! keyed by (source, fault set) — a single-edge query and its
+//! singleton-set twin share one row — so interleaved queries against a
+//! small working set of failure patterns never repeat a search; batches
+//! additionally group by fault set so each distinct failure pattern is
+//! searched at most once per worker per batch.
 //!
 //! # Thread-safety contract
 //!

@@ -7,7 +7,7 @@ use super::QueryStats;
 use crate::error::FtbfsError;
 use crate::mbfs::MultiSourceStructure;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{EdgeId, Graph, VertexId};
+use ftb_graph::{EdgeId, FaultSet, Graph, VertexId};
 use ftb_sp::Path;
 use std::sync::Arc;
 
@@ -113,6 +113,25 @@ impl<'g> MultiSourceEngine<'g> {
         self.ctx.dist_after_fault_from(&self.core, source, v, e)
     }
 
+    /// Post-failure distance `dist(source, v, G ∖ F)` for an arbitrary
+    /// fault set of edges and vertices; see
+    /// [`FaultQueryEngine::dist_after_faults`](super::FaultQueryEngine::dist_after_faults)
+    /// for the answering model.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::SourceNotServed`] / [`FtbfsError::VertexOutOfRange`] /
+    /// [`FtbfsError::InvalidFault`] / [`FtbfsError::FaultSetTooLarge`].
+    pub fn dist_after_faults(
+        &mut self,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<u32>, FtbfsError> {
+        self.ctx
+            .dist_after_faults_from(&self.core, source, v, faults)
+    }
+
     /// A concrete post-failure shortest path from `source` to `v` in
     /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`.
     pub fn path_after_fault(
@@ -122,6 +141,19 @@ impl<'g> MultiSourceEngine<'g> {
         e: EdgeId,
     ) -> Result<Option<Path>, FtbfsError> {
         self.ctx.path_after_fault_from(&self.core, source, v, e)
+    }
+
+    /// A concrete post-failure shortest path from `source` to `v` in
+    /// `G ∖ F`, avoiding every failed edge and vertex, or `Ok(None)` when
+    /// the faults disconnect `v`.
+    pub fn path_after_faults(
+        &mut self,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<Option<Path>, FtbfsError> {
+        self.ctx
+            .path_after_faults_from(&self.core, source, v, faults)
     }
 
     /// Answer a batch of `(source, vertex, failing edge)` queries.
@@ -137,14 +169,39 @@ impl<'g> MultiSourceEngine<'g> {
     ) -> Result<Vec<Option<u32>>, FtbfsError> {
         // Resolve sources to slots up front so the sharded path only deals
         // in validated slots.
+        self.ctx.check_core(&self.core)?;
         let mut slots = Vec::with_capacity(queries.len());
-        for &(source, _, _) in queries {
+        for &(source, v, e) in queries {
+            self.core.check_vertex(v)?;
+            self.core.check_edge(e)?;
             slots.push(self.core.source_slot(source)?);
+        }
+        let fault_sets: Vec<FaultSet> =
+            queries.iter().map(|&(_, _, e)| FaultSet::from(e)).collect();
+        let parallel = self.core.options().parallel.clone();
+        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
+            (slots[i], queries[i].1, &fault_sets[i])
+        })
+    }
+
+    /// Answer a batch of `(source, vertex, fault set)` queries, grouped by
+    /// (source, canonical fault set) and sharded like
+    /// [`MultiSourceEngine::query_many`], with oversized groups split
+    /// across workers.
+    pub fn query_many_faults(
+        &mut self,
+        queries: &[(VertexId, VertexId, FaultSet)],
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.ctx.check_core(&self.core)?;
+        let mut slots = Vec::with_capacity(queries.len());
+        for (source, v, faults) in queries {
+            self.core.check_vertex(*v)?;
+            self.core.check_fault_set(faults)?;
+            slots.push(self.core.source_slot(*source)?);
         }
         let parallel = self.core.options().parallel.clone();
         query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            let (_, v, e) = queries[i];
-            (slots[i], v, e)
+            (slots[i], queries[i].1, &queries[i].2)
         })
     }
 }

@@ -3,7 +3,8 @@ use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
 use crate::config::BuildConfig;
 use crate::error::FtbfsError;
 use crate::mbfs::try_build_ft_mbfs;
-use ftb_graph::{generators, EdgeId, Graph, SubgraphView, VertexId};
+use crate::verify::dist_after_faults_brute;
+use ftb_graph::{generators, EdgeId, Fault, FaultSet, Graph, SubgraphView, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_sp::{bfs_distances_view, UNREACHABLE};
 use std::sync::Arc;
@@ -28,6 +29,11 @@ fn brute_force_from(graph: &Graph, s: VertexId, v: VertexId, e: EdgeId) -> Optio
 
 fn brute_force(graph: &Graph, v: VertexId, e: EdgeId) -> Option<u32> {
     brute_force_from(graph, VertexId(0), v, e)
+}
+
+fn brute_faults(graph: &Graph, s: VertexId, v: VertexId, faults: &FaultSet) -> Option<u32> {
+    let d = dist_after_faults_brute(graph, s, faults)[v.index()];
+    (d != UNREACHABLE).then_some(d)
 }
 
 #[test]
@@ -503,13 +509,375 @@ fn concurrent_contexts_share_one_core() {
 
 #[test]
 fn engine_options_from_build_config() {
-    let cfg = BuildConfig::new(0.3).with_engine_lru_rows(5).serial();
+    let cfg = BuildConfig::new(0.3)
+        .with_engine_lru_rows(5)
+        .with_max_faults(3)
+        .serial();
     let opts = EngineOptions::from_build_config(&cfg);
     assert_eq!(opts.lru_rows, 5);
+    assert_eq!(opts.max_faults, 3);
     assert!(opts.parallel.is_serial());
     assert_eq!(EngineOptions::new().with_lru_rows(0).lru_rows, 1);
+    assert_eq!(EngineOptions::new().with_max_faults(0).max_faults, 1);
     assert_eq!(
         EngineOptions::default().lru_rows,
         EngineOptions::DEFAULT_LRU_ROWS
     );
+    assert_eq!(
+        EngineOptions::default().max_faults,
+        EngineOptions::DEFAULT_MAX_FAULTS
+    );
+}
+
+#[test]
+fn fault_set_queries_match_brute_force_on_all_pairs_and_singletons() {
+    for (name, graph) in [
+        ("hypercube", generators::hypercube(3)),
+        ("grid", generators::grid(4, 4)),
+        ("clique_pendant", generators::clique_with_pendant(8)),
+    ] {
+        let mut engine = engine_for(&graph, 0.3, 7);
+        for faults in ftb_graph::enumerate_fault_sets(&graph, 2) {
+            for v in graph.vertices() {
+                let got = engine.dist_after_faults(v, &faults).expect("in range");
+                let want = brute_faults(&graph, VertexId(0), v, &faults);
+                assert_eq!(got, want, "{name}: vertex {v:?}, faults {faults}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_edge_api_and_singleton_sets_are_byte_identical() {
+    let graph = generators::grid(5, 4);
+    let mut a = engine_for(&graph, 0.3, 9);
+    let mut b = engine_for(&graph, 0.3, 9);
+    for e in graph.edge_ids() {
+        let singleton = FaultSet::from(e);
+        for v in graph.vertices() {
+            assert_eq!(
+                a.dist_after_fault(v, e).expect("in range"),
+                b.dist_after_faults(v, &singleton).expect("in range"),
+            );
+            assert_eq!(
+                a.path_after_fault(v, e).expect("in range"),
+                b.path_after_faults(v, &singleton).expect("in range"),
+            );
+        }
+    }
+    // Both engines did exactly the same work: the singleton-set path is the
+    // single-edge path.
+    assert_eq!(a.query_stats(), b.query_stats());
+}
+
+#[test]
+fn single_edge_and_singleton_set_share_one_lru_row() {
+    let graph = generators::grid(5, 5);
+    let mut engine = engine_for(&graph, 0.3, 11);
+    let e = engine
+        .structure()
+        .backup_edges()
+        .next()
+        .expect("structure has backup edges");
+    engine.dist_after_fault(VertexId(1), e).expect("in range");
+    let after_first = engine.query_stats();
+    // The singleton-set twin of the same failure must hit the cached row.
+    engine
+        .dist_after_faults(VertexId(2), &FaultSet::from(e))
+        .expect("in range");
+    let after_second = engine.query_stats();
+    assert_eq!(
+        after_first.structure_bfs_runs + after_first.full_graph_bfs_runs,
+        after_second.structure_bfs_runs + after_second.full_graph_bfs_runs,
+        "singleton set must not recompute the single-edge row"
+    );
+    assert_eq!(after_second.cached_answers, after_first.cached_answers + 1);
+}
+
+#[test]
+fn vertex_faults_disconnect_target_and_source() {
+    let graph = generators::path(5); // 0-1-2-3-4
+    let mut engine = engine_for(&graph, 0.3, 3);
+    // Failing vertex 2 cuts the suffix off.
+    let mid = FaultSet::single_vertex(VertexId(2));
+    assert_eq!(
+        engine.dist_after_faults(VertexId(1), &mid).unwrap(),
+        Some(1)
+    );
+    assert_eq!(engine.dist_after_faults(VertexId(2), &mid).unwrap(), None);
+    assert_eq!(engine.dist_after_faults(VertexId(4), &mid).unwrap(), None);
+    assert_eq!(engine.path_after_faults(VertexId(4), &mid).unwrap(), None);
+    // Failing the source disconnects everything, the source included — and
+    // the all-unreachable row is a fill, not a search, so no sweep is
+    // counted.
+    let before = engine.query_stats();
+    let src = FaultSet::single_vertex(VertexId(0));
+    for v in graph.vertices() {
+        assert_eq!(engine.dist_after_faults(v, &src).unwrap(), None, "{v:?}");
+    }
+    let after = engine.query_stats();
+    assert_eq!(after.structure_bfs_runs, before.structure_bfs_runs);
+    assert_eq!(after.full_graph_bfs_runs, before.full_graph_bfs_runs);
+}
+
+#[test]
+fn fault_paths_avoid_every_failed_element() {
+    let graph = generators::grid(4, 4);
+    let mut engine = engine_for(&graph, 0.25, 13);
+    for faults in ftb_graph::enumerate_fault_sets(&graph, 2) {
+        for v in graph.vertices() {
+            let d = engine.dist_after_faults(v, &faults).expect("in range");
+            let p = engine.path_after_faults(v, &faults).expect("in range");
+            match (d, p) {
+                (None, None) => {}
+                (Some(d), Some(p)) => {
+                    assert_eq!(p.len() as u32, d);
+                    assert_eq!(p.first(), VertexId(0));
+                    assert_eq!(p.last(), v);
+                    for e in faults.edges() {
+                        assert!(!p.contains_edge(e), "path uses failed edge {e:?}");
+                    }
+                    for fv in faults.vertices() {
+                        assert!(
+                            !p.vertices().contains(&fv),
+                            "path visits failed vertex {fv:?}"
+                        );
+                    }
+                }
+                (d, p) => panic!("distance {d:?} but path {p:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_set_cap_and_invalid_faults_are_typed_errors() {
+    let graph = generators::grid(3, 3);
+    let mut engine = engine_for(&graph, 0.3, 1);
+    let three: FaultSet = (0..3).map(|i| Fault::Edge(EdgeId(i))).collect();
+    assert_eq!(
+        engine.dist_after_faults(VertexId(1), &three),
+        Err(FtbfsError::FaultSetTooLarge { got: 3, max: 2 })
+    );
+    assert!(matches!(
+        engine.path_after_faults(VertexId(1), &three),
+        Err(FtbfsError::FaultSetTooLarge { .. })
+    ));
+    assert!(matches!(
+        engine.query_many_faults(&[(VertexId(1), three)]),
+        Err(FtbfsError::FaultSetTooLarge { .. })
+    ));
+    let bad_vertex = FaultSet::single_vertex(VertexId(500));
+    assert!(matches!(
+        engine.dist_after_faults(VertexId(1), &bad_vertex),
+        Err(FtbfsError::InvalidFault {
+            fault: Fault::Vertex(VertexId(500)),
+            ..
+        })
+    ));
+    let bad_edge = FaultSet::single_edge(EdgeId(500));
+    assert!(matches!(
+        engine.dist_after_faults(VertexId(1), &bad_edge),
+        Err(FtbfsError::InvalidFault { .. })
+    ));
+}
+
+#[test]
+fn raising_max_faults_accepts_larger_sets() {
+    let graph = generators::hypercube(4);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(17).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let mut engine =
+        FaultQueryEngine::with_options(&graph, s, EngineOptions::new().with_max_faults(4).serial())
+            .expect("matching graph");
+    let faults: FaultSet = [
+        Fault::Edge(EdgeId(0)),
+        Fault::Edge(EdgeId(5)),
+        Fault::Vertex(VertexId(3)),
+        Fault::Vertex(VertexId(9)),
+    ]
+    .into_iter()
+    .collect();
+    for v in graph.vertices() {
+        assert_eq!(
+            engine.dist_after_faults(v, &faults).expect("in range"),
+            brute_faults(&graph, VertexId(0), v, &faults),
+            "{v:?}"
+        );
+    }
+}
+
+#[test]
+fn lru_eviction_order_under_fault_set_keying() {
+    let graph = generators::grid(5, 5);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(11).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let edges: Vec<EdgeId> = s.backup_edges().take(2).collect();
+    assert_eq!(edges.len(), 2, "structure too small for the LRU test");
+    // Three distinct row keys: two single-edge sets and one mixed set.
+    let keys: Vec<FaultSet> = vec![
+        FaultSet::from(edges[0]),
+        FaultSet::from(edges[1]),
+        [Fault::Edge(edges[0]), Fault::Vertex(VertexId(24))]
+            .into_iter()
+            .collect(),
+    ];
+    let mut engine =
+        FaultQueryEngine::with_options(&graph, s, EngineOptions::new().with_lru_rows(2).serial())
+            .expect("matching graph");
+    let runs = |e: &FaultQueryEngine| {
+        let st = e.query_stats();
+        st.structure_bfs_runs + st.full_graph_bfs_runs
+    };
+    // Fill the two slots with keys[0], keys[1]: two sweeps.
+    engine.dist_after_faults(VertexId(1), &keys[0]).unwrap();
+    engine.dist_after_faults(VertexId(1), &keys[1]).unwrap();
+    assert_eq!(runs(&engine), 2);
+    // Touch keys[0] so keys[1] becomes the least recently used…
+    engine.dist_after_faults(VertexId(2), &keys[0]).unwrap();
+    assert_eq!(runs(&engine), 2, "touch must be a cache hit");
+    // …then insert keys[2]: evicts keys[1], keeps keys[0].
+    engine.dist_after_faults(VertexId(1), &keys[2]).unwrap();
+    assert_eq!(runs(&engine), 3);
+    engine.dist_after_faults(VertexId(3), &keys[0]).unwrap();
+    assert_eq!(runs(&engine), 3, "recently used key must survive eviction");
+    engine.dist_after_faults(VertexId(3), &keys[1]).unwrap();
+    assert_eq!(runs(&engine), 4, "evicted key must recompute");
+}
+
+#[test]
+fn query_many_faults_matches_singles_serial_and_sharded() {
+    let graph = generators::grid(5, 5);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(19).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let sets = ftb_graph::enumerate_fault_sets(&graph, 2);
+    // A spread of fault sets of all shapes, every vertex probed.
+    let queries: Vec<(VertexId, FaultSet)> = sets
+        .iter()
+        .step_by(7)
+        .flat_map(|f| graph.vertices().map(move |v| (v, f.clone())))
+        .collect();
+    let mut serial =
+        FaultQueryEngine::with_options(&graph, s.clone(), EngineOptions::new().serial())
+            .expect("matching graph");
+    let expected = serial.query_many_faults(&queries).expect("in range");
+    for (i, (v, f)) in queries.iter().enumerate() {
+        assert_eq!(
+            expected[i],
+            brute_faults(&graph, VertexId(0), *v, f),
+            "query {i}: {v:?} under {f}"
+        );
+    }
+    for threads in [2usize, 4] {
+        let mut sharded = FaultQueryEngine::with_options(
+            &graph,
+            s.clone(),
+            EngineOptions::new().with_parallel(ParallelConfig::with_threads(threads)),
+        )
+        .expect("matching graph");
+        let got = sharded.query_many_faults(&queries).expect("in range");
+        assert_eq!(got, expected, "{threads}-thread batch diverged");
+        assert_eq!(sharded.query_stats().queries, queries.len());
+    }
+}
+
+#[test]
+fn skewed_batches_split_across_workers_and_stay_identical() {
+    // Every query hits the same failing fault: pre-split, this serialised
+    // the whole batch on one worker.
+    let graph = generators::grid(6, 6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(23).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let hot = s.backup_edges().next().expect("structure has backup edges");
+    let hot_set = FaultSet::from(hot);
+    let queries: Vec<(VertexId, FaultSet)> = (0..600)
+        .map(|i| (VertexId::new(i % graph.num_vertices()), hot_set.clone()))
+        .collect();
+
+    let mut serial =
+        FaultQueryEngine::with_options(&graph, s.clone(), EngineOptions::new().serial())
+            .expect("matching graph");
+    let expected = serial.query_many_faults(&queries).expect("in range");
+    let serial_sweeps = {
+        let st = serial.query_stats();
+        st.structure_bfs_runs + st.full_graph_bfs_runs
+    };
+    assert_eq!(serial_sweeps, 1, "serial path still runs one BFS");
+
+    let mut sharded = FaultQueryEngine::with_options(
+        &graph,
+        s,
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+    )
+    .expect("matching graph");
+    let got = sharded.query_many_faults(&queries).expect("in range");
+    assert_eq!(got, expected, "split batch diverged from serial");
+    let st = sharded.query_stats();
+    assert_eq!(st.queries, queries.len());
+    // The group was split into several units; each worker that touched the
+    // hot fault ran its own BFS (bounded by the worker count), and the LRU
+    // absorbed the units beyond the first per worker.
+    let sweeps = st.structure_bfs_runs + st.full_graph_bfs_runs;
+    assert!(
+        (1..=4).contains(&sweeps),
+        "expected 1..=4 sweeps across workers, got {sweeps}"
+    );
+}
+
+#[test]
+fn multi_source_fault_sets_are_exact_per_source() {
+    let graph = generators::grid(4, 4);
+    let sources = [VertexId(0), VertexId(15)];
+    let m = try_build_ft_mbfs(
+        &graph,
+        &sources,
+        &BuildConfig::new(0.3).with_seed(29).serial(),
+    )
+    .expect("valid input");
+    let mut engine = MultiSourceEngine::new(&graph, m.clone()).expect("matching graph");
+    let sets = ftb_graph::enumerate_fault_sets(&graph, 2);
+    let mut queries: Vec<(VertexId, VertexId, FaultSet)> = Vec::new();
+    for f in sets.iter().step_by(5) {
+        for &s in &sources {
+            for v in graph.vertices() {
+                queries.push((s, v, f.clone()));
+            }
+        }
+    }
+    let batch = engine.query_many_faults(&queries).expect("in range");
+    for (i, (s, v, f)) in queries.iter().enumerate() {
+        assert_eq!(
+            batch[i],
+            brute_faults(&graph, *s, *v, f),
+            "source {s:?}, vertex {v:?}, faults {f}"
+        );
+        assert_eq!(
+            batch[i],
+            engine.dist_after_faults(*s, *v, f).expect("in range")
+        );
+    }
+    // Sharded agrees with the serial reference.
+    let mut sharded = MultiSourceEngine::with_options(
+        &graph,
+        m,
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+    )
+    .expect("matching graph");
+    assert_eq!(
+        sharded.query_many_faults(&queries).expect("in range"),
+        batch
+    );
+    // Unserved sources stay typed errors on the fault-set path too.
+    assert!(matches!(
+        engine.dist_after_faults(VertexId(7), VertexId(0), &FaultSet::single_edge(EdgeId(0))),
+        Err(FtbfsError::SourceNotServed { .. })
+    ));
 }

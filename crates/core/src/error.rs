@@ -9,7 +9,7 @@
 //! which the baseline branch happened to accept) now panic through the
 //! shims — migrate to the builders to handle them as values.
 
-use ftb_graph::{EdgeId, VertexId};
+use ftb_graph::{EdgeId, Fault, VertexId};
 use std::fmt;
 
 /// Errors produced by the FT-BFS builders and the fault-query engine.
@@ -58,6 +58,24 @@ pub enum FtbfsError {
         edge: EdgeId,
         /// Number of edges of the graph.
         num_edges: usize,
+    },
+    /// A fault set refers to a vertex or edge outside the engine's graph.
+    InvalidFault {
+        /// The offending fault.
+        fault: Fault,
+        /// Number of vertices of the graph.
+        num_vertices: usize,
+        /// Number of edges of the graph.
+        num_edges: usize,
+    },
+    /// A fault set exceeds the engine's configured fault cap
+    /// ([`EngineOptions::max_faults`](crate::engine::EngineOptions) /
+    /// [`BuildConfig::max_faults`](crate::BuildConfig)).
+    FaultSetTooLarge {
+        /// Size of the offending fault set.
+        got: usize,
+        /// The configured cap.
+        max: usize,
     },
     /// A structure was paired with a graph it was not built from (edge-space
     /// capacities disagree).
@@ -134,6 +152,21 @@ impl fmt::Display for FtbfsError {
                 f,
                 "edge {edge:?} is out of range for a graph with {num_edges} edges"
             ),
+            FtbfsError::InvalidFault {
+                fault,
+                num_vertices,
+                num_edges,
+            } => write!(
+                f,
+                "fault {fault} is out of range for a graph with {num_vertices} vertices \
+                 and {num_edges} edges"
+            ),
+            FtbfsError::FaultSetTooLarge { got, max } => write!(
+                f,
+                "fault set has {got} faults but the engine caps fault sets at {max}; \
+                 raise `EngineOptions::max_faults` (or `BuildConfig::max_faults`) to \
+                 serve larger sets"
+            ),
             FtbfsError::StructureMismatch {
                 structure_edges,
                 graph_edges,
@@ -192,6 +225,29 @@ mod tests {
             num_edges: 10,
         };
         assert!(e.to_string().contains("77"));
+    }
+
+    #[test]
+    fn fault_errors_name_the_offender_and_the_cap() {
+        let e = FtbfsError::InvalidFault {
+            fault: Fault::Vertex(VertexId(12)),
+            num_vertices: 10,
+            num_edges: 20,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("v12"), "vertex fault named: {msg}");
+        assert!(msg.contains("10") && msg.contains("20"));
+        let e = FtbfsError::InvalidFault {
+            fault: Fault::Edge(EdgeId(33)),
+            num_vertices: 10,
+            num_edges: 20,
+        };
+        assert!(e.to_string().contains("e33"), "edge fault named");
+
+        let e = FtbfsError::FaultSetTooLarge { got: 5, max: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('2'));
+        assert!(msg.contains("max_faults"), "points at the knob: {msg}");
     }
 
     #[test]

@@ -48,7 +48,12 @@
 //! [`MultiSourceEngine`] facades. Build once, then answer
 //! `dist_after_fault` / `path_after_fault` /
 //! [`FaultQueryEngine::query_many`] with no per-query allocation; batches
-//! are grouped by failing edge and sharded across worker threads.
+//! are grouped by fault and sharded across worker threads. Beyond single
+//! edge failures, the engines accept arbitrary [`FaultSet`]s (edges *and*
+//! vertices, up to [`engine::EngineOptions::max_faults`] simultaneous
+//! faults) through `dist_after_faults` / `path_after_faults` /
+//! `query_many_faults`; see the [`engine`] module docs for the answering
+//! model and its complexity caveat.
 //!
 //! ```
 //! use ftb_core::{FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
@@ -114,4 +119,11 @@ pub use mbfs::build_ft_mbfs;
 pub use mbfs::{try_build_ft_mbfs, MultiSourceStructure};
 pub use stats::BuildStats;
 pub use structure::FtBfsStructure;
-pub use verify::{unprotected_edges, verify_structure, VerificationReport, Violation};
+pub use verify::{
+    cross_check_fault_sets, dist_after_faults_brute, unprotected_edges, verify_structure,
+    FaultSetMismatch, VerificationReport, Violation,
+};
+
+// The fault model lives next to the id types in `ftb_graph`; re-export it
+// here so engine callers need only one crate in scope.
+pub use ftb_graph::{Fault, FaultSet};

@@ -8,9 +8,11 @@
 //! the inequality because `T0 ⊆ H` survives them; the exhaustive mode checks
 //! them anyway).
 
+use crate::engine::EngineCore;
+use crate::error::FtbfsError;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{BitSet, EdgeId, Graph, SubgraphView, VertexId};
-use ftb_par::{parallel_map, ParallelConfig};
+use ftb_graph::{BitSet, EdgeId, EdgeMask, FaultSet, Graph, SubgraphView, VertexId, VertexMask};
+use ftb_par::{parallel_map, parallel_map_init, ParallelConfig};
 use ftb_sp::{bfs_distances_view, ShortestPathTree, UNREACHABLE};
 
 /// A single protection violation: after `failed_edge` fails, `vertex` is
@@ -143,6 +145,83 @@ pub fn unprotected_edges(
         .collect()
 }
 
+/// Reference distances `dist(source, ·, G ∖ F)` by brute-force BFS over the
+/// masked graph.
+///
+/// Failed vertices (and the source itself, if failed) are reported
+/// [`UNREACHABLE`] — the semantics the engines' fault-set queries promise.
+pub fn dist_after_faults_brute(graph: &Graph, source: VertexId, faults: &FaultSet) -> Vec<u32> {
+    let edge_mask = EdgeMask::removing(graph, faults.edges());
+    let vertex_mask = VertexMask::removing(graph, faults.vertices());
+    let view = SubgraphView::full(graph)
+        .with_edge_mask(&edge_mask)
+        .with_vertex_mask(&vertex_mask);
+    bfs_distances_view(&view, source)
+}
+
+/// One disagreement between an engine core and brute-force BFS under a
+/// fault set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSetMismatch {
+    /// The queried source.
+    pub source: VertexId,
+    /// The queried vertex.
+    pub vertex: VertexId,
+    /// The fault set under which the answers disagree.
+    pub faults: FaultSet,
+    /// The engine's answer (`None` = disconnected).
+    pub engine_dist: Option<u32>,
+    /// The brute-force answer.
+    pub brute_dist: Option<u32>,
+}
+
+/// Cross-check an [`EngineCore`]'s fault-set answers against brute-force
+/// BFS: every fault set in `fault_sets`, every served source, every vertex.
+///
+/// Fault sets are validated up front (so a too-large or out-of-range set is
+/// a typed error, not a mismatch), then distributed over `parallel` workers,
+/// one fresh [`QueryContext`](crate::QueryContext) each. Returns the
+/// disagreements — an empty vector is a clean bill of health.
+pub fn cross_check_fault_sets(
+    core: &EngineCore,
+    fault_sets: &[FaultSet],
+    parallel: &ParallelConfig,
+) -> Result<Vec<FaultSetMismatch>, FtbfsError> {
+    for faults in fault_sets {
+        core.check_fault_set(faults)?;
+    }
+    let graph = core.graph();
+    let per_set: Vec<Vec<FaultSetMismatch>> = parallel_map_init(
+        parallel,
+        fault_sets.len(),
+        || core.new_context(),
+        |ctx, i| {
+            let faults = &fault_sets[i];
+            let mut bad = Vec::new();
+            for &source in core.sources() {
+                let brute = dist_after_faults_brute(graph, source, faults);
+                for v in graph.vertices() {
+                    let engine = ctx
+                        .dist_after_faults_from(core, source, v, faults)
+                        .expect("fault sets validated up front");
+                    let want = (brute[v.index()] != UNREACHABLE).then_some(brute[v.index()]);
+                    if engine != want {
+                        bad.push(FaultSetMismatch {
+                            source,
+                            vertex: v,
+                            faults: faults.clone(),
+                            engine_dist: engine,
+                            brute_dist: want,
+                        });
+                    }
+                }
+            }
+            bad
+        },
+    );
+    Ok(per_set.into_iter().flatten().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +316,68 @@ mod tests {
         assert!(report.is_valid());
         let unprotected = unprotected_edges(&g, &tree, s.edge_set(), &ParallelConfig::serial());
         assert!(unprotected.is_empty());
+    }
+
+    #[test]
+    fn brute_force_masks_vertices_edges_and_the_source() {
+        let g = generators::path(5); // 0-1-2-3-4
+        let mid = FaultSet::single_vertex(VertexId(2));
+        let d = dist_after_faults_brute(&g, VertexId(0), &mid);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+
+        let src = FaultSet::single_vertex(VertexId(0));
+        let d = dist_after_faults_brute(&g, VertexId(0), &src);
+        assert!(d.iter().all(|&x| x == UNREACHABLE), "failed source: {d:?}");
+
+        let e = g.find_edge(VertexId(1), VertexId(2)).unwrap();
+        let cut = FaultSet::single_edge(e);
+        let d = dist_after_faults_brute(&g, VertexId(0), &cut);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn cross_check_passes_on_every_small_fault_set() {
+        use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
+        let g = generators::hypercube(3);
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(5).serial())
+            .build(&g, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        let core = crate::engine::EngineCore::build(&g, s).expect("matching graph");
+        let sets = ftb_graph::enumerate_fault_sets(&g, 2);
+        assert!(!sets.is_empty());
+        let mismatches = cross_check_fault_sets(&core, &sets, &ParallelConfig::serial())
+            .expect("sets are in range and within the cap");
+        assert!(mismatches.is_empty(), "first: {:?}", mismatches.first());
+        // and the parallel sweep agrees
+        let mismatches = cross_check_fault_sets(&core, &sets, &ParallelConfig::with_threads(4))
+            .expect("sets are in range and within the cap");
+        assert!(mismatches.is_empty());
+    }
+
+    #[test]
+    fn cross_check_reports_bad_fault_sets_as_typed_errors() {
+        use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
+        use ftb_graph::Fault;
+        let g = generators::grid(3, 3);
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.serial())
+            .build(&g, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        let core = crate::engine::EngineCore::build(&g, s).expect("matching graph");
+        let too_big: FaultSet = (0..3).map(|i| Fault::Edge(EdgeId(i))).collect();
+        assert!(matches!(
+            cross_check_fault_sets(&core, &[too_big], &ParallelConfig::serial()),
+            Err(FtbfsError::FaultSetTooLarge { got: 3, max: 2 })
+        ));
+        let out_of_range = FaultSet::single_vertex(VertexId(500));
+        assert!(matches!(
+            cross_check_fault_sets(&core, &[out_of_range], &ParallelConfig::serial()),
+            Err(FtbfsError::InvalidFault { .. })
+        ));
     }
 
     #[test]

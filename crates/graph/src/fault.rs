@@ -1,0 +1,528 @@
+//! First-class fault model: [`Fault`] and [`FaultSet`].
+//!
+//! The original engine answered single-edge failures only; the successors of
+//! the reproduced paper (Parter–Peleg 2013, Parter 2015) target richer fault
+//! models — several simultaneous failures, vertex as well as edge faults.
+//! This module gives those models a shared vocabulary: a [`Fault`] is one
+//! failed element, a [`FaultSet`] is a small canonicalised set of them
+//! suitable both as a query argument and as a cache key.
+//!
+//! `FaultSet` keeps its faults **sorted and deduplicated** (edges before
+//! vertices, each ascending by id), so two sets built from the same faults in
+//! any order compare, hash and sort identically. Sets up to
+//! [`FaultSet::INLINE_CAPACITY`] faults are stored inline (no heap
+//! allocation) — the common single- and dual-fault queries never allocate.
+
+use crate::csr::Graph;
+use crate::ids::{EdgeId, VertexId};
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// One failed element of a graph: an edge or a vertex.
+///
+/// The derived ordering (edges first, then vertices, each ascending by id) is
+/// the canonical order [`FaultSet`] maintains.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fault {
+    /// Failure of an undirected edge: the edge disappears from the graph.
+    Edge(EdgeId),
+    /// Failure of a vertex: the vertex and all incident edges disappear.
+    Vertex(VertexId),
+}
+
+impl Fault {
+    /// The failed edge, if this is an edge fault.
+    #[inline]
+    pub fn as_edge(self) -> Option<EdgeId> {
+        match self {
+            Fault::Edge(e) => Some(e),
+            Fault::Vertex(_) => None,
+        }
+    }
+
+    /// The failed vertex, if this is a vertex fault.
+    #[inline]
+    pub fn as_vertex(self) -> Option<VertexId> {
+        match self {
+            Fault::Vertex(v) => Some(v),
+            Fault::Edge(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Edge(e) => write!(f, "{e:?}"),
+            Fault::Vertex(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Edge(e) => write!(f, "e{e}"),
+            Fault::Vertex(v) => write!(f, "v{v}"),
+        }
+    }
+}
+
+impl From<EdgeId> for Fault {
+    fn from(e: EdgeId) -> Self {
+        Fault::Edge(e)
+    }
+}
+
+impl From<VertexId> for Fault {
+    fn from(v: VertexId) -> Self {
+        Fault::Vertex(v)
+    }
+}
+
+/// Unused inline slots hold this filler; it never escapes through the public
+/// API (every accessor goes through the live prefix).
+const FILLER: Fault = Fault::Edge(EdgeId(u32::MAX));
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`FaultSet::INLINE_CAPACITY`] faults, live prefix `0..len`.
+    Inline {
+        len: u8,
+        slots: [Fault; FaultSet::INLINE_CAPACITY],
+    },
+    /// Larger sets spill to the heap.
+    Spilled(Vec<Fault>),
+}
+
+/// A small canonical set of simultaneous faults.
+///
+/// Always sorted (edges before vertices, ascending ids) and deduplicated, so
+/// equality, hashing and ordering are structural regardless of insertion
+/// order. Sets of at most [`FaultSet::INLINE_CAPACITY`] faults are stored
+/// inline; in particular `FaultSet::from(edge)` is allocation-free, which
+/// keeps the engines' single-failure fast path cheap.
+///
+/// `FaultSet` implements `Borrow<[Fault]>`, so hashed containers keyed by
+/// `FaultSet` can be probed with a plain fault slice without building a set.
+#[derive(Clone)]
+pub struct FaultSet {
+    repr: Repr,
+}
+
+impl FaultSet {
+    /// Number of faults stored without heap allocation. Matches the engines'
+    /// default fault cap, so default-configured queries never allocate.
+    pub const INLINE_CAPACITY: usize = 2;
+
+    /// The empty fault set (a fault-free query).
+    pub fn new() -> Self {
+        FaultSet {
+            repr: Repr::Inline {
+                len: 0,
+                slots: [FILLER; Self::INLINE_CAPACITY],
+            },
+        }
+    }
+
+    /// A singleton edge-fault set. Allocation-free.
+    pub fn single_edge(e: EdgeId) -> Self {
+        Self::from(Fault::Edge(e))
+    }
+
+    /// A singleton vertex-fault set. Allocation-free.
+    pub fn single_vertex(v: VertexId) -> Self {
+        Self::from(Fault::Vertex(v))
+    }
+
+    /// The canonical (sorted, deduplicated) faults as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Fault] {
+        match &self.repr {
+            Repr::Inline { len, slots } => &slots[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Number of distinct faults.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` for the empty (fault-free) set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if `fault` is a member.
+    #[inline]
+    pub fn contains(&self, fault: Fault) -> bool {
+        self.as_slice().binary_search(&fault).is_ok()
+    }
+
+    /// `true` if the set contains the vertex fault `v`.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.contains(Fault::Vertex(v))
+    }
+
+    /// `true` if the set contains the edge fault `e`.
+    #[inline]
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.contains(Fault::Edge(e))
+    }
+
+    /// Iterate over the faults in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// The failed edges, ascending.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.iter().filter_map(Fault::as_edge)
+    }
+
+    /// The failed vertices, ascending.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.iter().filter_map(Fault::as_vertex)
+    }
+
+    /// `true` if no vertex fault is present (pure edge-failure set).
+    pub fn is_edges_only(&self) -> bool {
+        self.iter().all(|f| matches!(f, Fault::Edge(_)))
+    }
+
+    /// The single failed edge, if the set is exactly one edge fault — the
+    /// engines' fast path, where the original single-failure guarantees of
+    /// the paper apply.
+    #[inline]
+    pub fn as_single_edge(&self) -> Option<EdgeId> {
+        match self.as_slice() {
+            [Fault::Edge(e)] => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Insert a fault, keeping the canonical order. Returns `true` if the
+    /// fault was new.
+    pub fn insert(&mut self, fault: Fault) -> bool {
+        let slice = self.as_slice();
+        let pos = match slice.binary_search(&fault) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                let n = *len as usize;
+                if n < Self::INLINE_CAPACITY {
+                    slots.copy_within(pos..n, pos + 1);
+                    slots[pos] = fault;
+                    *len += 1;
+                } else {
+                    let mut v = slots[..n].to_vec();
+                    v.insert(pos, fault);
+                    self.repr = Repr::Spilled(v);
+                }
+            }
+            Repr::Spilled(v) => v.insert(pos, fault),
+        }
+        true
+    }
+
+    /// Validate every member against `graph`: edge ids must be `< m`, vertex
+    /// ids `< n`. Returns the first out-of-range fault, if any.
+    pub fn first_invalid(&self, graph: &Graph) -> Option<Fault> {
+        self.iter().find(|f| match *f {
+            Fault::Edge(e) => e.index() >= graph.num_edges(),
+            Fault::Vertex(v) => v.index() >= graph.num_vertices(),
+        })
+    }
+}
+
+impl Default for FaultSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Fault> for FaultSet {
+    fn from(fault: Fault) -> Self {
+        let mut slots = [FILLER; Self::INLINE_CAPACITY];
+        slots[0] = fault;
+        FaultSet {
+            repr: Repr::Inline { len: 1, slots },
+        }
+    }
+}
+
+impl From<EdgeId> for FaultSet {
+    fn from(e: EdgeId) -> Self {
+        Self::from(Fault::Edge(e))
+    }
+}
+
+impl From<VertexId> for FaultSet {
+    fn from(v: VertexId) -> Self {
+        Self::from(Fault::Vertex(v))
+    }
+}
+
+impl FromIterator<Fault> for FaultSet {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        let mut set = FaultSet::new();
+        for f in iter {
+            set.insert(f);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultSet {
+    type Item = Fault;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Fault>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FaultSet {}
+
+impl PartialOrd for FaultSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FaultSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for FaultSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the canonical slice so `Borrow<[Fault]>` probes agree.
+        self.as_slice().hash(state);
+    }
+}
+
+impl Borrow<[Fault]> for FaultSet {
+    fn borrow(&self) -> &[Fault] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fault) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Every fault set of size `1..=max_size` over the elements of `graph`, in
+/// lexicographic canonical order.
+///
+/// Intended for exhaustive brute-force cross-checks on **small** graphs: the
+/// count grows as `binom(n + m, max_size)`, so keep `max_size ≤ 2` and
+/// `n + m` in the hundreds.
+pub fn enumerate_fault_sets(graph: &Graph, max_size: usize) -> Vec<FaultSet> {
+    let mut elements: Vec<Fault> = graph.edge_ids().map(Fault::Edge).collect();
+    elements.extend(graph.vertices().map(Fault::Vertex));
+    let mut out = Vec::new();
+    let mut stack: Vec<Fault> = Vec::new();
+    fn recurse(
+        elements: &[Fault],
+        from: usize,
+        max_size: usize,
+        stack: &mut Vec<Fault>,
+        out: &mut Vec<FaultSet>,
+    ) {
+        if !stack.is_empty() {
+            out.push(stack.iter().copied().collect());
+        }
+        if stack.len() == max_size {
+            return;
+        }
+        for i in from..elements.len() {
+            stack.push(elements[i]);
+            recurse(elements, i + 1, max_size, stack, out);
+            stack.pop();
+        }
+    }
+    recurse(&elements, 0, max_size, &mut stack, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn canonical_order_is_insertion_independent() {
+        let a: FaultSet = [Fault::Vertex(VertexId(3)), Fault::Edge(EdgeId(7))]
+            .into_iter()
+            .collect();
+        let b: FaultSet = [Fault::Edge(EdgeId(7)), Fault::Vertex(VertexId(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(
+            a.as_slice(),
+            &[Fault::Edge(EdgeId(7)), Fault::Vertex(VertexId(3))],
+            "edges sort before vertices"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let mut s = FaultSet::new();
+        assert!(s.insert(Fault::Edge(EdgeId(1))));
+        assert!(!s.insert(Fault::Edge(EdgeId(1))));
+        assert_eq!(s.len(), 1);
+        let t: FaultSet = [
+            Fault::Vertex(VertexId(2)),
+            Fault::Vertex(VertexId(2)),
+            Fault::Edge(EdgeId(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn inline_sets_spill_to_the_heap_transparently() {
+        let mut s = FaultSet::new();
+        for i in 0..(FaultSet::INLINE_CAPACITY + 3) {
+            s.insert(Fault::Edge(EdgeId(i as u32)));
+        }
+        assert_eq!(s.len(), FaultSet::INLINE_CAPACITY + 3);
+        assert!(matches!(s.repr, Repr::Spilled(_)));
+        // canonical order survives the spill
+        let ids: Vec<u32> = s.edges().map(|e| e.0).collect();
+        assert_eq!(
+            ids,
+            (0..(FaultSet::INLINE_CAPACITY as u32 + 3)).collect::<Vec<_>>()
+        );
+        // and a spilled set equals (and hashes like) an inline-built twin
+        let twin: FaultSet = (0..(FaultSet::INLINE_CAPACITY + 3))
+            .map(|i| Fault::Edge(EdgeId(i as u32)))
+            .collect();
+        assert_eq!(s, twin);
+        assert_eq!(hash_of(&s), hash_of(&twin));
+    }
+
+    #[test]
+    fn singletons_and_accessors() {
+        let e = FaultSet::single_edge(EdgeId(4));
+        assert_eq!(e.as_single_edge(), Some(EdgeId(4)));
+        assert!(e.is_edges_only());
+        assert!(e.contains_edge(EdgeId(4)));
+        assert!(!e.contains_vertex(VertexId(4)));
+
+        let v = FaultSet::single_vertex(VertexId(9));
+        assert_eq!(v.as_single_edge(), None);
+        assert!(!v.is_edges_only());
+        assert!(v.contains_vertex(VertexId(9)));
+        assert_eq!(v.vertices().collect::<Vec<_>>(), vec![VertexId(9)]);
+
+        let empty = FaultSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.as_single_edge(), None);
+        assert!(empty.is_edges_only());
+    }
+
+    #[test]
+    fn borrow_as_slice_probes_hashed_maps() {
+        use std::collections::HashMap;
+        let mut map: HashMap<FaultSet, u32> = HashMap::new();
+        let key: FaultSet = [Fault::Edge(EdgeId(1)), Fault::Vertex(VertexId(2))]
+            .into_iter()
+            .collect();
+        map.insert(key, 42);
+        let probe: &[Fault] = &[Fault::Edge(EdgeId(1)), Fault::Vertex(VertexId(2))];
+        assert_eq!(map.get(probe), Some(&42));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_the_canonical_slice() {
+        let a = FaultSet::single_edge(EdgeId(0));
+        let b = FaultSet::single_edge(EdgeId(1));
+        let c: FaultSet = [Fault::Edge(EdgeId(0)), Fault::Edge(EdgeId(1))]
+            .into_iter()
+            .collect();
+        let mut sets = vec![c.clone(), b.clone(), a.clone()];
+        sets.sort();
+        assert_eq!(sets, vec![a, c, b]);
+    }
+
+    #[test]
+    fn validation_finds_out_of_range_faults() {
+        let g = generators::cycle(5); // n = 5, m = 5
+        let ok: FaultSet = [Fault::Edge(EdgeId(4)), Fault::Vertex(VertexId(4))]
+            .into_iter()
+            .collect();
+        assert_eq!(ok.first_invalid(&g), None);
+        let bad_edge = FaultSet::single_edge(EdgeId(5));
+        assert_eq!(bad_edge.first_invalid(&g), Some(Fault::Edge(EdgeId(5))));
+        let bad_vertex = FaultSet::single_vertex(VertexId(99));
+        assert_eq!(
+            bad_vertex.first_invalid(&g),
+            Some(Fault::Vertex(VertexId(99)))
+        );
+    }
+
+    #[test]
+    fn enumeration_counts_match_binomials() {
+        let g = generators::path(4); // n = 4, m = 3 → 7 elements
+        let singles = enumerate_fault_sets(&g, 1);
+        assert_eq!(singles.len(), 7);
+        let up_to_two = enumerate_fault_sets(&g, 2);
+        assert_eq!(up_to_two.len(), 7 + 21);
+        assert!(up_to_two.iter().all(|s| !s.is_empty() && s.len() <= 2));
+        // all distinct
+        let mut sorted = up_to_two.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), up_to_two.len());
+    }
+
+    #[test]
+    fn display_formats_compactly() {
+        let s: FaultSet = [Fault::Edge(EdgeId(3)), Fault::Vertex(VertexId(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(s.to_string(), "{e3, v1}");
+        assert_eq!(format!("{s:?}"), "{e3, v1}");
+        assert_eq!(FaultSet::new().to_string(), "{}");
+    }
+}

@@ -10,6 +10,9 @@
 //!   are cheap,
 //! * [`GraphBuilder`] — a mutable accumulator with duplicate/self-loop
 //!   handling that freezes into a [`Graph`],
+//! * [`Fault`] / [`FaultSet`] — the fault model: failed edges and vertices,
+//!   kept as small canonical (sorted, deduplicated) sets usable as query
+//!   arguments and cache keys,
 //! * [`BitSet`] — a fixed-capacity bitset used for vertex and edge masks,
 //! * [`generators`] — deterministic constructions of basic graph families
 //!   (paths, cycles, cliques, bipartite graphs, stars, grids),
@@ -26,6 +29,7 @@
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod fault;
 pub mod generators;
 pub mod ids;
 pub mod stats;
@@ -34,6 +38,7 @@ pub mod subgraph;
 pub use bitset::BitSet;
 pub use builder::{GraphBuilder, GraphError};
 pub use csr::{Edge, Graph, NeighborIter};
+pub use fault::{enumerate_fault_sets, Fault, FaultSet};
 pub use ids::{EdgeId, VertexId};
 pub use stats::GraphStats;
 pub use subgraph::{EdgeMask, SubgraphView, VertexMask};

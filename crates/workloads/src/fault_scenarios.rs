@@ -1,0 +1,259 @@
+//! Multi-fault scenario families for the fault-query experiments.
+//!
+//! Each scenario turns a graph into a deterministic stream of
+//! [`FaultSet`]s of a prescribed size `f`, modelling a different failure
+//! pattern a serving engine has to absorb:
+//!
+//! * [`FaultScenario::RandomEdges`] — independent uniform edge failures,
+//! * [`FaultScenario::RandomMixed`] — each fault an edge or a vertex with
+//!   equal probability (the general fault model),
+//! * [`FaultScenario::CorrelatedVertices`] — a random centre vertex fails
+//!   together with neighbours (one switch taking its rack down),
+//! * [`FaultScenario::TreeConcentrated`] — faults drawn from the BFS-tree
+//!   edges of the source, the worst pattern for a BFS structure: every
+//!   fault is guaranteed to hit `T0 ⊆ H`.
+//!
+//! Vertex faults never include the query source (a failed source answers
+//! every query with "disconnected", which measures nothing).
+
+use ftb_graph::{Fault, FaultSet, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A named multi-fault failure pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// `f` distinct uniform random edges.
+    RandomEdges,
+    /// `f` distinct faults, each an edge or a vertex with equal probability.
+    RandomMixed,
+    /// A random centre vertex plus `f - 1` of its neighbours (all vertex
+    /// faults): one shared failure domain going down at once.
+    CorrelatedVertices,
+    /// `f` distinct edges of the source's BFS tree — every fault hits the
+    /// structure, so no query is answered from the fault-free row.
+    TreeConcentrated,
+}
+
+impl FaultScenario {
+    /// All scenarios, in presentation order.
+    pub fn all() -> &'static [FaultScenario] {
+        &[
+            FaultScenario::RandomEdges,
+            FaultScenario::RandomMixed,
+            FaultScenario::CorrelatedVertices,
+            FaultScenario::TreeConcentrated,
+        ]
+    }
+
+    /// Short table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenario::RandomEdges => "random-edges",
+            FaultScenario::RandomMixed => "random-mixed",
+            FaultScenario::CorrelatedVertices => "correlated-vertices",
+            FaultScenario::TreeConcentrated => "tree-concentrated",
+        }
+    }
+
+    /// Generate `count` fault sets of size (at most) `f` for queries served
+    /// from `source`. Deterministic in `seed`; vertex faults never include
+    /// `source`.
+    ///
+    /// Sets can fall short of `f` only when the graph is too small to offer
+    /// enough distinct faults (e.g. a centre vertex of degree `< f - 1`).
+    pub fn generate(
+        &self,
+        graph: &Graph,
+        source: VertexId,
+        f: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<FaultSet> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA01_75E7 ^ (*self as u64) << 32);
+        let mut out = Vec::with_capacity(count);
+        let tree_edges = match self {
+            FaultScenario::TreeConcentrated => bfs_tree_edges(graph, source),
+            _ => Vec::new(),
+        };
+        for _ in 0..count {
+            let mut set = FaultSet::new();
+            // The canonical FaultSet reorders its members, so the chosen
+            // centre of a correlated set is remembered here, not recovered
+            // from the set.
+            let mut centre: Option<VertexId> = None;
+            let mut guard = 0usize;
+            while set.len() < f && guard < 50 * f + 100 {
+                guard += 1;
+                match self {
+                    FaultScenario::RandomEdges => {
+                        if graph.num_edges() == 0 {
+                            break;
+                        }
+                        // edge ids are dense 0..m
+                        set.insert(Fault::Edge(ftb_graph::EdgeId::new(
+                            rng.random_range(0..graph.num_edges()),
+                        )));
+                    }
+                    FaultScenario::RandomMixed => {
+                        if graph.num_edges() == 0 || rng.random_bool(0.5) {
+                            let v = VertexId::new(rng.random_range(0..graph.num_vertices()));
+                            if v != source {
+                                set.insert(Fault::Vertex(v));
+                            }
+                        } else {
+                            set.insert(Fault::Edge(ftb_graph::EdgeId::new(
+                                rng.random_range(0..graph.num_edges()),
+                            )));
+                        }
+                    }
+                    FaultScenario::CorrelatedVertices => match centre {
+                        None => {
+                            // pick a centre that is not the source
+                            let v = VertexId::new(rng.random_range(0..graph.num_vertices()));
+                            if v != source {
+                                set.insert(Fault::Vertex(v));
+                                centre = Some(v);
+                            }
+                        }
+                        Some(c) => {
+                            // grow along the centre's neighbourhood
+                            let deg = graph.degree(c);
+                            if deg == 0 {
+                                break;
+                            }
+                            let (w, _) = graph.neighbors(c).nth(rng.random_range(0..deg)).unwrap();
+                            if w != source {
+                                set.insert(Fault::Vertex(w));
+                            }
+                        }
+                    },
+                    FaultScenario::TreeConcentrated => {
+                        if tree_edges.is_empty() {
+                            break;
+                        }
+                        set.insert(Fault::Edge(
+                            tree_edges[rng.random_range(0..tree_edges.len())],
+                        ));
+                    }
+                }
+            }
+            out.push(set);
+        }
+        out
+    }
+}
+
+/// The edges of one BFS tree of `graph` rooted at `source` (first-visit
+/// parent edges; deterministic in the CSR adjacency order).
+fn bfs_tree_edges(graph: &Graph, source: VertexId) -> Vec<ftb_graph::EdgeId> {
+    let mut seen = vec![false; graph.num_vertices()];
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for (w, e) in graph.neighbors(u) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                edges.push(e);
+                queue.push_back(w);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use ftb_graph::generators;
+
+    #[test]
+    fn scenarios_are_deterministic_and_respect_f() {
+        let g = families::erdos_renyi_gnm(60, 180, 3);
+        for &scenario in FaultScenario::all() {
+            let a = scenario.generate(&g, VertexId(0), 2, 16, 42);
+            let b = scenario.generate(&g, VertexId(0), 2, 16, 42);
+            assert_eq!(a, b, "{} not deterministic", scenario.name());
+            assert_eq!(a.len(), 16);
+            for set in &a {
+                assert!(set.len() <= 2, "{}: {set}", scenario.name());
+                assert!(!set.is_empty(), "{}: empty set", scenario.name());
+                assert!(
+                    !set.contains_vertex(VertexId(0)),
+                    "{}: source faulted",
+                    scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_sets_are_vertex_only_and_adjacent() {
+        // A sparse graph where adjacency is a real constraint: every member
+        // of a correlated set must be one designated centre or its
+        // neighbour, even when canonical ordering puts a neighbour with a
+        // smaller id first.
+        let g = generators::path(16);
+        let sets = FaultScenario::CorrelatedVertices.generate(&g, VertexId(0), 3, 10, 7);
+        for set in &sets {
+            assert!(set.edges().next().is_none(), "edge fault in {set}");
+            let vs: Vec<VertexId> = set.vertices().collect();
+            assert!(!vs.is_empty());
+            assert!(vs.iter().all(|&v| v != VertexId(0)));
+            let has_centre = vs
+                .iter()
+                .any(|&c| vs.iter().all(|&v| v == c || g.find_edge(c, v).is_some()));
+            assert!(has_centre, "no common failure domain in {set}");
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_short_sets_instead_of_panicking() {
+        // A single vertex: no edges, no tree, no non-source vertices.
+        let mut b = ftb_graph::GraphBuilder::new(1);
+        b.add_edge(VertexId(0), VertexId(0)); // self-loop is dropped
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+        for &scenario in FaultScenario::all() {
+            let sets = scenario.generate(&g, VertexId(0), 2, 3, 1);
+            assert_eq!(sets.len(), 3, "{}", scenario.name());
+            assert!(
+                sets.iter().all(|s| s.is_empty()),
+                "{}: drew a fault from an empty pool",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_concentrated_faults_hit_the_bfs_tree() {
+        let g = families::random_geometric_grid(6, 6, 10, 5);
+        let tree: std::collections::HashSet<_> =
+            bfs_tree_edges(&g, VertexId(0)).into_iter().collect();
+        assert_eq!(tree.len(), g.num_vertices() - 1, "grid is connected");
+        let sets = FaultScenario::TreeConcentrated.generate(&g, VertexId(0), 2, 12, 9);
+        for set in &sets {
+            assert_eq!(set.len(), 2);
+            for e in set.edges() {
+                assert!(tree.contains(&e), "{e:?} is not a tree edge");
+            }
+        }
+    }
+
+    #[test]
+    fn different_scenarios_differ() {
+        let g = families::erdos_renyi_gnm(50, 150, 11);
+        let edges = FaultScenario::RandomEdges.generate(&g, VertexId(0), 2, 10, 1);
+        let mixed = FaultScenario::RandomMixed.generate(&g, VertexId(0), 2, 10, 1);
+        assert_ne!(edges, mixed);
+        assert!(edges.iter().all(|s| s.is_edges_only()));
+        assert!(
+            mixed.iter().any(|s| !s.is_edges_only()),
+            "mixed scenario never produced a vertex fault"
+        );
+    }
+}

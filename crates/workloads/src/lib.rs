@@ -13,16 +13,21 @@
 //! * [`random_geometric_grid`] — a grid with random long-range chords,
 //! * re-exports of the deterministic families from `ftb_graph::generators`
 //!   (clique-with-pendant, grids, hypercubes) used by specific experiments,
-//! * [`suite`] — named workload descriptors consumed by the bench harness.
+//! * [`suite`] — named workload descriptors consumed by the bench harness,
+//! * [`fault_scenarios`] — multi-fault failure patterns (random f-sets,
+//!   correlated vertex outages, faults concentrated on the BFS tree) for
+//!   the fault-query experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod families;
+pub mod fault_scenarios;
 pub mod suite;
 
 pub use families::{
     connectivity_repair, erdos_renyi_gnm, erdos_renyi_gnp, layered_random, preferential_attachment,
     random_geometric_grid,
 };
+pub use fault_scenarios::FaultScenario;
 pub use suite::{Workload, WorkloadFamily};

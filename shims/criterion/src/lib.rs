@@ -7,11 +7,34 @@
 //! `iter`, the `criterion_group!` / `criterion_main!` macros) matches, so the
 //! bench sources compile unchanged against real criterion when it is
 //! available.
+//!
+//! # Regression baselines
+//!
+//! In place of real criterion's `--save-baseline` machinery, the shim reads
+//! two environment variables when a bench binary finishes
+//! (`criterion_main!` calls [`finish`]):
+//!
+//! * `FTBFS_BENCH_JSON=path` — dump every benchmark's mean wall time (in
+//!   nanoseconds) as a flat JSON object `{"group/id": mean_ns, ...}`. Commit
+//!   the file to pin a baseline.
+//! * `FTBFS_BENCH_BASELINE=path` — load a previously dumped baseline and
+//!   **exit non-zero** if any benchmark regressed by more than
+//!   `FTBFS_BENCH_MAX_REGRESSION` (a fraction, default `0.25` = 25%) against
+//!   it. Benchmarks missing from the baseline are reported but don't fail,
+//!   so adding a bench doesn't require regenerating the file in the same
+//!   change.
+//!
+//! Both are skipped in `--test` quick mode, where a single untimed pass
+//! makes the numbers meaningless.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Mean wall times of every benchmark run by this process, in report order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Identifier of one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -191,6 +214,12 @@ impl BenchmarkGroup<'_> {
             self.name,
             samples.len()
         );
+        if !self.criterion.quick_mode {
+            RESULTS
+                .lock()
+                .expect("bench results poisoned")
+                .push((format!("{}/{id}", self.name), mean.as_nanos() as f64));
+        }
     }
 }
 
@@ -230,6 +259,99 @@ impl Criterion {
     }
 }
 
+/// Serialise benchmark means as a flat JSON object, one `"id": mean_ns`
+/// entry per line.
+fn to_json(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (id, mean_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("  \"{id}\": {mean_ns:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse the flat `{"id": number, ...}` JSON emitted by [`to_json`]. Not a
+/// general JSON parser — exactly the baseline format, which contains no
+/// escapes or nesting.
+fn parse_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for entry in text.split(',') {
+        let Some(open) = entry.find('"') else {
+            continue;
+        };
+        let Some(close) = entry[open + 1..].find('"') else {
+            continue;
+        };
+        let id = &entry[open + 1..open + 1 + close];
+        let Some(colon) = entry[open + 1 + close..].find(':') else {
+            continue;
+        };
+        let value = entry[open + 1 + close + colon + 1..]
+            .trim()
+            .trim_end_matches(['}', '\n', ' ']);
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((id.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Finalise a bench-binary run: dump the JSON baseline (`FTBFS_BENCH_JSON`)
+/// and enforce the committed baseline (`FTBFS_BENCH_BASELINE`, tolerance
+/// `FTBFS_BENCH_MAX_REGRESSION`, default 0.25). Called by the expansion of
+/// [`criterion_main!`]; a no-op in `--test` quick mode and when neither
+/// variable is set.
+pub fn finish() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let results = RESULTS.lock().expect("bench results poisoned");
+    if let Ok(path) = std::env::var("FTBFS_BENCH_JSON") {
+        std::fs::write(&path, to_json(&results))
+            .unwrap_or_else(|e| panic!("cannot write bench baseline {path}: {e}"));
+        println!("wrote bench baseline ({} entries) to {path}", results.len());
+    }
+    let Ok(baseline_path) = std::env::var("FTBFS_BENCH_BASELINE") else {
+        return;
+    };
+    let max_regression = std::env::var("FTBFS_BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read bench baseline {baseline_path}: {e}"));
+    let baseline = parse_json(&text);
+    let mut failures = Vec::new();
+    for (id, mean_ns) in results.iter() {
+        match baseline.iter().find(|(bid, _)| bid == id) {
+            Some((_, base_ns)) => {
+                let ratio = mean_ns / base_ns;
+                let status = if ratio > 1.0 + max_regression {
+                    failures.push(id.clone());
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "baseline {id}: {mean_ns:.0}ns vs {base_ns:.0}ns ({:+.1}%) {status}",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            None => println!("baseline {id}: no committed entry (skipped)"),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "{} benchmark(s) regressed more than {:.0}% vs {baseline_path}: {}",
+            failures.len(),
+            max_regression * 100.0,
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Group benchmark functions into a single registration entry point.
 #[macro_export]
 macro_rules! criterion_group {
@@ -241,12 +363,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit the `main` function running the given groups.
+/// Emit the `main` function running the given groups, then finalising the
+/// baseline dump/check (see the crate docs).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finish();
         }
     };
 }
@@ -261,6 +385,23 @@ mod tests {
         group.bench_function("add", |b| b.iter(|| 1 + 1));
         group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| b.iter(|| x * x));
         group.finish();
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let results = vec![
+            ("multi_fault/random-edges/f=1".to_string(), 123456.7),
+            ("multi_fault/tree/f=2".to_string(), 89.0),
+        ];
+        let json = to_json(&results);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        let parsed = parse_json(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, results[0].0);
+        assert!((parsed[0].1 - results[0].1).abs() < 0.2);
+        assert_eq!(parsed[1].0, results[1].0);
+        assert!((parsed[1].1 - results[1].1).abs() < 0.2);
+        assert_eq!(parse_json("{\n}\n"), Vec::new());
     }
 
     #[test]

@@ -107,8 +107,9 @@ pub use ftb_tree as tree;
 pub use ftb_workloads as workloads;
 
 pub use ftb_core::{
-    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, BuildStats,
-    CostModel, EngineCore, EngineOptions, FaultQueryEngine, FtBfsStructure, FtbfsError,
+    build_structure, cross_check_fault_sets, dist_after_faults_brute, verify_structure,
+    BaselineBuilder, BuildConfig, BuildPlan, BuildStats, CostModel, EngineCore, EngineOptions,
+    Fault, FaultQueryEngine, FaultSet, FaultSetMismatch, FtBfsStructure, FtbfsError,
     MultiSourceBuilder, MultiSourceEngine, MultiSourceStructure, QueryContext, QueryStats,
     ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
 };

@@ -3,14 +3,15 @@
 //! verifier, the [`FaultQueryEngine`] cross-checked against from-scratch BFS
 //! on small graphs, and the typed error paths.
 
-use ftbfs::graph::{generators, EdgeId, Graph, SubgraphView, VertexId};
+use ftbfs::graph::{enumerate_fault_sets, generators, EdgeId, Graph, SubgraphView, VertexId};
 use ftbfs::par::ParallelConfig;
 use ftbfs::sp::{bfs_distances_view, ShortestPathTree, TieBreakWeights, UNREACHABLE};
 use ftbfs::workloads::{Workload, WorkloadFamily};
 use ftbfs::{
-    build_structure, verify_structure, BaselineBuilder, BuildConfig, BuildPlan, EngineCore,
-    EngineOptions, FaultQueryEngine, FtbfsError, MultiSourceBuilder, MultiSourceEngine,
-    ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
+    build_structure, dist_after_faults_brute, verify_structure, BaselineBuilder, BuildConfig,
+    BuildPlan, EngineCore, EngineOptions, FaultQueryEngine, FaultSet, FtbfsError,
+    MultiSourceBuilder, MultiSourceEngine, ReinforcedTreeBuilder, Sources, StructureBuilder,
+    TradeoffBuilder,
 };
 use std::sync::Arc;
 
@@ -333,6 +334,133 @@ fn multi_source_engine_serves_each_source_exactly() {
     assert!(matches!(
         engine.dist_after_fault(VertexId(1), VertexId(0), EdgeId(0)),
         Err(FtbfsError::SourceNotServed { .. })
+    ));
+}
+
+/// Acceptance criterion: single-edge queries through the old API return
+/// byte-identical results to pre-refactor behaviour — which was exactly
+/// brute-force BFS on `G ∖ {e}` (asserted above in
+/// `engine_agrees_with_brute_force_on_all_pairs`) — and the singleton
+/// fault-set API is the same code path: same answers, same work counters.
+#[test]
+fn old_single_edge_api_is_byte_identical_to_singleton_fault_sets() {
+    for family in [WorkloadFamily::ErdosRenyi, WorkloadFamily::GridChords] {
+        let w = Workload::new(family, 40, SEED);
+        let graph = w.generate();
+        let structure = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(SEED).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        let mut old = FaultQueryEngine::new(&graph, structure.clone()).expect("matching graph");
+        let mut new = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+        for e in graph.edge_ids() {
+            let singleton = FaultSet::from(e);
+            for v in graph.vertices() {
+                assert_eq!(
+                    old.dist_after_fault(v, e).expect("in range"),
+                    new.dist_after_faults(v, &singleton).expect("in range"),
+                    "{}: ({v:?}, {e:?})",
+                    w.label()
+                );
+            }
+        }
+        assert_eq!(
+            old.query_stats(),
+            new.query_stats(),
+            "{}: the two APIs must do identical work",
+            w.label()
+        );
+        // Batches too: (v, e) pairs and their singleton-set twins.
+        let queries: Vec<(VertexId, EdgeId)> = graph
+            .edge_ids()
+            .flat_map(|e| graph.vertices().map(move |v| (v, e)))
+            .collect();
+        let set_queries: Vec<(VertexId, FaultSet)> = queries
+            .iter()
+            .map(|&(v, e)| (v, FaultSet::from(e)))
+            .collect();
+        assert_eq!(
+            old.query_many(&queries).expect("in range"),
+            new.query_many_faults(&set_queries).expect("in range"),
+            "{}: batched single-edge vs singleton-set mismatch",
+            w.label()
+        );
+    }
+}
+
+/// Acceptance criterion: `dist_after_faults` / `path_after_faults` match
+/// brute-force BFS-with-faults on every fault set of size ≤ 2, for the
+/// single-source engine, serial and sharded. (The multi-source twin and the
+/// per-scenario suite live in `tests/multi_fault.rs`.)
+#[test]
+fn fault_set_queries_match_brute_force_on_all_sets_up_to_two() {
+    let w = Workload::new(WorkloadFamily::LayeredShallow, 30, SEED);
+    let graph = w.generate();
+    let structure = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let sets = enumerate_fault_sets(&graph, 2);
+    let mut serial =
+        FaultQueryEngine::with_options(&graph, structure.clone(), EngineOptions::new().serial())
+            .expect("matching graph");
+    let mut sharded = FaultQueryEngine::with_options(
+        &graph,
+        structure,
+        EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+    )
+    .expect("matching graph");
+    let queries: Vec<(VertexId, FaultSet)> = sets
+        .iter()
+        .flat_map(|fs| graph.vertices().map(move |v| (v, fs.clone())))
+        .collect();
+    let serial_answers = serial.query_many_faults(&queries).expect("in range");
+    let sharded_answers = sharded.query_many_faults(&queries).expect("in range");
+    assert_eq!(serial_answers, sharded_answers, "sharded diverged");
+    for (i, (v, fs)) in queries.iter().enumerate() {
+        let brute = dist_after_faults_brute(&graph, VertexId(0), fs)[v.index()];
+        let want = (brute != UNREACHABLE).then_some(brute);
+        assert_eq!(serial_answers[i], want, "{}: {v:?} under {fs}", w.label());
+        if let Some(d) = want {
+            let p = serial
+                .path_after_faults(*v, fs)
+                .expect("in range")
+                .expect("reachable vertices have witness paths");
+            assert_eq!(p.len() as u32, d);
+            for e in fs.edges() {
+                assert!(!p.contains_edge(e));
+            }
+            for fv in fs.vertices() {
+                assert!(!p.vertices().contains(&fv));
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_set_error_paths_are_typed_through_the_facade() {
+    let graph = generators::grid(4, 4);
+    let structure = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    // Default cap is 2; a 3-set is rejected, and the cap is configurable.
+    let three: FaultSet = (0..3).map(|i| ftbfs::Fault::Edge(EdgeId(i))).collect();
+    let mut engine = FaultQueryEngine::new(&graph, structure.clone()).expect("matching graph");
+    assert_eq!(
+        engine.dist_after_faults(VertexId(1), &three),
+        Err(FtbfsError::FaultSetTooLarge { got: 3, max: 2 })
+    );
+    let mut wide = FaultQueryEngine::with_options(
+        &graph,
+        structure,
+        EngineOptions::from_build_config(&BuildConfig::new(0.3).with_max_faults(3).serial()),
+    )
+    .expect("matching graph");
+    assert!(wide.dist_after_faults(VertexId(1), &three).is_ok());
+    assert!(matches!(
+        wide.dist_after_faults(VertexId(1), &FaultSet::single_vertex(VertexId(99))),
+        Err(FtbfsError::InvalidFault { .. })
     ));
 }
 

@@ -80,4 +80,41 @@ proptest! {
         prop_assert_eq!(structure.num_reinforced(), 0);
         prop_assert!(structure.stats().used_baseline);
     }
+
+    /// The generalised fault model: on random graphs with random ε, every
+    /// fault set of size ≤ 2 (edges, vertices and mixed) answers exactly
+    /// like brute-force BFS over the masked graph.
+    #[test]
+    fn fault_set_queries_agree_with_brute_force(
+        n in 16usize..40,
+        avg_degree in 3usize..7,
+        eps in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        use ftbfs::graph::{enumerate_fault_sets, Graph};
+        use ftbfs::sp::UNREACHABLE;
+        use ftbfs::{dist_after_faults_brute, FaultQueryEngine};
+
+        let m = n * avg_degree / 2;
+        let graph: Graph = families::erdos_renyi_gnm(n, m, seed);
+        let structure = TradeoffBuilder::new(eps)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("generated workloads are valid input");
+        let mut engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+        // Sample the |F| ≤ 2 space: checking every set of every case would
+        // dominate the whole suite's runtime.
+        let sets = enumerate_fault_sets(&graph, 2);
+        for faults in sets.iter().step_by(11) {
+            let brute = dist_after_faults_brute(&graph, VertexId(0), faults);
+            for v in graph.vertices() {
+                let got = engine.dist_after_faults(v, faults).expect("in range");
+                let want = (brute[v.index()] != UNREACHABLE).then_some(brute[v.index()]);
+                prop_assert_eq!(
+                    got, want,
+                    "eps={}, seed={}: {:?} under {}", eps, seed, v, faults
+                );
+            }
+        }
+    }
 }
