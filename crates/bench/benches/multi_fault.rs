@@ -28,8 +28,10 @@ fn bench_multi_fault_scenarios(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("multi_fault");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
+    // Per-iteration times are around a millisecond and noisy on shared
+    // runners; a larger sample keeps the gated means stable.
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(500));
 
     // Reference: the historic single-edge batch on the same engine.
     let single_queries: Vec<(VertexId, EdgeId)> = graph

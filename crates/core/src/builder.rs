@@ -28,6 +28,7 @@
 
 use crate::config::BuildConfig;
 use crate::error::FtbfsError;
+use crate::ftbfs::{AugmentedStructure, FtBfsAugmenter};
 use crate::mbfs::{try_build_ft_mbfs_plan, MultiSourceStructure, SingleSourcePlan};
 use crate::structure::FtBfsStructure;
 use ftb_graph::{Graph, VertexId};
@@ -404,6 +405,25 @@ pub fn build_structure(
         ..config.clone()
     });
     builder.build(graph, sources)
+}
+
+/// Build per `plan` and then run the replacement-path augmentation stage
+/// configured by [`BuildConfig::augment`].
+///
+/// This is the two-stage pipeline behind augmented serving: construct the
+/// seed `(b, r)` structure exactly like [`build_structure`], then let a
+/// [`FtBfsAugmenter`] (seed and thread configuration lifted from `config`)
+/// extend it to `H⁺`. With [`AugmentCoverage::Off`](crate::ftbfs::AugmentCoverage::Off)
+/// the result carries no extra edges and an engine built from it serves
+/// exactly like one built from the plain structure.
+pub fn build_augmented_structure(
+    graph: &Graph,
+    sources: &Sources,
+    plan: BuildPlan,
+    config: &BuildConfig,
+) -> Result<AugmentedStructure, FtbfsError> {
+    let base = build_structure(graph, sources, plan, config)?;
+    FtBfsAugmenter::from_build_config(config).augment_sources(graph, base, sources.as_slice())
 }
 
 #[cfg(test)]

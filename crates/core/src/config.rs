@@ -7,6 +7,7 @@
 //! before doing any work.
 
 use crate::error::FtbfsError;
+use crate::ftbfs::AugmentCoverage;
 use ftb_par::ParallelConfig;
 
 /// Configuration of the `(b, r)` FT-BFS construction.
@@ -57,6 +58,15 @@ pub struct BuildConfig {
     /// Default 2 (the dual-failure regime of the paper's successors);
     /// minimum 1.
     pub max_faults: usize,
+    /// Replacement-path augmentation stage to run after construction
+    /// ([`crate::builder::build_augmented_structure`] /
+    /// [`FtBfsAugmenter::from_build_config`](crate::ftbfs::FtBfsAugmenter::from_build_config)):
+    /// [`AugmentCoverage::Off`] (default) builds the plain `(b, r)`
+    /// structure, [`AugmentCoverage::SingleFault`] /
+    /// [`AugmentCoverage::DualFailure`] additionally build the sparse
+    /// `H⁺` answering vertex faults, reinforced-edge hypotheticals and (for
+    /// dual) two-failure sets without full-graph recomputation.
+    pub augment: AugmentCoverage,
 }
 
 impl BuildConfig {
@@ -76,6 +86,7 @@ impl BuildConfig {
             require_connected: false,
             engine_lru_rows: crate::engine::EngineOptions::DEFAULT_LRU_ROWS,
             max_faults: crate::engine::EngineOptions::DEFAULT_MAX_FAULTS,
+            augment: AugmentCoverage::Off,
         }
     }
 
@@ -153,6 +164,13 @@ impl BuildConfig {
     /// configuration accept (minimum 1).
     pub fn with_max_faults(mut self, max: usize) -> Self {
         self.max_faults = max.max(1);
+        self
+    }
+
+    /// Select the replacement-path augmentation stage
+    /// ([`AugmentCoverage::Off`] by default).
+    pub fn with_augment(mut self, coverage: AugmentCoverage) -> Self {
+        self.augment = coverage;
         self
     }
 
@@ -290,6 +308,15 @@ mod tests {
         assert!(c.require_connected);
         assert_eq!(c.k_rounds(), 5);
         assert_eq!(c.budget(1_000_000), 9);
+    }
+
+    #[test]
+    fn augment_defaults_off_and_is_settable() {
+        let c = BuildConfig::new(0.3);
+        assert_eq!(c.augment, AugmentCoverage::Off);
+        let c = c.with_augment(AugmentCoverage::DualFailure);
+        assert_eq!(c.augment, AugmentCoverage::DualFailure);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! The per-thread mutable half of the query engine: [`QueryContext`].
 
 use super::core::EngineCore;
-use super::{bfs_sweep, finite, QueryStats};
+use super::{bfs_sweep, finite, QueryStats, Tier};
 use crate::error::FtbfsError;
 use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
 use ftb_sp::{Path, UNREACHABLE};
 use std::collections::VecDeque;
 
 /// One cached post-failure BFS row, keyed by (source slot, fault set).
+///
+/// Rows are not tagged with their tier: routing is a pure function of the
+/// fault set, so an LRU hit re-derives the same attribution the computing
+/// query got.
 #[derive(Clone, Debug)]
 struct CachedRow {
     source_slot: u32,
@@ -342,8 +346,14 @@ impl QueryContext {
 
     /// Make the distance row for fault set `faults` (as seen from source
     /// slot `slot`) available and report where it lives.
+    ///
+    /// Every call attributes the query to exactly one routing tier (see
+    /// [`TierCounters`](super::TierCounters)); the per-CSR sweep counters
+    /// only move when a search actually runs.
     fn ensure_row(&mut self, core: &EngineCore, slot: usize, faults: &FaultSet) -> RowSlot {
-        if core.faults_preserve_distances(faults) {
+        let tier = core.route(faults);
+        self.count_tier(tier);
+        if tier == Tier::FaultFree {
             // Every fault is an edge outside H: T0 ⊆ H survives and the
             // distances are unchanged.
             self.stats.cached_answers += 1;
@@ -378,44 +388,69 @@ impl QueryContext {
         };
         let source = core.sources()[slot];
         let row = &mut self.rows[i];
-        match faults.as_single_edge() {
-            Some(e) if !core.structure().is_reinforced(e) => {
-                // The paper's regime: one non-reinforced structure edge.
-                // The FT-BFS guarantee makes a BFS over the compact CSR of
-                // H ∖ {e} exact.
-                let banned = core.parent_edge_to_h[e.index()];
-                let h_graph = &core.h_graph;
-                let to_parent = &core.h_edge_to_parent;
-                bfs_sweep(
-                    source,
-                    &mut row.dist,
-                    &mut row.parent,
-                    &mut self.queue,
-                    |u| {
-                        h_graph
-                            .neighbors(u)
-                            .filter(move |&(_, he)| Some(he.0) != banned)
-                            .map(|(w, he)| (w, to_parent[he.index()]))
-                    },
-                );
-                self.stats.structure_bfs_runs += 1;
-            }
-            _ => {
-                // Everything beyond the single-failure guarantee — vertex
-                // faults, multi-fault sets touching H, and the hypothetical
-                // failure of a reinforced (fault-immune-by-assumption) edge —
-                // stays exact with one BFS over the full graph G ∖ F. The
-                // banned-element filter scans the canonical fault slice: at
-                // most `max_faults` entries, so membership is a short linear
-                // scan, cheaper than any hashing at these sizes.
-                let banned = faults.as_slice();
-                if banned.contains(&Fault::Vertex(source)) {
-                    // The source itself failed: nothing is reachable
-                    // (matching `bfs_distances_view` over a masked source).
-                    // No search runs, so no sweep is counted.
-                    row.dist.fill(UNREACHABLE);
-                    row.parent.fill(None);
-                } else {
+        // The banned-element filters below scan the canonical fault slice:
+        // at most `max_faults` entries, so membership is a short linear
+        // scan, cheaper than any hashing at these sizes.
+        let banned = faults.as_slice();
+        if banned.contains(&Fault::Vertex(source)) {
+            // The source itself failed: nothing is reachable (matching
+            // `bfs_distances_view` over a masked source). No search runs,
+            // so no sweep is counted.
+            row.dist.fill(UNREACHABLE);
+            row.parent.fill(None);
+        } else {
+            match tier {
+                Tier::SparseH => {
+                    // The seed paper's regime: one non-reinforced structure
+                    // edge. The FT-BFS guarantee makes a BFS over the
+                    // compact CSR of H ∖ {e} exact.
+                    let e = faults.as_single_edge().expect("SparseH is single-edge");
+                    let h = &core.h;
+                    let banned_compact = h.compact_edge(e);
+                    bfs_sweep(
+                        source,
+                        &mut row.dist,
+                        &mut row.parent,
+                        &mut self.queue,
+                        |u| {
+                            h.graph()
+                                .neighbors(u)
+                                .filter(move |&(_, he)| Some(he) != banned_compact)
+                                .map(|(w, he)| (w, h.parent_edge(he)))
+                        },
+                    );
+                    self.stats.structure_bfs_runs += 1;
+                }
+                Tier::Augmented => {
+                    // The fault set is inside the augmented structure's
+                    // coverage: a BFS over H⁺ ∖ F is exact by the
+                    // replacement-path construction (see `crate::ftbfs`).
+                    // The ≤ 2 banned edges are translated to compact ids
+                    // once, so the sweep compares compact ids directly and
+                    // only translates the edges it records as parents.
+                    let aug = &core.aug.as_ref().expect("Augmented tier has a CSR").csr;
+                    let banned_compact: Vec<ftb_graph::EdgeId> =
+                        faults.edges().filter_map(|e| aug.compact_edge(e)).collect();
+                    bfs_sweep(
+                        source,
+                        &mut row.dist,
+                        &mut row.parent,
+                        &mut self.queue,
+                        |u| {
+                            aug.graph()
+                                .neighbors(u)
+                                .filter(|&(w, ce)| {
+                                    !banned_compact.contains(&ce)
+                                        && !banned.contains(&Fault::Vertex(w))
+                                })
+                                .map(|(w, ce)| (w, aug.parent_edge(ce)))
+                        },
+                    );
+                    self.stats.augmented_bfs_runs += 1;
+                }
+                Tier::FullGraph => {
+                    // Everything beyond the sparse guarantees stays exact
+                    // with one BFS over the full graph G ∖ F.
                     let graph = core.graph();
                     bfs_sweep(
                         source,
@@ -431,6 +466,7 @@ impl QueryContext {
                     );
                     self.stats.full_graph_bfs_runs += 1;
                 }
+                Tier::FaultFree => unreachable!("handled above"),
             }
         }
         let row = &mut self.rows[i];
@@ -438,5 +474,14 @@ impl QueryContext {
         row.faults = faults.clone();
         row.last_used = self.clock;
         RowSlot::Cached(i)
+    }
+
+    fn count_tier(&mut self, tier: Tier) {
+        match tier {
+            Tier::FaultFree => self.stats.tiers.fault_free_row += 1,
+            Tier::SparseH => self.stats.tiers.sparse_h_bfs += 1,
+            Tier::Augmented => self.stats.tiers.augmented_bfs += 1,
+            Tier::FullGraph => self.stats.tiers.full_graph_bfs += 1,
+        }
     }
 }

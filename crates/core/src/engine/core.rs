@@ -2,10 +2,12 @@
 //! construction-time options.
 
 use super::context::QueryContext;
+use super::Tier;
 use crate::error::FtbfsError;
+use crate::ftbfs::{AugmentCoverage, AugmentedStructure};
 use crate::mbfs::MultiSourceStructure;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{EdgeId, FaultSet, Graph, VertexId};
+use ftb_graph::{CompactSubgraph, EdgeId, FaultSet, Graph, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_sp::UNREACHABLE;
 use std::collections::VecDeque;
@@ -109,6 +111,16 @@ pub(super) struct FaultFreeRow {
 
 static NEXT_CORE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
+/// The preprocessed augmented-serving tier: the compact CSR of `H⁺` and the
+/// coverage contract deciding which fault sets it may answer.
+#[derive(Debug)]
+pub(super) struct AugmentedTier {
+    /// Compact CSR of `H⁺` (vertex ids preserved, edge ids translated).
+    pub(super) csr: CompactSubgraph,
+    /// The fault family the structure was constructed to answer exactly.
+    pub(super) coverage: AugmentCoverage,
+}
+
 /// The immutable preprocessed half of the fault-query engine.
 ///
 /// An `EngineCore` owns everything queries read and nothing they write: a
@@ -133,12 +145,11 @@ pub struct EngineCore {
     /// The served sources; queries name them by vertex id. Slot 0 is the
     /// primary source (the single source, or the first of the union).
     sources: Vec<VertexId>,
-    /// Compact CSR of `H` (vertex ids preserved).
-    pub(super) h_graph: Graph,
-    /// Compact edge id (index) → parent graph edge id.
-    pub(super) h_edge_to_parent: Vec<EdgeId>,
-    /// Parent graph edge id → compact edge id, for edges of `H`.
-    pub(super) parent_edge_to_h: Vec<Option<u32>>,
+    /// Compact CSR of `H` (vertex ids preserved, edge ids translated).
+    pub(super) h: CompactSubgraph,
+    /// The augmented serving tier, present when the core was built from an
+    /// [`AugmentedStructure`] with non-trivial coverage.
+    pub(super) aug: Option<AugmentedTier>,
     /// Fault-free rows, one per source slot.
     fault_free: Vec<FaultFreeRow>,
     options: EngineOptions,
@@ -170,7 +181,41 @@ impl EngineCore {
         options: EngineOptions,
     ) -> Result<Self, FtbfsError> {
         let sources = vec![structure.source()];
-        Self::assemble(graph, structure, sources, options)
+        Self::assemble(graph, structure, sources, options, None)
+    }
+
+    /// Preprocess an [`AugmentedStructure`] into a core with an
+    /// `augmented_bfs` serving tier: fault sets inside the structure's
+    /// [coverage](AugmentedStructure::coverage) are answered by a
+    /// banned-element BFS over the compact CSR of `H⁺ ∖ F` instead of the
+    /// full-graph fallback. Serves every source the structure was augmented
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineCore::build`], checked for every source.
+    pub fn build_augmented(
+        graph: &Graph,
+        augmented: AugmentedStructure,
+    ) -> Result<Self, FtbfsError> {
+        Self::build_augmented_with(graph, augmented, EngineOptions::default())
+    }
+
+    /// Like [`EngineCore::build_augmented`] with explicit options.
+    pub fn build_augmented_with(
+        graph: &Graph,
+        augmented: AugmentedStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let AugmentedStructure {
+            base,
+            edges,
+            sources,
+            coverage,
+            stats: _,
+        } = augmented;
+        let aug = (coverage != AugmentCoverage::Off).then_some((edges, coverage));
+        Self::assemble(graph, base, sources, options, aug)
     }
 
     /// Preprocess a multi-source structure into one shared core: the union
@@ -192,7 +237,13 @@ impl EngineCore {
         options: EngineOptions,
     ) -> Result<Self, FtbfsError> {
         let sources = structure.sources().to_vec();
-        Self::assemble(graph, structure.into_union_structure(), sources, options)
+        Self::assemble(
+            graph,
+            structure.into_union_structure(),
+            sources,
+            options,
+            None,
+        )
     }
 
     fn assemble(
@@ -200,6 +251,7 @@ impl EngineCore {
         structure: FtBfsStructure,
         sources: Vec<VertexId>,
         options: EngineOptions,
+        aug: Option<(ftb_graph::BitSet, AugmentCoverage)>,
     ) -> Result<Self, FtbfsError> {
         if structure.edge_set().capacity() != graph.num_edges() {
             return Err(FtbfsError::StructureMismatch {
@@ -215,11 +267,17 @@ impl EngineCore {
                 });
             }
         }
-        let (h_graph, h_edge_to_parent) = structure.to_graph(graph);
-        let mut parent_edge_to_h = vec![None; graph.num_edges()];
-        for (new_idx, &parent) in h_edge_to_parent.iter().enumerate() {
-            parent_edge_to_h[parent.index()] = Some(new_idx as u32);
-        }
+        let h = CompactSubgraph::from_edge_set(graph, structure.edge_set());
+        let aug = aug.map(|(edges, coverage)| {
+            debug_assert!(
+                structure.edge_set().iter().all(|e| edges.contains(e)),
+                "H⁺ must contain H"
+            );
+            AugmentedTier {
+                csr: CompactSubgraph::from_edge_set(graph, &edges),
+                coverage,
+            }
+        });
         let n = graph.num_vertices();
 
         // Fault-free preprocessing: one BFS over H per source, cross-checked
@@ -233,9 +291,7 @@ impl EngineCore {
                 parent: vec![None; n],
             };
             super::bfs_sweep(s, &mut row.dist, &mut row.parent, &mut queue, |u| {
-                h_graph
-                    .neighbors(u)
-                    .map(|(w, he)| (w, h_edge_to_parent[he.index()]))
+                h.neighbors_parent_ids(u)
             });
             let graph_dist = ftb_sp::bfs_distances(graph, s);
             if let Some(i) = (0..graph_dist.len()).find(|&i| graph_dist[i] != row.dist[i]) {
@@ -250,9 +306,8 @@ impl EngineCore {
             graph: graph.clone(),
             structure,
             sources,
-            h_graph,
-            h_edge_to_parent,
-            parent_edge_to_h,
+            h,
+            aug,
             fault_free,
             options,
             token: NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed),
@@ -363,5 +418,38 @@ impl EngineCore {
             ftb_graph::Fault::Edge(e) => !self.structure.contains_edge(e),
             ftb_graph::Fault::Vertex(_) => false,
         })
+    }
+
+    /// The augmentation coverage the core serves with its `augmented_bfs`
+    /// tier ([`AugmentCoverage::Off`] for a core built from a plain
+    /// structure).
+    pub fn augment_coverage(&self) -> AugmentCoverage {
+        self.aug
+            .as_ref()
+            .map_or(AugmentCoverage::Off, |a| a.coverage)
+    }
+
+    /// Number of edges of the augmented structure `H⁺` the core serves
+    /// (`None` without augmentation).
+    pub fn augmented_edges(&self) -> Option<usize> {
+        self.aug.as_ref().map(|a| a.csr.num_edges())
+    }
+
+    /// Route a (validated) fault set to its answering tier. Routing is a
+    /// pure function of the fault set and the core's structure, so every
+    /// context (and every LRU-cached row) agrees on the attribution.
+    pub(super) fn route(&self, faults: &FaultSet) -> Tier {
+        if self.faults_preserve_distances(faults) {
+            return Tier::FaultFree;
+        }
+        if let Some(e) = faults.as_single_edge() {
+            if self.structure.contains_edge(e) && !self.structure.is_reinforced(e) {
+                return Tier::SparseH;
+            }
+        }
+        match &self.aug {
+            Some(aug) if aug.coverage.covers(faults) => Tier::Augmented,
+            _ => Tier::FullGraph,
+        }
     }
 }

@@ -61,6 +61,37 @@ impl<'g> FaultQueryEngine<'g> {
         Ok(FaultQueryEngine { graph, core, ctx })
     }
 
+    /// Preprocess an [`AugmentedStructure`](crate::ftbfs::AugmentedStructure)
+    /// into a query engine with default [`EngineOptions`]: fault sets inside
+    /// the structure's coverage are answered by sparse search over
+    /// `H⁺ ∖ F` (the `augmented_bfs` tier) instead of a full-graph BFS.
+    ///
+    /// Serves the structure's primary source; use
+    /// [`MultiSourceEngine::from_augmented`](super::MultiSourceEngine::from_augmented)
+    /// for per-source queries over a multi-source augmentation.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultQueryEngine::new`].
+    pub fn from_augmented(
+        graph: &'g Graph,
+        augmented: crate::ftbfs::AugmentedStructure,
+    ) -> Result<Self, FtbfsError> {
+        Self::from_augmented_with_options(graph, augmented, EngineOptions::default())
+    }
+
+    /// Like [`FaultQueryEngine::from_augmented`] with explicit serving
+    /// options.
+    pub fn from_augmented_with_options(
+        graph: &'g Graph,
+        augmented: crate::ftbfs::AugmentedStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let core = Arc::new(EngineCore::build_augmented_with(graph, augmented, options)?);
+        let ctx = core.new_context();
+        Ok(FaultQueryEngine { graph, core, ctx })
+    }
+
     /// Wrap an already-preprocessed shared core in a facade with its own
     /// fresh context. The core must have been built from `graph`.
     ///
@@ -290,14 +321,15 @@ where
     }
 
     let mut results = vec![None; len];
-    // Distance-preserving groups (every fault an edge outside H) read
+    // Fault-free-routed groups (every fault an edge outside H) read
     // straight off the core's preprocessed rows — no BFS, no sharding
-    // needed.
+    // needed. Routing goes through the same `route` function as single
+    // queries so the two paths can never drift apart.
     let mut inline = QueryStats::default();
     let mut bfs_units: Vec<WorkUnit> = Vec::new();
     for g in groups {
         let (_, _, faults) = query_at(order[g.start] as usize);
-        if !core.faults_preserve_distances(faults) {
+        if core.route(faults) != super::Tier::FaultFree {
             bfs_units.push(g);
             continue;
         }
@@ -308,6 +340,7 @@ where
         }
         inline.queries += g.end - g.start;
         inline.cached_answers += g.end - g.start;
+        inline.tiers.fault_free_row += g.end - g.start;
     }
     ctx.merge_stats(&inline);
 
@@ -374,12 +407,7 @@ where
             // Report only this unit's counter increments; the worker
             // context (and its running totals) persists across units.
             let total = wctx.stats();
-            let delta = QueryStats {
-                queries: total.queries - seen.queries,
-                structure_bfs_runs: total.structure_bfs_runs - seen.structure_bfs_runs,
-                full_graph_bfs_runs: total.full_graph_bfs_runs - seen.full_graph_bfs_runs,
-                cached_answers: total.cached_answers - seen.cached_answers,
-            };
+            let delta = total.delta_since(seen);
             *seen = total;
             (answers, delta)
         },

@@ -41,25 +41,29 @@
 //!
 //! # Answering model
 //!
-//! For a query `(v, F)` the engine reports `dist(s, v, G ∖ F)`:
+//! For a query `(v, F)` the engine reports `dist(s, v, G ∖ F)` through a
+//! cascade of four tiers, cheapest first (attribution is recorded per query
+//! in [`QueryStats::tiers`]):
 //!
-//! * every fault in `F` an edge outside `H` — the BFS tree `T0 ⊆ H`
-//!   survives, and `dist(G) ≤ dist(G ∖ F) ≤ dist(H ∖ F) = dist(H) =
-//!   dist(G)` squeezes the answer to the fault-free value; the core's
-//!   preprocessed row is returned without any search.
-//! * `F = {e}`, a single non-reinforced structure edge — one BFS over the
-//!   compact CSR of `H ∖ {e}`. By the defining FT-BFS guarantee
-//!   (`dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})`, with `≥` from `H ⊆ G`)
-//!   the answer equals the from-scratch distance in `G ∖ {e}` whenever the
-//!   structure is valid.
-//! * everything else — vertex faults, multi-fault sets touching `H`, and
-//!   the hypothetical failure of a reinforced (fault-immune-by-assumption)
-//!   edge — one BFS over the full graph `G ∖ F`. The paper's structure
-//!   guarantees nothing beyond a single edge failure, so the engine stays
-//!   exact by recomputation; these rows cost `O(n + m)` rather than
-//!   `O(|H|)` per miss. (Dedicated multi-fault structures — Parter–Peleg
-//!   2013 for vertex faults, Parter 2015 for dual failures — are the
-//!   natural upgrade path behind this same interface.)
+//! * **`fault_free_row`** — every fault in `F` an edge outside `H`: the BFS
+//!   tree `T0 ⊆ H` survives, and `dist(G) ≤ dist(G ∖ F) ≤ dist(H ∖ F) =
+//!   dist(H) = dist(G)` squeezes the answer to the fault-free value; the
+//!   core's preprocessed row is returned without any search.
+//! * **`sparse_h_bfs`** — `F = {e}`, a single non-reinforced structure
+//!   edge: one BFS over the compact CSR of `H ∖ {e}`. By the defining
+//!   FT-BFS guarantee (`dist(s, v, H ∖ {e}) ≤ dist(s, v, G ∖ {e})`, with
+//!   `≥` from `H ⊆ G`) the answer equals the from-scratch distance in
+//!   `G ∖ {e}` whenever the structure is valid.
+//! * **`augmented_bfs`** — the core was built from an
+//!   [`AugmentedStructure`](crate::ftbfs::AugmentedStructure) whose
+//!   [coverage](crate::ftbfs::AugmentCoverage) accepts `F` (vertex faults,
+//!   dual edge failures, a vertex plus an edge, reinforced-edge
+//!   hypotheticals): one BFS over the compact CSR of `H⁺ ∖ F`, exact by the
+//!   replacement-path construction (see the [`ftbfs`](crate::ftbfs) docs).
+//! * **`full_graph_bfs`** — everything else (`|F| ≥ 3`, two simultaneous
+//!   vertex faults, or a build without the needed augmentation): one exact
+//!   recomputed BFS over the full graph `G ∖ F`, costing `O(n + m)` rather
+//!   than `O(|H⁺|)` per miss.
 //!
 //! A query whose fault set contains the target vertex or the source itself
 //! reports the vertex disconnected (`Ok(None)`), matching brute-force BFS
@@ -93,9 +97,71 @@ pub use context::QueryContext;
 pub use facade::FaultQueryEngine;
 pub use multi::MultiSourceEngine;
 
+/// The answering tier a fault set routes to (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// The faults cannot change distances; the preprocessed row answers.
+    FaultFree,
+    /// Single non-reinforced structure edge: BFS over `H ∖ {e}`.
+    SparseH,
+    /// Covered by the build's augmentation: BFS over `H⁺ ∖ F`.
+    Augmented,
+    /// Everything else: exact recomputed BFS over `G ∖ F`.
+    FullGraph,
+}
+
 use ftb_graph::{EdgeId, VertexId};
 use ftb_sp::UNREACHABLE;
 use std::collections::VecDeque;
+
+/// Per-tier answering counters: how many queries each routing tier
+/// answered.
+///
+/// Every query is attributed to exactly one tier — the tier whose row
+/// (fresh or LRU-cached) produced the answer — so the four fields always
+/// sum to [`QueryStats::queries`]. This makes tier routing *observable*:
+/// e.g. a test can assert that vertex-fault queries on an augmented build
+/// never land in [`TierCounters::full_graph_bfs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Answered straight from the preprocessed fault-free row (every fault
+    /// an edge outside the structure).
+    pub fault_free_row: usize,
+    /// Answered from a BFS row over the sparse structure CSR `H ∖ {e}`
+    /// (single non-reinforced structure-edge failures — the seed paper's
+    /// guarantee).
+    pub sparse_h_bfs: usize,
+    /// Answered from a BFS row over the augmented CSR `H⁺ ∖ F`
+    /// (vertex faults, dual failures and reinforced-edge hypotheticals
+    /// within the build's [`AugmentCoverage`](crate::ftbfs::AugmentCoverage)).
+    pub augmented_bfs: usize,
+    /// Answered from a recomputed full-graph BFS row over `G ∖ F` (the
+    /// exact fallback for everything outside the sparse guarantees).
+    pub full_graph_bfs: usize,
+}
+
+impl TierCounters {
+    /// Sum of all tiers (equals the total query count).
+    pub fn total(&self) -> usize {
+        self.fault_free_row + self.sparse_h_bfs + self.augmented_bfs + self.full_graph_bfs
+    }
+
+    fn merge(&mut self, other: &TierCounters) {
+        self.fault_free_row += other.fault_free_row;
+        self.sparse_h_bfs += other.sparse_h_bfs;
+        self.augmented_bfs += other.augmented_bfs;
+        self.full_graph_bfs += other.full_graph_bfs;
+    }
+
+    fn delta_since(&self, earlier: &TierCounters) -> TierCounters {
+        TierCounters {
+            fault_free_row: self.fault_free_row - earlier.fault_free_row,
+            sparse_h_bfs: self.sparse_h_bfs - earlier.sparse_h_bfs,
+            augmented_bfs: self.augmented_bfs - earlier.augmented_bfs,
+            full_graph_bfs: self.full_graph_bfs - earlier.full_graph_bfs,
+        }
+    }
+}
 
 /// Counters describing how an engine (or a single context) answered its
 /// queries so far.
@@ -103,13 +169,18 @@ use std::collections::VecDeque;
 pub struct QueryStats {
     /// Total queries answered (distance, path and batched).
     pub queries: usize,
-    /// BFS sweeps over the compact structure CSR.
+    /// BFS sweeps over the compact structure CSR of `H`.
     pub structure_bfs_runs: usize,
-    /// BFS sweeps over the full graph (reinforced-edge fallback).
+    /// BFS sweeps over the compact augmented CSR of `H⁺`.
+    pub augmented_bfs_runs: usize,
+    /// BFS sweeps over the full graph (the exact fallback).
     pub full_graph_bfs_runs: usize,
     /// Queries answered from an already-computed row (the fault-free row or
     /// an LRU hit).
     pub cached_answers: usize,
+    /// Per-tier attribution of every answered query (fields sum to
+    /// [`QueryStats::queries`]).
+    pub tiers: TierCounters,
 }
 
 impl QueryStats {
@@ -118,8 +189,23 @@ impl QueryStats {
     pub fn merge(&mut self, other: &QueryStats) {
         self.queries += other.queries;
         self.structure_bfs_runs += other.structure_bfs_runs;
+        self.augmented_bfs_runs += other.augmented_bfs_runs;
         self.full_graph_bfs_runs += other.full_graph_bfs_runs;
         self.cached_answers += other.cached_answers;
+        self.tiers.merge(&other.tiers);
+    }
+
+    /// The counter increments accumulated since `earlier` was captured
+    /// (both snapshots must come from the same context/engine).
+    pub fn delta_since(&self, earlier: &QueryStats) -> QueryStats {
+        QueryStats {
+            queries: self.queries - earlier.queries,
+            structure_bfs_runs: self.structure_bfs_runs - earlier.structure_bfs_runs,
+            augmented_bfs_runs: self.augmented_bfs_runs - earlier.augmented_bfs_runs,
+            full_graph_bfs_runs: self.full_graph_bfs_runs - earlier.full_graph_bfs_runs,
+            cached_answers: self.cached_answers - earlier.cached_answers,
+            tiers: self.tiers.delta_since(&earlier.tiers),
+        }
     }
 }
 

@@ -52,6 +52,35 @@ impl<'g> MultiSourceEngine<'g> {
         Ok(MultiSourceEngine { graph, core, ctx })
     }
 
+    /// Preprocess an [`AugmentedStructure`](crate::ftbfs::AugmentedStructure)
+    /// (typically from
+    /// [`FtBfsAugmenter::augment_multi`](crate::ftbfs::FtBfsAugmenter::augment_multi))
+    /// into a per-source engine whose covered fault sets are answered over
+    /// `H⁺ ∖ F` instead of the full graph. Every source the structure was
+    /// augmented for is served.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiSourceEngine::new`].
+    pub fn from_augmented(
+        graph: &'g Graph,
+        augmented: crate::ftbfs::AugmentedStructure,
+    ) -> Result<Self, FtbfsError> {
+        Self::from_augmented_with_options(graph, augmented, EngineOptions::default())
+    }
+
+    /// Like [`MultiSourceEngine::from_augmented`] with explicit serving
+    /// options.
+    pub fn from_augmented_with_options(
+        graph: &'g Graph,
+        augmented: crate::ftbfs::AugmentedStructure,
+        options: EngineOptions,
+    ) -> Result<Self, FtbfsError> {
+        let core = Arc::new(EngineCore::build_augmented_with(graph, augmented, options)?);
+        let ctx = core.new_context();
+        Ok(MultiSourceEngine { graph, core, ctx })
+    }
+
     /// The shared immutable core — clone the `Arc` to serve the same
     /// preprocessed data from other threads via
     /// [`EngineCore::new_context`].

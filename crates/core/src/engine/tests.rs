@@ -881,3 +881,94 @@ fn multi_source_fault_sets_are_exact_per_source() {
         Err(FtbfsError::SourceNotServed { .. })
     ));
 }
+
+#[test]
+fn tier_counters_sum_to_queries_and_attribute_lru_hits() {
+    let graph = generators::complete(9);
+    let mut engine = engine_for(&graph, 0.3, 31);
+    let outside = graph
+        .edge_ids()
+        .find(|&e| !engine.structure().contains_edge(e))
+        .expect("a sparse structure leaves edges out");
+    let inside = engine
+        .structure()
+        .backup_edges()
+        .next()
+        .expect("structure has backup edges");
+    // Fault-free tier, then sparse-H tier twice (second is an LRU hit) and
+    // a vertex fault on the full-graph tier (no augmentation here).
+    let _ = engine.dist_after_fault(VertexId(7), outside).unwrap();
+    let _ = engine.dist_after_fault(VertexId(7), inside).unwrap();
+    let _ = engine.dist_after_fault(VertexId(8), inside).unwrap();
+    let _ = engine
+        .dist_after_faults(VertexId(7), &FaultSet::single_vertex(VertexId(3)))
+        .unwrap();
+    let stats = engine.query_stats();
+    assert_eq!(stats.queries, 4);
+    assert_eq!(stats.tiers.total(), stats.queries);
+    assert_eq!(stats.tiers.fault_free_row, 1);
+    assert_eq!(stats.tiers.sparse_h_bfs, 2, "LRU hit keeps its tier");
+    assert_eq!(stats.tiers.full_graph_bfs, 1);
+    assert_eq!(stats.tiers.augmented_bfs, 0);
+    assert_eq!(stats.structure_bfs_runs, 1, "one sweep serves both probes");
+}
+
+#[test]
+fn stats_delta_since_subtracts_fieldwise() {
+    let graph = generators::grid(4, 5);
+    let mut engine = engine_for(&graph, 0.3, 33);
+    let e = engine
+        .structure()
+        .backup_edges()
+        .next()
+        .expect("structure has backup edges");
+    let _ = engine.dist_after_fault(VertexId(3), e).unwrap();
+    let before = engine.query_stats();
+    let _ = engine.dist_after_fault(VertexId(4), e).unwrap();
+    let _ = engine
+        .dist_after_faults(VertexId(4), &FaultSet::single_vertex(VertexId(2)))
+        .unwrap();
+    let delta = engine.query_stats().delta_since(&before);
+    assert_eq!(delta.queries, 2);
+    assert_eq!(delta.cached_answers, 1);
+    assert_eq!(delta.tiers.sparse_h_bfs, 1);
+    assert_eq!(delta.tiers.full_graph_bfs, 1);
+    assert_eq!(delta.structure_bfs_runs, 0);
+    assert_eq!(delta.full_graph_bfs_runs, 1);
+    let mut merged = before;
+    merged.merge(&delta);
+    assert_eq!(merged, engine.query_stats());
+}
+
+#[test]
+fn augmented_core_routes_and_answers_inside_the_engine_crate() {
+    let graph = generators::hypercube(4);
+    let base = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(35).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let aug = crate::ftbfs::FtBfsAugmenter::new(crate::ftbfs::AugmentCoverage::DualFailure)
+        .with_seed(35)
+        .serial()
+        .augment(&graph, base)
+        .expect("matching graph");
+    let core = EngineCore::build_augmented(&graph, aug).expect("matching graph");
+    assert_eq!(
+        core.augment_coverage(),
+        crate::ftbfs::AugmentCoverage::DualFailure
+    );
+    let mut ctx = core.new_context();
+    let faults: FaultSet = [Fault::Edge(EdgeId(0)), Fault::Edge(EdgeId(9))]
+        .into_iter()
+        .collect();
+    for v in graph.vertices() {
+        assert_eq!(
+            ctx.dist_after_faults(&core, v, &faults).expect("in range"),
+            brute_faults(&graph, VertexId(0), v, &faults)
+        );
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.tiers.full_graph_bfs, 0);
+    assert!(stats.tiers.augmented_bfs > 0);
+    assert_eq!(stats.augmented_bfs_runs, 1, "one sweep, then LRU hits");
+}

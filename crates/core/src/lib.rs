@@ -53,7 +53,11 @@
 //! vertices, up to [`engine::EngineOptions::max_faults`] simultaneous
 //! faults) through `dist_after_faults` / `path_after_faults` /
 //! `query_many_faults`; see the [`engine`] module docs for the answering
-//! model and its complexity caveat.
+//! model. To serve vertex faults, dual failures and reinforced-edge
+//! hypotheticals by **sparse** search instead of full-graph recomputation,
+//! run the [`ftbfs`] replacement-path augmentation stage
+//! ([`build_augmented_structure`] or [`FtBfsAugmenter`]) and build the
+//! engine from the resulting [`AugmentedStructure`].
 //!
 //! ```
 //! use ftb_core::{FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
@@ -91,6 +95,7 @@ pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod ftbfs;
 pub mod mbfs;
 pub mod phase_s1;
 pub mod phase_s2;
@@ -105,15 +110,17 @@ pub use algorithm::{build_ft_bfs, build_ft_bfs_with_eps};
 pub use baseline::{build_baseline_ftbfs, build_reinforced_tree};
 pub use baseline::{try_build_baseline_ftbfs, try_build_reinforced_tree};
 pub use builder::{
-    build_structure, BaselineBuilder, BuildPlan, MultiSourceBuilder, ReinforcedTreeBuilder,
-    Sources, StructureBuilder, TradeoffBuilder,
+    build_augmented_structure, build_structure, BaselineBuilder, BuildPlan, MultiSourceBuilder,
+    ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
 };
 pub use config::BuildConfig;
 pub use cost::CostModel;
 pub use engine::{
     EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext, QueryStats,
+    TierCounters,
 };
 pub use error::FtbfsError;
+pub use ftbfs::{AugmentCoverage, AugmentStats, AugmentedStructure, FtBfsAugmenter};
 #[allow(deprecated)]
 pub use mbfs::build_ft_mbfs;
 pub use mbfs::{try_build_ft_mbfs, MultiSourceStructure};

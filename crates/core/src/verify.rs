@@ -180,7 +180,11 @@ pub struct FaultSetMismatch {
 ///
 /// Fault sets are validated up front (so a too-large or out-of-range set is
 /// a typed error, not a mismatch), then distributed over `parallel` workers,
-/// one fresh [`QueryContext`](crate::QueryContext) each. Returns the
+/// one fresh [`QueryContext`](crate::QueryContext) each. A fault set
+/// containing a served source is **skipped for that source**: a failed
+/// source answers every query "disconnected" on both sides, so sweeping it
+/// (as the `enumerate_fault_sets` sweeps used to) burns a brute-force BFS
+/// to compare two all-unreachable rows and verifies nothing. Returns the
 /// disagreements — an empty vector is a clean bill of health.
 pub fn cross_check_fault_sets(
     core: &EngineCore,
@@ -199,6 +203,9 @@ pub fn cross_check_fault_sets(
             let faults = &fault_sets[i];
             let mut bad = Vec::new();
             for &source in core.sources() {
+                if faults.contains_vertex(source) {
+                    continue;
+                }
                 let brute = dist_after_faults_brute(graph, source, faults);
                 for v in graph.vertices() {
                     let engine = ctx
@@ -355,6 +362,30 @@ mod tests {
         // and the parallel sweep agrees
         let mismatches = cross_check_fault_sets(&core, &sets, &ParallelConfig::with_threads(4))
             .expect("sets are in range and within the cap");
+        assert!(mismatches.is_empty());
+    }
+
+    #[test]
+    fn cross_check_skips_fault_sets_containing_the_source() {
+        use crate::builder::{Sources, StructureBuilder, TradeoffBuilder};
+        use ftb_graph::Fault;
+        let g = generators::grid(3, 3);
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.serial())
+            .build(&g, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        let core = crate::engine::EngineCore::build(&g, s).expect("matching graph");
+        // Degenerate sets (the source itself, alone or with another fault)
+        // are skipped rather than swept: still a clean bill of health, and
+        // no brute-force BFS is burnt comparing two all-unreachable rows.
+        let sets = [
+            FaultSet::single_vertex(VertexId(0)),
+            [Fault::Vertex(VertexId(0)), Fault::Edge(EdgeId(0))]
+                .into_iter()
+                .collect(),
+        ];
+        let mismatches = cross_check_fault_sets(&core, &sets, &ParallelConfig::serial())
+            .expect("sets are in range");
         assert!(mismatches.is_empty());
     }
 

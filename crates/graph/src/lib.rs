@@ -41,4 +41,4 @@ pub use csr::{Edge, Graph, NeighborIter};
 pub use fault::{enumerate_fault_sets, Fault, FaultSet};
 pub use ids::{EdgeId, VertexId};
 pub use stats::GraphStats;
-pub use subgraph::{EdgeMask, SubgraphView, VertexMask};
+pub use subgraph::{CompactSubgraph, EdgeMask, SubgraphView, VertexMask};

@@ -238,6 +238,75 @@ pub fn extract_edge_subgraph(graph: &Graph, allowed: &BitSet) -> (Graph, Vec<Edg
     (builder.build(), mapping)
 }
 
+/// A compact CSR materialisation of an edge-induced subgraph, carrying the
+/// edge-id translation both ways.
+///
+/// Serving engines search sparse subgraphs (`H`, the augmented `H⁺`) many
+/// times per second; iterating a masked [`SubgraphView`] pays a filter test
+/// per incident edge of the *parent* graph, while a compact CSR touches only
+/// the surviving edges. `CompactSubgraph` pairs that CSR with
+/// [`CompactSubgraph::parent_edge`] / [`CompactSubgraph::compact_edge`] so
+/// callers can keep talking in parent-graph edge ids (fault sets, parent
+/// pointers) while searching the compact id space.
+#[derive(Clone, Debug)]
+pub struct CompactSubgraph {
+    graph: Graph,
+    to_parent: Vec<EdgeId>,
+    from_parent: Vec<Option<u32>>,
+}
+
+impl CompactSubgraph {
+    /// Extract the subgraph induced by the `allowed` edge whitelist of
+    /// `parent` (vertex ids preserved, edges renumbered densely).
+    pub fn from_edge_set(parent: &Graph, allowed: &BitSet) -> Self {
+        let (graph, to_parent) = extract_edge_subgraph(parent, allowed);
+        let mut from_parent = vec![None; parent.num_edges()];
+        for (compact, &pe) in to_parent.iter().enumerate() {
+            from_parent[pe.index()] = Some(compact as u32);
+        }
+        CompactSubgraph {
+            graph,
+            to_parent,
+            from_parent,
+        }
+    }
+
+    /// The compact CSR graph (vertex ids match the parent graph).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of edges in the compact subgraph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Translate a compact edge id back to the parent graph's edge id.
+    #[inline]
+    pub fn parent_edge(&self, compact: EdgeId) -> EdgeId {
+        self.to_parent[compact.index()]
+    }
+
+    /// Translate a parent-graph edge id to its compact id, if the edge
+    /// survived the extraction.
+    #[inline]
+    pub fn compact_edge(&self, parent: EdgeId) -> Option<EdgeId> {
+        self.from_parent[parent.index()].map(EdgeId)
+    }
+
+    /// Iterate the surviving `(neighbor, edge)` pairs of `v`, reporting
+    /// edges as **parent-graph** edge ids.
+    pub fn neighbors_parent_ids(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.graph
+            .neighbors(v)
+            .map(|(w, ce)| (w, self.parent_edge(ce)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

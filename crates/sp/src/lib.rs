@@ -8,6 +8,9 @@
 //! * [`bfs`] — plain hop-count BFS over (masked) graphs,
 //! * [`lex`] — lexicographic `(hops, Σ tie-weights)` Dijkstra implementing
 //!   `SP(·, ·, ·, W)` with forbidden edges/vertices,
+//! * [`canonical`] — the allocation-free two-sweep variant of the same
+//!   search over reusable scratch, built for the replacement-path
+//!   augmentation's `Θ(n²)` per-fault-set tree computations,
 //! * [`ShortestPathTree`] — the BFS tree `T0 = ⋃_v π(s, v)` rooted at the
 //!   source, with parent pointers, depths, and path extraction,
 //! * [`replacement`] — batched replacement distances `dist(s, ·, G \ {e})`
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod canonical;
 pub mod lex;
 pub mod path;
 pub mod replacement;
@@ -24,6 +28,7 @@ pub mod sp_tree;
 pub mod weights;
 
 pub use bfs::{bfs_distances, bfs_distances_view};
+pub use canonical::CanonicalScratch;
 pub use lex::{LexSearch, PathCost};
 pub use path::Path;
 pub use replacement::ReplacementDistances;

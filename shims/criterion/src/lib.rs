@@ -26,6 +26,27 @@
 //!
 //! Both are skipped in `--test` quick mode, where a single untimed pass
 //! makes the numbers meaningless.
+//!
+//! # Calibration
+//!
+//! Committed baselines are recorded on one machine but enforced on
+//! heterogeneous CI runners. To share one baseline file across machines,
+//! every dump includes a `__calibration` entry: the mean wall time of a
+//! fixed BFS sweep over a synthetic CSR graph — a miniature of the gated
+//! workloads themselves, so its cost profile (and, measured empirically,
+//! its run-to-run stability) matches the benchmark means it scales. When a
+//! gated run finds that entry in the baseline, each comparison is
+//! normalised by the speed ratio `calibration_now / calibration_baseline` —
+//! a runner that is uniformly 2× slower sees its tolerance window shifted
+//! by ~2× before the check, so the gate measures *relative* regressions
+//! rather than runner speed. Set `FTBFS_BENCH_CALIBRATION=0` to disable
+//! the normalisation (raw comparison, the pre-calibration behaviour).
+//!
+//! Committed baselines are best taken as an element-wise **max over a few
+//! dumps** (with a median `__calibration`): serving means on shared
+//! runners are bimodal at the tens-of-percent level, and a max-merged
+//! baseline covers the slow mode so a gate run in either mode only fails
+//! on a genuine regression.
 
 #![forbid(unsafe_code)]
 
@@ -259,6 +280,72 @@ impl Criterion {
     }
 }
 
+/// Key of the calibration entry in dumped baselines (not a benchmark).
+const CALIBRATION_KEY: &str = "__calibration";
+
+/// Wall time (ns) of the calibration workload: a full BFS sweep over a
+/// deterministic synthetic CSR graph (4096 vertices, average degree 8) —
+/// a **miniature of the gated benchmarks themselves**, so its machine
+/// profile (CSR scans, frontier queue, branchy per-edge work) matches what
+/// the recorded means are dominated by. Measured with the same protocol as
+/// a benchmark: a warm-up pass, then the mean of many samples rotating the
+/// BFS source.
+///
+/// Empirically this tracks the benches' run-to-run stability (a few
+/// percent) where synthetic microbenchmarks did not: on a shared/virtual
+/// runner, a pure pointer-chase probe measured up to ~2× process-to-process
+/// spread while the actual BFS means moved < 10%.
+fn calibration_ns() -> f64 {
+    const N: usize = 4096;
+    const DEG: usize = 8;
+    // Deterministic pseudo-random multigraph in CSR form (directed slots,
+    // DEG per vertex) — same shape the gated benches traverse.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x as usize) & (N - 1)
+    };
+    let targets: Vec<u32> = (0..N * DEG).map(|_| step() as u32).collect();
+
+    let mut dist = vec![u32::MAX; N];
+    let mut queue: Vec<u32> = Vec::with_capacity(N);
+    let mut bfs = |source: usize| {
+        dist.fill(u32::MAX);
+        queue.clear();
+        dist[source] = 0;
+        queue.push(source as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            let du = dist[u];
+            for &w in &targets[u * DEG..(u + 1) * DEG] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = du + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        queue.len()
+    };
+
+    const WARMUP: usize = 50;
+    const SAMPLES: usize = 200;
+    let mut reached = 0usize;
+    for s in 0..WARMUP {
+        reached = reached.max(bfs(s % N));
+    }
+    let start = Instant::now();
+    for s in 0..SAMPLES {
+        reached = reached.max(bfs((s * 31) % N));
+    }
+    let total = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(reached);
+    total / SAMPLES as f64
+}
+
 /// Serialise benchmark means as a flat JSON object, one `"id": mean_ns`
 /// entry per line.
 fn to_json(results: &[(String, f64)]) -> String {
@@ -307,12 +394,21 @@ pub fn finish() {
         return;
     }
     let results = RESULTS.lock().expect("bench results poisoned");
-    if let Ok(path) = std::env::var("FTBFS_BENCH_JSON") {
-        std::fs::write(&path, to_json(&results))
+    let baseline_path = std::env::var("FTBFS_BENCH_BASELINE").ok();
+    let dump_path = std::env::var("FTBFS_BENCH_JSON").ok();
+    // One calibration run serves both the dump and the gate.
+    let calibration = (dump_path.is_some() || baseline_path.is_some()).then(calibration_ns);
+    if let Some(path) = dump_path {
+        let mut dump = results.clone();
+        dump.push((
+            CALIBRATION_KEY.to_string(),
+            calibration.expect("calibrated when dumping"),
+        ));
+        std::fs::write(&path, to_json(&dump))
             .unwrap_or_else(|e| panic!("cannot write bench baseline {path}: {e}"));
-        println!("wrote bench baseline ({} entries) to {path}", results.len());
+        println!("wrote bench baseline ({} entries) to {path}", dump.len());
     }
-    let Ok(baseline_path) = std::env::var("FTBFS_BENCH_BASELINE") else {
+    let Some(baseline_path) = baseline_path else {
         return;
     };
     let max_regression = std::env::var("FTBFS_BENCH_MAX_REGRESSION")
@@ -322,11 +418,26 @@ pub fn finish() {
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("cannot read bench baseline {baseline_path}: {e}"));
     let baseline = parse_json(&text);
+    // Normalise by the runner-speed ratio when the committed baseline
+    // carries a calibration entry (and the caller didn't opt out).
+    let calibrate = std::env::var("FTBFS_BENCH_CALIBRATION").as_deref() != Ok("0");
+    let scale = match baseline.iter().find(|(id, _)| id == CALIBRATION_KEY) {
+        Some((_, base_cal)) if calibrate && *base_cal > 0.0 => {
+            let now = calibration.expect("calibrated when gating");
+            let scale = now / base_cal;
+            println!(
+                "calibration: this runner {now:.0}ns vs baseline {base_cal:.0}ns \
+                 (normalising by {scale:.3}x)"
+            );
+            scale
+        }
+        _ => 1.0,
+    };
     let mut failures = Vec::new();
     for (id, mean_ns) in results.iter() {
         match baseline.iter().find(|(bid, _)| bid == id) {
             Some((_, base_ns)) => {
-                let ratio = mean_ns / base_ns;
+                let ratio = mean_ns / (base_ns * scale);
                 let status = if ratio > 1.0 + max_regression {
                     failures.push(id.clone());
                     "REGRESSED"
@@ -334,7 +445,8 @@ pub fn finish() {
                     "ok"
                 };
                 println!(
-                    "baseline {id}: {mean_ns:.0}ns vs {base_ns:.0}ns ({:+.1}%) {status}",
+                    "baseline {id}: {mean_ns:.0}ns vs {:.0}ns normalised ({:+.1}%) {status}",
+                    base_ns * scale,
                     (ratio - 1.0) * 100.0
                 );
             }
@@ -402,6 +514,27 @@ mod tests {
         assert_eq!(parsed[1].0, results[1].0);
         assert!((parsed[1].1 - results[1].1).abs() < 0.2);
         assert_eq!(parse_json("{\n}\n"), Vec::new());
+    }
+
+    #[test]
+    fn calibration_measures_real_work() {
+        // No stability assertion: wall-clock ratios flake under CI
+        // preemption. A floor guards against the BFS loop being optimised
+        // away — 200 sweeps over a 4096-vertex, 32k-slot CSR cannot
+        // average under a microsecond on any real machine.
+        let a = calibration_ns();
+        assert!(a > 1_000.0, "calibration suspiciously fast: {a}ns");
+    }
+
+    #[test]
+    fn calibration_entry_round_trips_through_json() {
+        let results = vec![
+            ("group/bench".to_string(), 1000.0),
+            (CALIBRATION_KEY.to_string(), 2_000_000.0),
+        ];
+        let parsed = parse_json(&to_json(&results));
+        let cal = parsed.iter().find(|(id, _)| id == CALIBRATION_KEY);
+        assert_eq!(cal.map(|(_, v)| *v), Some(2_000_000.0));
     }
 
     #[test]

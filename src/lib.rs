@@ -107,11 +107,12 @@ pub use ftb_tree as tree;
 pub use ftb_workloads as workloads;
 
 pub use ftb_core::{
-    build_structure, cross_check_fault_sets, dist_after_faults_brute, verify_structure,
-    BaselineBuilder, BuildConfig, BuildPlan, BuildStats, CostModel, EngineCore, EngineOptions,
-    Fault, FaultQueryEngine, FaultSet, FaultSetMismatch, FtBfsStructure, FtbfsError,
+    build_augmented_structure, build_structure, cross_check_fault_sets, dist_after_faults_brute,
+    verify_structure, AugmentCoverage, AugmentStats, AugmentedStructure, BaselineBuilder,
+    BuildConfig, BuildPlan, BuildStats, CostModel, EngineCore, EngineOptions, Fault,
+    FaultQueryEngine, FaultSet, FaultSetMismatch, FtBfsAugmenter, FtBfsStructure, FtbfsError,
     MultiSourceBuilder, MultiSourceEngine, MultiSourceStructure, QueryContext, QueryStats,
-    ReinforcedTreeBuilder, Sources, StructureBuilder, TradeoffBuilder,
+    ReinforcedTreeBuilder, Sources, StructureBuilder, TierCounters, TradeoffBuilder,
 };
 
 pub use ftb_core::{

@@ -1,0 +1,372 @@
+//! The augmented-structure serving suite: replacement-path augmentation
+//! (`ftb_core::ftbfs`) cross-checked against brute-force BFS over every
+//! workload family, with counter-based assertions that tier routing sends
+//! every covered fault set to the sparse tiers — never to a full-graph
+//! recomputation.
+//!
+//! CI runs this file as a dedicated step with `FTBFS_FORCE_THREADS=4`
+//! alongside the multi-fault suite, so the augmentation sweeps and the
+//! sharded batch path both run multi-threaded even on small runners.
+
+use ftbfs::graph::{enumerate_fault_sets, Fault, FaultSet, VertexId};
+use ftbfs::par::ParallelConfig;
+use ftbfs::sp::UNREACHABLE;
+use ftbfs::workloads::{FaultScenario, Workload, WorkloadFamily};
+use ftbfs::{
+    build_augmented_structure, cross_check_fault_sets, dist_after_faults_brute, AugmentCoverage,
+    AugmentedStructure, BuildConfig, BuildPlan, EngineCore, EngineOptions, FaultQueryEngine,
+    FtBfsAugmenter, MultiSourceBuilder, MultiSourceEngine, ReinforcedTreeBuilder, Sources,
+    StructureBuilder,
+};
+
+const SEED: u64 = 0xA462;
+
+fn augmented(graph: &ftbfs::graph::Graph, coverage: AugmentCoverage) -> AugmentedStructure {
+    let config = BuildConfig::new(0.3)
+        .with_seed(SEED)
+        .serial()
+        .with_augment(coverage);
+    build_augmented_structure(
+        graph,
+        &Sources::single(VertexId(0)),
+        BuildPlan::Tradeoff { eps: 0.3 },
+        &config,
+    )
+    .expect("workload graphs with source 0 are valid input")
+}
+
+fn brute(graph: &ftbfs::graph::Graph, s: VertexId, v: VertexId, faults: &FaultSet) -> Option<u32> {
+    let d = dist_after_faults_brute(graph, s, faults)[v.index()];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// `|F| ≤ 2` with at most one vertex fault: the family the dual-failure
+/// augmentation covers.
+fn covered(faults: &FaultSet) -> bool {
+    faults.len() <= 2 && faults.vertices().count() <= 1
+}
+
+/// Acceptance criterion, first half: on an augmented build, **all** answers
+/// (covered or fallback) match brute-force BFS on every fault set of size
+/// ≤ 2 over every workload family.
+#[test]
+fn every_workload_family_augmented_is_exact_on_all_fault_sets_up_to_two() {
+    for &family in WorkloadFamily::all() {
+        let w = Workload::new(family, 26, SEED);
+        let (name, graph) = (w.label(), w.generate());
+        let aug = augmented(&graph, AugmentCoverage::DualFailure);
+        let core = EngineCore::build_augmented(&graph, aug).expect("matching graph");
+        let sets = enumerate_fault_sets(&graph, 2);
+        let mismatches = cross_check_fault_sets(&core, &sets, &ParallelConfig::default())
+            .expect("enumerated sets are valid");
+        assert!(
+            mismatches.is_empty(),
+            "{name}: {} of {} fault sets diverged; first: {:?}",
+            mismatches.len(),
+            sets.len(),
+            mismatches.first()
+        );
+    }
+}
+
+/// Acceptance criterion, second half: every `|F| ≤ 2` query with at most
+/// one vertex fault is answered without a full-graph BFS — asserted through
+/// the per-tier counters, not inferred.
+#[test]
+fn covered_fault_sets_never_touch_the_full_graph_tier() {
+    for &family in [WorkloadFamily::GridChords, WorkloadFamily::ErdosRenyi].iter() {
+        let w = Workload::new(family, 30, SEED);
+        let (name, graph) = (w.label(), w.generate());
+        let aug = augmented(&graph, AugmentCoverage::DualFailure);
+        let mut engine = FaultQueryEngine::from_augmented(&graph, aug).expect("matching graph");
+        let mut queries = 0usize;
+        for faults in enumerate_fault_sets(&graph, 2)
+            .iter()
+            .filter(|f| covered(f))
+        {
+            for v in graph.vertices().step_by(3) {
+                let got = engine.dist_after_faults(v, faults).expect("in range");
+                assert_eq!(
+                    got,
+                    brute(&graph, VertexId(0), v, faults),
+                    "{name}: {v:?} under {faults}"
+                );
+                queries += 1;
+            }
+        }
+        let stats = engine.query_stats();
+        assert_eq!(stats.queries, queries);
+        assert_eq!(
+            stats.tiers.full_graph_bfs, 0,
+            "{name}: a covered fault set was routed to the full-graph tier"
+        );
+        assert_eq!(stats.full_graph_bfs_runs, 0, "{name}: a full-graph BFS ran");
+        assert_eq!(
+            stats.tiers.total(),
+            stats.queries,
+            "tiers must sum to queries"
+        );
+        assert!(
+            stats.tiers.augmented_bfs > 0,
+            "{name}: augmented tier never fired"
+        );
+    }
+}
+
+/// Single-vertex-fault and dual-edge-fault queries on an augmented build
+/// never take the `full_graph_bfs` tier (satellite: counter-based routing
+/// assertions per fault kind).
+#[test]
+fn vertex_and_dual_edge_faults_route_to_the_augmented_tier() {
+    let graph = Workload::new(WorkloadFamily::LayeredDeep, 36, SEED).generate();
+    let aug = augmented(&graph, AugmentCoverage::DualFailure);
+    let mut engine = FaultQueryEngine::from_augmented(&graph, aug).expect("matching graph");
+
+    // every single vertex fault
+    for v in graph.vertices().skip(1) {
+        let faults = FaultSet::single_vertex(v);
+        for probe in graph.vertices().step_by(5) {
+            let got = engine.dist_after_faults(probe, &faults).expect("in range");
+            assert_eq!(got, brute(&graph, VertexId(0), probe, &faults));
+        }
+    }
+    // a spread of dual edge faults
+    let m = graph.num_edges() as u32;
+    for (a, b) in (0..m).zip((0..m).skip(7)).step_by(5) {
+        let faults: FaultSet = [
+            Fault::Edge(ftbfs::graph::EdgeId(a)),
+            Fault::Edge(ftbfs::graph::EdgeId(b)),
+        ]
+        .into_iter()
+        .collect();
+        for probe in graph.vertices().step_by(9) {
+            let got = engine.dist_after_faults(probe, &faults).expect("in range");
+            assert_eq!(got, brute(&graph, VertexId(0), probe, &faults));
+        }
+    }
+    let stats = engine.query_stats();
+    assert_eq!(stats.tiers.full_graph_bfs, 0);
+    assert_eq!(stats.full_graph_bfs_runs, 0);
+    assert!(stats.tiers.augmented_bfs > 0);
+}
+
+/// Two simultaneous vertex faults are outside every published sparse
+/// structure: they stay exact through the full-graph fallback (recorded as
+/// future work in the ROADMAP).
+#[test]
+fn dual_vertex_faults_fall_back_to_the_full_graph_tier() {
+    let graph = Workload::new(WorkloadFamily::GridChords, 25, SEED).generate();
+    let aug = augmented(&graph, AugmentCoverage::DualFailure);
+    let mut engine = FaultQueryEngine::from_augmented(&graph, aug).expect("matching graph");
+    let faults: FaultSet = [Fault::Vertex(VertexId(3)), Fault::Vertex(VertexId(7))]
+        .into_iter()
+        .collect();
+    for v in graph.vertices() {
+        let got = engine.dist_after_faults(v, &faults).expect("in range");
+        assert_eq!(got, brute(&graph, VertexId(0), v, &faults));
+    }
+    let stats = engine.query_stats();
+    assert_eq!(stats.tiers.full_graph_bfs, stats.queries);
+    assert_eq!(stats.tiers.augmented_bfs, 0);
+}
+
+/// Single-fault coverage serves singles sparsely but sends dual failures to
+/// the fallback — coverage is a contract, not a heuristic.
+#[test]
+fn single_fault_coverage_serves_singles_but_not_duals() {
+    let graph = Workload::new(WorkloadFamily::Hypercube, 32, SEED).generate();
+    let aug = augmented(&graph, AugmentCoverage::SingleFault);
+    assert_eq!(aug.coverage(), AugmentCoverage::SingleFault);
+    let mut engine = FaultQueryEngine::from_augmented(&graph, aug).expect("matching graph");
+
+    let vertex_fault = FaultSet::single_vertex(VertexId(5));
+    for v in graph.vertices() {
+        let got = engine
+            .dist_after_faults(v, &vertex_fault)
+            .expect("in range");
+        assert_eq!(got, brute(&graph, VertexId(0), v, &vertex_fault));
+    }
+    let after_singles = engine.query_stats();
+    assert_eq!(after_singles.tiers.full_graph_bfs, 0);
+    assert!(after_singles.tiers.augmented_bfs > 0);
+
+    let dual: FaultSet = [
+        Fault::Edge(ftbfs::graph::EdgeId(0)),
+        Fault::Edge(ftbfs::graph::EdgeId(3)),
+    ]
+    .into_iter()
+    .collect();
+    for v in graph.vertices() {
+        let got = engine.dist_after_faults(v, &dual).expect("in range");
+        assert_eq!(got, brute(&graph, VertexId(0), v, &dual));
+    }
+    let stats = engine.query_stats();
+    assert!(
+        stats.tiers.full_graph_bfs > 0,
+        "dual failures are outside SingleFault coverage"
+    );
+}
+
+/// The hypothetical failure of a reinforced edge — previously always a
+/// full-graph recomputation — is served by the augmented tier.
+#[test]
+fn reinforced_edge_hypotheticals_use_the_augmented_tier() {
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 32, SEED).generate();
+    // The reinforced tree reinforces every tree edge, so every structure
+    // edge exercises the hypothetical-failure path.
+    let base = ReinforcedTreeBuilder::new()
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    assert!(base.num_reinforced() > 0);
+    let reinforced: Vec<_> = base.reinforced_edges().collect();
+    let aug = FtBfsAugmenter::new(AugmentCoverage::SingleFault)
+        .with_seed(SEED)
+        .serial()
+        .augment(&graph, base)
+        .expect("matching graph");
+    let mut engine = FaultQueryEngine::from_augmented(&graph, aug).expect("matching graph");
+    for &e in reinforced.iter().step_by(3) {
+        let faults = FaultSet::single_edge(e);
+        for v in graph.vertices().step_by(4) {
+            let got = engine.dist_after_faults(v, &faults).expect("in range");
+            assert_eq!(got, brute(&graph, VertexId(0), v, &faults), "edge {e:?}");
+        }
+    }
+    let stats = engine.query_stats();
+    assert_eq!(stats.tiers.full_graph_bfs, 0);
+    assert_eq!(
+        stats.tiers.sparse_h_bfs, 0,
+        "reinforced edges skip the H tier"
+    );
+    assert!(stats.tiers.augmented_bfs > 0);
+}
+
+/// Every scenario family, restricted to its covered sets, is answered
+/// exactly through batches — serial and sharded byte-identical, with the
+/// full-graph tier untouched.
+#[test]
+fn scenario_batches_on_augmented_builds_avoid_full_graph_bfs() {
+    let graph = Workload::new(WorkloadFamily::LayeredShallow, 40, SEED).generate();
+    let aug = augmented(&graph, AugmentCoverage::DualFailure);
+    for &scenario in FaultScenario::all() {
+        for f in [1usize, 2] {
+            let fault_sets: Vec<FaultSet> = scenario
+                .generate(&graph, VertexId(0), f, 12, SEED)
+                .into_iter()
+                .filter(|fs| covered(fs) && !fs.is_empty())
+                .collect();
+            let queries: Vec<(VertexId, FaultSet)> = fault_sets
+                .iter()
+                .flat_map(|fs| graph.vertices().map(move |v| (v, fs.clone())))
+                .collect();
+            if queries.is_empty() {
+                continue;
+            }
+            let mut serial = FaultQueryEngine::from_augmented_with_options(
+                &graph,
+                aug.clone(),
+                EngineOptions::new().serial(),
+            )
+            .expect("matching graph");
+            let expected = serial.query_many_faults(&queries).expect("in range");
+            for (i, (v, fs)) in queries.iter().enumerate() {
+                assert_eq!(
+                    expected[i],
+                    brute(&graph, VertexId(0), *v, fs),
+                    "{}: f={f} {v:?} {fs}",
+                    scenario.name()
+                );
+            }
+            let serial_stats = serial.query_stats();
+            assert_eq!(
+                serial_stats.tiers.full_graph_bfs,
+                0,
+                "{}: f={f} full-graph tier on covered sets",
+                scenario.name()
+            );
+            let mut sharded = FaultQueryEngine::from_augmented_with_options(
+                &graph,
+                aug.clone(),
+                EngineOptions::new().with_parallel(ParallelConfig::with_threads(4)),
+            )
+            .expect("matching graph");
+            assert_eq!(
+                sharded.query_many_faults(&queries).expect("in range"),
+                expected,
+                "{}: f={f} sharded diverged",
+                scenario.name()
+            );
+            let sharded_stats = sharded.query_stats();
+            assert_eq!(sharded_stats.tiers.full_graph_bfs, 0);
+            assert_eq!(sharded_stats.queries, serial_stats.queries);
+            assert_eq!(sharded_stats.tiers.total(), sharded_stats.queries);
+        }
+    }
+}
+
+/// Multi-source augmentation: per-source fault-set answers match brute
+/// force, and covered sets stay off the full-graph tier for every source.
+#[test]
+fn multi_source_augmented_engine_is_exact_for_every_source() {
+    let graph = Workload::new(WorkloadFamily::LayeredShallow, 24, SEED).generate();
+    let sources = vec![VertexId(0), VertexId(5), VertexId(11)];
+    let mbfs = MultiSourceBuilder::new(0.3)
+        .with_config(|c| c.with_seed(SEED).serial())
+        .build_multi(&graph, &Sources::multi(sources.clone()))
+        .expect("valid input");
+    let aug = FtBfsAugmenter::new(AugmentCoverage::DualFailure)
+        .with_seed(SEED)
+        .serial()
+        .augment_multi(&graph, mbfs)
+        .expect("matching graph");
+    assert_eq!(aug.sources(), &sources[..]);
+    let mut engine = MultiSourceEngine::from_augmented(&graph, aug).expect("matching graph");
+    for faults in enumerate_fault_sets(&graph, 2).iter().step_by(5) {
+        for &s in &sources {
+            for v in graph.vertices().step_by(3) {
+                let got = engine.dist_after_faults(s, v, faults).expect("in range");
+                assert_eq!(
+                    got,
+                    brute(&graph, s, v, faults),
+                    "source {s:?} under {faults}"
+                );
+            }
+        }
+    }
+    let stats = engine.query_stats();
+    assert_eq!(stats.tiers.total(), stats.queries);
+    // Only sets with two vertex faults may have used the fallback.
+    let uncovered_queries: usize = enumerate_fault_sets(&graph, 2)
+        .iter()
+        .step_by(5)
+        .filter(|f| !covered(f))
+        .count()
+        * sources.len()
+        * graph.vertices().step_by(3).count();
+    assert_eq!(stats.tiers.full_graph_bfs, uncovered_queries);
+}
+
+/// Augmentation bookkeeping is visible end to end: structure stats, core
+/// accessors, and the `H ⊆ H⁺ ⊆ G` sandwich.
+#[test]
+fn augmentation_stats_and_core_accessors_are_reported() {
+    let graph = Workload::new(WorkloadFamily::GridChords, 49, SEED).generate();
+    let aug = augmented(&graph, AugmentCoverage::DualFailure);
+    assert!(aug.num_edges() >= aug.base().num_edges());
+    assert!(aug.num_edges() <= graph.num_edges());
+    assert_eq!(aug.added_edges(), aug.num_edges() - aug.base().num_edges());
+    let stats = aug.stats().clone();
+    assert_eq!(stats.base_edges, aug.base().num_edges());
+    assert!(stats.single_passes > 0);
+    assert!(stats.dual_passes > 0);
+    assert_eq!(
+        stats.total_added(),
+        aug.added_edges(),
+        "stats must account for every added edge"
+    );
+    let expected_edges = aug.num_edges();
+    let core = EngineCore::build_augmented(&graph, aug).expect("matching graph");
+    assert_eq!(core.augment_coverage(), AugmentCoverage::DualFailure);
+    assert_eq!(core.augmented_edges(), Some(expected_edges));
+}

@@ -81,6 +81,66 @@ proptest! {
         prop_assert!(structure.stats().used_baseline);
     }
 
+    /// The augmented structures: on random graphs, a dual-failure
+    /// augmentation answers every sampled `|F| ≤ 2` set exactly like
+    /// brute-force BFS, and no covered set ever reaches the full-graph
+    /// fallback tier.
+    #[test]
+    fn augmented_structures_agree_with_brute_force(
+        n in 16usize..36,
+        avg_degree in 3usize..7,
+        eps in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        use ftbfs::graph::{enumerate_fault_sets, Graph};
+        use ftbfs::sp::UNREACHABLE;
+        use ftbfs::{
+            build_augmented_structure, dist_after_faults_brute, AugmentCoverage, BuildConfig,
+            BuildPlan, FaultQueryEngine,
+        };
+
+        let m = n * avg_degree / 2;
+        let graph: Graph = families::erdos_renyi_gnm(n, m, seed);
+        let config = BuildConfig::new(eps)
+            .with_seed(seed)
+            .serial()
+            .with_augment(AugmentCoverage::DualFailure);
+        let augmented = build_augmented_structure(
+            &graph,
+            &Sources::single(VertexId(0)),
+            BuildPlan::Tradeoff { eps },
+            &config,
+        )
+        .expect("generated workloads are valid input");
+        prop_assert!(augmented.num_edges() <= graph.num_edges());
+        prop_assert!(augmented.num_edges() >= augmented.base().num_edges());
+        let mut engine =
+            FaultQueryEngine::from_augmented(&graph, augmented).expect("matching graph");
+        let sets = enumerate_fault_sets(&graph, 2);
+        let mut fallback_queries = 0usize;
+        for faults in sets.iter().step_by(13) {
+            let brute = dist_after_faults_brute(&graph, VertexId(0), faults);
+            let is_covered = faults.len() <= 2 && faults.vertices().count() <= 1;
+            for v in graph.vertices().step_by(2) {
+                let got = engine.dist_after_faults(v, faults).expect("in range");
+                let want = (brute[v.index()] != UNREACHABLE).then_some(brute[v.index()]);
+                prop_assert_eq!(
+                    got, want,
+                    "eps={}, seed={}: {:?} under {}", eps, seed, v, faults
+                );
+                if !is_covered {
+                    fallback_queries += 1;
+                }
+            }
+        }
+        let stats = engine.query_stats();
+        prop_assert_eq!(
+            stats.tiers.full_graph_bfs, fallback_queries,
+            "covered sets must stay off the full-graph tier (seed={})", seed
+        );
+        prop_assert_eq!(stats.tiers.total(), stats.queries);
+    }
+
     /// The generalised fault model: on random graphs with random ε, every
     /// fault set of size ≤ 2 (edges, vertices and mixed) answers exactly
     /// like brute-force BFS over the masked graph.
