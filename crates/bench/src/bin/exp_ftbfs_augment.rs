@@ -67,11 +67,12 @@ fn main() {
     );
     println!(
         "cross-check: {} fault sets (|F| <= 2) on n={} m={}: all exact; covered sets answered \
-         by tiers row/H/H+ = {}/{}/{} with zero full-graph BFS\n",
+         by tiers row/fast/H/H+ = {}/{}/{}/{} with zero full-graph BFS\n",
         sets.len(),
         small.num_vertices(),
         small.num_edges(),
         stats.tiers.fault_free_row,
+        stats.tiers.unaffected_fast_path,
         stats.tiers.sparse_h_bfs,
         stats.tiers.augmented_bfs,
     );
@@ -137,8 +138,8 @@ fn main() {
             "plain ms",
             "aug ms",
             "speedup",
-            "plain tiers row/H/H+/G",
-            "aug tiers row/H/H+/G",
+            "plain tiers row/fast/H/H+/G",
+            "aug tiers row/fast/H/H+/G",
         ],
     );
     for &scenario in FaultScenario::all() {
@@ -190,8 +191,12 @@ fn main() {
             );
             let fmt_tiers = |t: &ftb_core::TierCounters| {
                 format!(
-                    "{}/{}/{}/{}",
-                    t.fault_free_row, t.sparse_h_bfs, t.augmented_bfs, t.full_graph_bfs
+                    "{}/{}/{}/{}/{}",
+                    t.fault_free_row,
+                    t.unaffected_fast_path,
+                    t.sparse_h_bfs,
+                    t.augmented_bfs,
+                    t.full_graph_bfs
                 )
             };
             table.add_row(vec![

@@ -75,6 +75,7 @@ fn main() {
             "sharded ms",
             "speedup",
             "tier row",
+            "tier fast",
             "tier H",
             "tier H+",
             "tier G",
@@ -125,6 +126,7 @@ fn main() {
                 format!("{sharded_ms:.1}"),
                 format!("{:.2}x", serial_ms / sharded_ms),
                 stats.tiers.fault_free_row.to_string(),
+                stats.tiers.unaffected_fast_path.to_string(),
                 stats.tiers.sparse_h_bfs.to_string(),
                 stats.tiers.augmented_bfs.to_string(),
                 stats.tiers.full_graph_bfs.to_string(),
@@ -136,6 +138,9 @@ fn main() {
     println!(
         "\nReading guide: the `tier` columns are the per-tier answering \
          counters — `row` queries read the preprocessed fault-free rows, \
+         `fast` is the unaffected-target fast path (the fault touches the \
+         structure but provably not the target's tree path, so the \
+         fault-free row answers with no search), \
          `H` uses the sparse structure (single non-reinforced edge faults), \
          `H+` the augmented structure (zero here: this engine is built \
          without augmentation — see exp_ftbfs_augment), and `G` is the \

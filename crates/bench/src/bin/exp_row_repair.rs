@@ -1,0 +1,181 @@
+//! Experiment E11 — incremental post-failure row repair.
+//!
+//! Quantifies the two observations the repair path is built on:
+//!
+//! 1. **Affected sets are small.** For a fault set `F`, only the vertices
+//!    whose canonical tree path uses a failed element can change distance —
+//!    the subtrees under the faults in the fault-free BFS tree `T0`. Per
+//!    workload family and fault scenario, this prints the distribution of
+//!    `|affected| / n` (min / median / p90 / max), i.e. how little of a row
+//!    a cache miss actually has to recompute.
+//! 2. **Repair beats re-sweeping.** Per scenario, the same batch is served
+//!    by the default engine (incremental repair + unaffected-target fast
+//!    path) and by a forced full-sweep engine
+//!    ([`EngineOptions::with_force_full_sweep`], the pre-repair
+//!    behaviour), with wall times, the speedup, and the tier/sweep
+//!    counters proving where the work went. Answers are asserted
+//!    identical.
+
+use ftb_bench::Table;
+use ftb_core::{EngineOptions, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
+use ftb_graph::{FaultSet, Graph, VertexId};
+use ftb_workloads::{FaultScenario, Workload, WorkloadFamily};
+use std::time::Instant;
+
+fn median_of(sorted: &[usize]) -> usize {
+    sorted[sorted.len() / 2]
+}
+
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let seed = 21u64;
+    let source = VertexId(0);
+
+    // 1. Affected-set size distribution per workload family and scenario.
+    let mut sizes = Table::new(
+        "E11a — affected-set size as a fraction of n (f = 1, 64 sets per cell)",
+        &[
+            "workload",
+            "n",
+            "scenario",
+            "min",
+            "median",
+            "p90",
+            "max",
+            "affected/n",
+        ],
+    );
+    for &family in WorkloadFamily::all() {
+        let w = Workload::new(family, 400, seed);
+        let graph: Graph = w.generate();
+        let n = graph.num_vertices();
+        let structure = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(&graph, &Sources::single(source))
+            .expect("workload graphs with source 0 are valid input");
+        let engine = FaultQueryEngine::new(&graph, structure).expect("matching graph");
+        for &scenario in &[
+            FaultScenario::RandomEdges,
+            FaultScenario::TreeConcentrated,
+            FaultScenario::CorrelatedVertices,
+        ] {
+            let sets = scenario.generate(&graph, source, 1, 64, seed);
+            let mut counts: Vec<usize> = sets
+                .iter()
+                .filter(|f| !f.is_empty())
+                .map(|f| {
+                    engine
+                        .core()
+                        .affected_vertex_count(source, f)
+                        .expect("generated sets are valid")
+                })
+                .collect();
+            counts.sort_unstable();
+            if counts.is_empty() {
+                continue;
+            }
+            let mean: f64 = counts.iter().sum::<usize>() as f64 / counts.len() as f64 / n as f64;
+            sizes.add_row(vec![
+                family.name().to_string(),
+                n.to_string(),
+                scenario.name().to_string(),
+                counts[0].to_string(),
+                median_of(&counts).to_string(),
+                percentile(&counts, 0.9).to_string(),
+                counts[counts.len() - 1].to_string(),
+                format!("{:.1}%", 100.0 * mean),
+            ]);
+        }
+    }
+    println!("{}", sizes.render());
+
+    // 2. Repaired vs full-sweep serving on one mid-size instance.
+    let graph = Workload::new(WorkloadFamily::ErdosRenyi, 2000, seed).generate();
+    let structure = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(seed).serial())
+        .build(&graph, &Sources::single(source))
+        .expect("valid input");
+    let stride = (graph.num_vertices() / 24).max(1);
+    let vertices: Vec<VertexId> = (0..graph.num_vertices())
+        .step_by(stride)
+        .map(VertexId::new)
+        .collect();
+
+    let mut serving = Table::new(
+        &format!(
+            "E11b — batch serving, repaired vs full sweep (n={}, m={}, |batch| = 48 fault sets x {} targets)",
+            graph.num_vertices(),
+            graph.num_edges(),
+            vertices.len()
+        ),
+        &[
+            "scenario",
+            "f",
+            "full sweep",
+            "repaired",
+            "speedup",
+            "repaired rows",
+            "fast-path hits",
+            "sweeps (repaired/full)",
+        ],
+    );
+    for &scenario in FaultScenario::all() {
+        for f in [1usize, 2] {
+            let sets = scenario.generate(&graph, source, f, 48, seed);
+            let queries: Vec<(VertexId, FaultSet)> = sets
+                .iter()
+                .filter(|s| !s.is_empty())
+                .flat_map(|fs| vertices.iter().map(move |&v| (v, fs.clone())))
+                .collect();
+            let mut repaired = FaultQueryEngine::with_options(
+                &graph,
+                structure.clone(),
+                EngineOptions::new().serial(),
+            )
+            .expect("matching graph");
+            let mut full = FaultQueryEngine::with_options(
+                &graph,
+                structure.clone(),
+                EngineOptions::new().serial().with_force_full_sweep(true),
+            )
+            .expect("matching graph");
+            // Warm once (answers asserted identical), then time.
+            let a = repaired.query_many_faults(&queries).expect("in range");
+            let b = full.query_many_faults(&queries).expect("in range");
+            assert_eq!(a, b, "repaired batch diverged from full sweeps");
+            let reps = 5usize;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(repaired.query_many_faults(&queries).expect("in range"));
+            }
+            let t_rep = t0.elapsed() / reps as u32;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(full.query_many_faults(&queries).expect("in range"));
+            }
+            let t_full = t0.elapsed() / reps as u32;
+            let rs = repaired.query_stats();
+            let fs_ = full.query_stats();
+            let sweeps = |s: &ftb_core::QueryStats| s.structure_bfs_runs + s.full_graph_bfs_runs;
+            serving.add_row(vec![
+                scenario.name().to_string(),
+                f.to_string(),
+                format!("{t_full:?}"),
+                format!("{t_rep:?}"),
+                format!("{:.1}x", t_full.as_secs_f64() / t_rep.as_secs_f64()),
+                rs.repaired_rows.to_string(),
+                rs.tiers.unaffected_fast_path.to_string(),
+                format!("{}/{}", sweeps(&rs), sweeps(&fs_)),
+            ]);
+        }
+    }
+    println!("{}", serving.render());
+    println!(
+        "The committed `row_repair` criterion baseline gates both sides in CI; \
+         set FTBFS_FORCE_FULL_SWEEP=1 to pin any engine to the full-sweep path."
+    );
+}

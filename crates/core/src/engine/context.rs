@@ -1,11 +1,10 @@
 //! The per-thread mutable half of the query engine: [`QueryContext`].
 
 use super::core::EngineCore;
-use super::{bfs_sweep, finite, QueryStats, Tier};
+use super::{bfs_sweep, finite, ParentEntry, QueryStats, SweepScratch, Tier};
 use crate::error::FtbfsError;
-use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
-use ftb_sp::{Path, UNREACHABLE};
-use std::collections::VecDeque;
+use ftb_graph::{CompactSubgraph, EdgeId, Fault, FaultSet, VertexId};
+use ftb_sp::{Path, TimestampedVector, UNREACHABLE};
 
 /// One cached post-failure BFS row, keyed by (source slot, fault set).
 ///
@@ -31,6 +30,207 @@ pub(super) enum RowSlot {
     Cached(usize),
 }
 
+/// [`RepairScratch::marks`] value: inside a failed subtree (entry reset,
+/// distance to be recomputed by the bounded BFS).
+const MARK_AFFECTED: u8 = 1;
+/// [`RepairScratch::marks`] value: unaffected boundary vertex already
+/// collected (seed dedup).
+const MARK_BOUNDARY: u8 = 2;
+
+/// Reusable state of the incremental row repair (all cleared in `O(1)` or
+/// proportional to the previous repair's size — nothing here is `O(n)` per
+/// miss).
+#[derive(Clone, Debug)]
+struct RepairScratch {
+    /// `0` untouched, [`MARK_AFFECTED`], or [`MARK_BOUNDARY`];
+    /// generation-stamped so clearing is an epoch bump.
+    marks: TimestampedVector<u8>,
+    /// Unaffected boundary vertices seeding the bounded BFS, keyed by their
+    /// (unchanged) fault-free distance.
+    seeds: Vec<(u32, VertexId)>,
+    /// Unaffected endpoints of banned edges: their *adjacency* changed even
+    /// though their distance did not, so only their canonical parent is
+    /// recomputed.
+    fixups: Vec<VertexId>,
+    /// Merged preorder intervals of the affected subtrees (into the slot
+    /// tree's order array).
+    intervals: Vec<(u32, u32)>,
+    /// Level-synchronous BFS frontiers.
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl RepairScratch {
+    fn new(num_vertices: usize) -> Self {
+        RepairScratch {
+            marks: TimestampedVector::new(num_vertices, 0),
+            seeds: Vec::new(),
+            fixups: Vec::new(),
+            intervals: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Repair `row_dist`/`row_parent` — pre-filled with the serving CSR's
+    /// fault-free rows — in place, given the merged affected
+    /// [`RepairScratch::intervals`] and the banned-edge endpoint
+    /// [`RepairScratch::fixups`] already collected.
+    ///
+    /// `neighbors` must yield exactly the post-failure adjacency the full
+    /// sweep would traverse (same order, same filters, parent-graph edge
+    /// ids). Four bounded passes:
+    ///
+    /// 1. mark every vertex inside an affected interval,
+    /// 2. reset their entries and collect the *unaffected boundary* (their
+    ///    neighbors outside the region) as BFS seeds at fault-free depth,
+    /// 3. run a level-synchronous BFS from the boundary that only ever
+    ///    discovers affected vertices — unaffected distances are already
+    ///    final, which is exactly why seeding them at `dist0` is sound,
+    /// 4. recompute canonical parents (first adjacency neighbor one level
+    ///    up, the same pure-function-of-distances rule the full sweep
+    ///    applies) for every vertex whose distance or adjacency changed:
+    ///    the affected region, the boundary, and the banned-edge endpoints.
+    ///
+    /// Total cost is `O(vol(affected) + boundary·deg)` — the full sweep's
+    /// `O(n + m)` only in the degenerate all-affected case.
+    fn repair_region<I, F>(
+        &mut self,
+        order: &[VertexId],
+        dist0: &[u32],
+        row_dist: &mut [u32],
+        row_parent: &mut [ParentEntry],
+        neighbors: F,
+    ) where
+        I: Iterator<Item = (VertexId, EdgeId)>,
+        F: Fn(VertexId) -> I,
+    {
+        self.marks.reset();
+        for &(a, b) in &self.intervals {
+            for &v in &order[a as usize..b as usize] {
+                self.marks.set(v.index(), MARK_AFFECTED);
+            }
+        }
+        self.seeds.clear();
+        for &(a, b) in &self.intervals {
+            for &v in &order[a as usize..b as usize] {
+                row_dist[v.index()] = UNREACHABLE;
+                row_parent[v.index()] = None;
+                for (w, _) in neighbors(v) {
+                    if self.marks.get(w.index()) == 0 {
+                        self.marks.set(w.index(), MARK_BOUNDARY);
+                        if dist0[w.index()] != UNREACHABLE {
+                            self.seeds.push((dist0[w.index()], w));
+                        }
+                    }
+                }
+            }
+        }
+        // Bounded multi-source BFS: seeds enter the frontier exactly at
+        // their fault-free level (sound because every root-to-boundary
+        // prefix of a post-failure shortest path can be replaced by the
+        // boundary vertex's surviving tree path of length dist0).
+        self.seeds.sort_unstable();
+        self.frontier.clear();
+        self.next.clear();
+        let mut si = 0usize;
+        let mut level = 0u32;
+        while si < self.seeds.len() || !self.frontier.is_empty() {
+            if self.frontier.is_empty() {
+                level = level.max(self.seeds[si].0);
+            }
+            while si < self.seeds.len() && self.seeds[si].0 == level {
+                self.frontier.push(self.seeds[si].1);
+                si += 1;
+            }
+            for fi in 0..self.frontier.len() {
+                let u = self.frontier[fi];
+                for (w, _) in neighbors(u) {
+                    if self.marks.get(w.index()) == MARK_AFFECTED
+                        && row_dist[w.index()] == UNREACHABLE
+                    {
+                        row_dist[w.index()] = level + 1;
+                        self.next.push(w);
+                    }
+                }
+            }
+            self.frontier.clear();
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            level += 1;
+        }
+        // Canonical parents from the (now final) distances.
+        for &(a, b) in &self.intervals {
+            for &v in &order[a as usize..b as usize] {
+                if row_dist[v.index()] != UNREACHABLE {
+                    row_parent[v.index()] = canonical_parent(v, row_dist, &neighbors);
+                }
+            }
+        }
+        for &(_, u) in &self.seeds {
+            row_parent[u.index()] = canonical_parent(u, row_dist, &neighbors);
+        }
+        for i in 0..self.fixups.len() {
+            let v = self.fixups[i];
+            if self.marks.get(v.index()) == 0 && row_dist[v.index()] != UNREACHABLE {
+                row_parent[v.index()] = canonical_parent(v, row_dist, &neighbors);
+            }
+        }
+    }
+}
+
+/// The canonical-parent rule shared with [`bfs_sweep`]: the first neighbor
+/// `(w, e)` in `v`'s (filtered) adjacency order with
+/// `dist(w) + 1 == dist(v)` — a pure function of the final distance row, so
+/// repaired and fully-swept rows agree byte for byte.
+fn canonical_parent<I, F>(v: VertexId, dist: &[u32], neighbors: &F) -> ParentEntry
+where
+    I: Iterator<Item = (VertexId, EdgeId)>,
+    F: Fn(VertexId) -> I,
+{
+    let d = dist[v.index()];
+    if d == 0 || d == UNREACHABLE {
+        return None;
+    }
+    neighbors(v).find(|&(w, _)| {
+        let dw = dist[w.index()];
+        dw != UNREACHABLE && dw + 1 == d
+    })
+}
+
+/// Inline banned-edge probe for the augmented sweep. The coverage contract
+/// admits at most [`FaultSet::INLINE_CAPACITY`] (= 2) simultaneous faults,
+/// so membership is two register compares instead of a per-miss heap `Vec`
+/// and a linear `contains` per neighbor.
+#[derive(Clone, Copy, Debug)]
+struct BannedEdges([Option<EdgeId>; FaultSet::INLINE_CAPACITY]);
+
+impl BannedEdges {
+    /// Translate the fault set's edges into compact ids of `csr` (edges
+    /// outside the CSR need no banning — they are not traversed anyway).
+    fn collect(faults: &FaultSet, csr: &CompactSubgraph) -> Self {
+        let mut banned = [None; FaultSet::INLINE_CAPACITY];
+        let mut n = 0usize;
+        for e in faults.edges() {
+            if let Some(ce) = csr.compact_edge(e) {
+                assert!(
+                    n < banned.len(),
+                    "augmented coverage admits at most {} faults",
+                    banned.len()
+                );
+                banned[n] = Some(ce);
+                n += 1;
+            }
+        }
+        BannedEdges(banned)
+    }
+
+    #[inline]
+    fn contains(&self, ce: EdgeId) -> bool {
+        // Two slots: the compiler unrolls this into two compares.
+        self.0.contains(&Some(ce))
+    }
+}
+
 /// Per-thread mutable query state: BFS scratch, visit queue, an LRU of
 /// recently computed post-failure rows, and query counters.
 ///
@@ -51,19 +251,25 @@ pub struct QueryContext {
     num_vertices: usize,
     capacity: usize,
     rows: Vec<CachedRow>,
-    queue: VecDeque<VertexId>,
+    /// Full-sweep scratch: generation-stamped rows, so a miss never pays an
+    /// `O(n)` fill before its search.
+    scratch: SweepScratch,
+    /// Incremental-repair scratch (marks, boundary seeds, frontiers).
+    repair: RepairScratch,
     clock: u64,
     stats: QueryStats,
 }
 
 impl QueryContext {
     pub(super) fn for_core(core: &EngineCore) -> Self {
+        let n = core.graph().num_vertices();
         QueryContext {
             core_token: core.token,
-            num_vertices: core.graph().num_vertices(),
+            num_vertices: n,
             capacity: core.options().lru_rows.max(1),
             rows: Vec::new(),
-            queue: VecDeque::with_capacity(core.graph().num_vertices()),
+            scratch: SweepScratch::new(n),
+            repair: RepairScratch::new(n),
             clock: 0,
             stats: QueryStats::default(),
         }
@@ -296,6 +502,11 @@ impl QueryContext {
 
     /// Distance answer with validation already done (shared by the single
     /// query paths and the facades' batch shards). Counts one query.
+    ///
+    /// Targeted queries get the **unaffected fast path**: when the target's
+    /// canonical tree path provably avoids every failed element, the
+    /// fault-free row answers in `O(|F|)` — no BFS, no row, no LRU traffic
+    /// (observable as [`TierCounters::unaffected_fast_path`](super::TierCounters)).
     pub(super) fn answer_unchecked(
         &mut self,
         core: &EngineCore,
@@ -304,12 +515,23 @@ impl QueryContext {
         faults: &FaultSet,
     ) -> Option<u32> {
         self.stats.queries += 1;
-        let row = self.ensure_row(core, slot, faults);
+        let tier = core.route(faults);
+        if tier != Tier::FaultFree
+            && !core.options().force_full_sweep
+            && core.target_unaffected(slot, v, faults)
+        {
+            self.stats.tiers.unaffected_fast_path += 1;
+            self.stats.cached_answers += 1;
+            return core.fault_free_dist_slot(slot, v);
+        }
+        let row = self.ensure_row(core, slot, faults, tier);
         let (dist, _) = self.row(core, slot, row);
         finite(dist[v.index()])
     }
 
-    /// Path answer with validation already done. Counts one query.
+    /// Path answer with validation already done. Counts one query. (No
+    /// unaffected fast path here: extracting a path needs the row's parent
+    /// chain, which may detour through affected vertices.)
     pub(super) fn path_unchecked(
         &mut self,
         core: &EngineCore,
@@ -318,7 +540,8 @@ impl QueryContext {
         faults: &FaultSet,
     ) -> Option<Path> {
         self.stats.queries += 1;
-        let row = self.ensure_row(core, slot, faults);
+        let tier = core.route(faults);
+        let row = self.ensure_row(core, slot, faults, tier);
         let (dist, parent) = self.row(core, slot, row);
         if dist[v.index()] == UNREACHABLE {
             return None;
@@ -345,13 +568,26 @@ impl QueryContext {
     }
 
     /// Make the distance row for fault set `faults` (as seen from source
-    /// slot `slot`) available and report where it lives.
+    /// slot `slot`, routed to `tier` by the caller) available and report
+    /// where it lives.
     ///
     /// Every call attributes the query to exactly one routing tier (see
     /// [`TierCounters`](super::TierCounters)); the per-CSR sweep counters
-    /// only move when a search actually runs.
-    fn ensure_row(&mut self, core: &EngineCore, slot: usize, faults: &FaultSet) -> RowSlot {
-        let tier = core.route(faults);
+    /// only move when a search actually runs. A cache miss on the
+    /// `sparse_h_bfs` / `augmented_bfs` tiers takes the **incremental
+    /// repair** path (unless [`EngineOptions::force_full_sweep`](super::EngineOptions)):
+    /// the row starts as a copy of the tier's fault-free rows, only the
+    /// affected subtrees are re-swept by a bounded BFS seeded from their
+    /// unaffected boundary, and canonical parents are patched where the
+    /// distances or the adjacency changed — byte-identical to the full
+    /// sweep, at a fraction of its cost.
+    fn ensure_row(
+        &mut self,
+        core: &EngineCore,
+        slot: usize,
+        faults: &FaultSet,
+        tier: Tier,
+    ) -> RowSlot {
         self.count_tier(tier);
         if tier == Tier::FaultFree {
             // Every fault is an edge outside H: T0 ⊆ H survives and the
@@ -388,6 +624,7 @@ impl QueryContext {
         };
         let source = core.sources()[slot];
         let row = &mut self.rows[i];
+        let repairable = !core.options().force_full_sweep;
         // The banned-element filters below scan the canonical fault slice:
         // at most `max_faults` entries, so membership is a short linear
         // scan, cheaper than any hashing at these sizes.
@@ -407,18 +644,35 @@ impl QueryContext {
                     let e = faults.as_single_edge().expect("SparseH is single-edge");
                     let h = &core.h;
                     let banned_compact = h.compact_edge(e);
-                    bfs_sweep(
-                        source,
-                        &mut row.dist,
-                        &mut row.parent,
-                        &mut self.queue,
-                        |u| {
-                            h.graph()
-                                .neighbors(u)
-                                .filter(move |&(_, he)| Some(he) != banned_compact)
-                                .map(|(w, he)| (w, h.parent_edge(he)))
-                        },
-                    );
+                    let neighbors = |u: VertexId| {
+                        h.graph()
+                            .neighbors(u)
+                            .filter(move |&(_, he)| Some(he) != banned_compact)
+                            .map(|(w, he)| (w, h.parent_edge(he)))
+                    };
+                    if repairable {
+                        let (dist0, parent0) = core.fault_free_row(slot);
+                        core.affected_intervals(slot, faults, &mut self.repair.intervals);
+                        self.repair.fixups.clear();
+                        if h.contains_parent_edge(e) {
+                            let edge = core.graph().edge(e);
+                            self.repair.fixups.push(edge.u);
+                            self.repair.fixups.push(edge.v);
+                        }
+                        row.dist.copy_from_slice(dist0);
+                        row.parent.copy_from_slice(parent0);
+                        self.repair.repair_region(
+                            core.slot_tree(slot).euler.order(),
+                            dist0,
+                            &mut row.dist,
+                            &mut row.parent,
+                            neighbors,
+                        );
+                        self.stats.repaired_rows += 1;
+                    } else {
+                        bfs_sweep(source, &mut self.scratch, neighbors);
+                        self.scratch.materialize(&mut row.dist, &mut row.parent);
+                    }
                     self.stats.structure_bfs_runs += 1;
                 }
                 Tier::Augmented => {
@@ -426,44 +680,57 @@ impl QueryContext {
                     // coverage: a BFS over H⁺ ∖ F is exact by the
                     // replacement-path construction (see `crate::ftbfs`).
                     // The ≤ 2 banned edges are translated to compact ids
-                    // once, so the sweep compares compact ids directly and
-                    // only translates the edges it records as parents.
-                    let aug = &core.aug.as_ref().expect("Augmented tier has a CSR").csr;
-                    let banned_compact: Vec<ftb_graph::EdgeId> =
-                        faults.edges().filter_map(|e| aug.compact_edge(e)).collect();
-                    bfs_sweep(
-                        source,
-                        &mut row.dist,
-                        &mut row.parent,
-                        &mut self.queue,
-                        |u| {
-                            aug.graph()
-                                .neighbors(u)
-                                .filter(|&(w, ce)| {
-                                    !banned_compact.contains(&ce)
-                                        && !banned.contains(&Fault::Vertex(w))
-                                })
-                                .map(|(w, ce)| (w, aug.parent_edge(ce)))
-                        },
-                    );
+                    // once into an inline probe, so the sweep compares
+                    // compact ids directly and only translates the edges it
+                    // records as parents.
+                    let aug = core.aug.as_ref().expect("Augmented tier has a CSR");
+                    let csr = &aug.csr;
+                    let banned_compact = BannedEdges::collect(faults, csr);
+                    let neighbors = |u: VertexId| {
+                        csr.graph()
+                            .neighbors(u)
+                            .filter(move |&(w, ce)| {
+                                !banned_compact.contains(ce) && !banned.contains(&Fault::Vertex(w))
+                            })
+                            .map(|(w, ce)| (w, csr.parent_edge(ce)))
+                    };
+                    if repairable {
+                        let (dist0, _) = core.fault_free_row(slot);
+                        let parent0 = &aug.fault_free_parent[slot];
+                        core.affected_intervals(slot, faults, &mut self.repair.intervals);
+                        self.repair.fixups.clear();
+                        for e in faults.edges().filter(|&e| csr.contains_parent_edge(e)) {
+                            let edge = core.graph().edge(e);
+                            self.repair.fixups.push(edge.u);
+                            self.repair.fixups.push(edge.v);
+                        }
+                        row.dist.copy_from_slice(dist0);
+                        row.parent.copy_from_slice(parent0);
+                        self.repair.repair_region(
+                            core.slot_tree(slot).euler.order(),
+                            dist0,
+                            &mut row.dist,
+                            &mut row.parent,
+                            neighbors,
+                        );
+                        self.stats.repaired_rows += 1;
+                    } else {
+                        bfs_sweep(source, &mut self.scratch, neighbors);
+                        self.scratch.materialize(&mut row.dist, &mut row.parent);
+                    }
                     self.stats.augmented_bfs_runs += 1;
                 }
                 Tier::FullGraph => {
                     // Everything beyond the sparse guarantees stays exact
                     // with one BFS over the full graph G ∖ F.
                     let graph = core.graph();
-                    bfs_sweep(
-                        source,
-                        &mut row.dist,
-                        &mut row.parent,
-                        &mut self.queue,
-                        |u| {
-                            graph.neighbors(u).filter(move |&(w, ge)| {
-                                !banned.contains(&Fault::Edge(ge))
-                                    && !banned.contains(&Fault::Vertex(w))
-                            })
-                        },
-                    );
+                    bfs_sweep(source, &mut self.scratch, |u| {
+                        graph.neighbors(u).filter(move |&(w, ge)| {
+                            !banned.contains(&Fault::Edge(ge))
+                                && !banned.contains(&Fault::Vertex(w))
+                        })
+                    });
+                    self.scratch.materialize(&mut row.dist, &mut row.parent);
                     self.stats.full_graph_bfs_runs += 1;
                 }
                 Tier::FaultFree => unreachable!("handled above"),

@@ -2,16 +2,36 @@
 //! construction-time options.
 
 use super::context::QueryContext;
-use super::Tier;
+use super::{ParentEntry, SweepScratch, Tier};
 use crate::error::FtbfsError;
 use crate::ftbfs::{AugmentCoverage, AugmentedStructure};
 use crate::mbfs::MultiSourceStructure;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{CompactSubgraph, EdgeId, FaultSet, Graph, VertexId};
+use ftb_graph::{CompactSubgraph, EdgeId, Fault, FaultSet, Graph, SubgraphView, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_sp::UNREACHABLE;
+use ftb_tree::EulerTourIndex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable disabling the incremental row repair and the
+/// unaffected-target fast path: when set to `1`/`true`, every cache miss
+/// runs a full CSR sweep and every query resolves a materialized row — the
+/// pre-repair behaviour. This is the differential-testing escape hatch: the
+/// repaired rows are asserted byte-identical against exactly this mode.
+/// Explicit [`EngineOptions::with_force_full_sweep`] settings are never
+/// overridden; the variable only seeds the default.
+pub const FORCE_FULL_SWEEP_ENV: &str = "FTBFS_FORCE_FULL_SWEEP";
+
+/// `true` when [`FORCE_FULL_SWEEP_ENV`] asks for full sweeps.
+fn force_full_sweep_from_env() -> bool {
+    std::env::var(FORCE_FULL_SWEEP_ENV)
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
 
 /// Serving-side tuning knobs, independent of how the structure was built.
 ///
@@ -36,6 +56,13 @@ pub struct EngineOptions {
     /// full graph (see the [module docs](super)), so the cap bounds the
     /// worst-case per-row work a caller can trigger. Minimum 1.
     pub max_faults: usize,
+    /// Disable the incremental row repair and the unaffected-target fast
+    /// path: every cache miss runs a full CSR sweep and every query
+    /// resolves a materialized row. Defaults to the value of the
+    /// [`FORCE_FULL_SWEEP_ENV`] environment variable (normally `false`).
+    /// Answers are byte-identical either way — this knob exists for
+    /// differential testing and for measuring the repair speedup.
+    pub force_full_sweep: bool,
 }
 
 impl EngineOptions {
@@ -58,6 +85,7 @@ impl EngineOptions {
             lru_rows: Self::DEFAULT_LRU_ROWS,
             parallel: ParallelConfig::default(),
             max_faults: Self::DEFAULT_MAX_FAULTS,
+            force_full_sweep: force_full_sweep_from_env(),
         }
     }
 
@@ -85,6 +113,14 @@ impl EngineOptions {
         self
     }
 
+    /// Force every cache miss onto a full CSR sweep and every query onto a
+    /// materialized row (disables the incremental repair and the
+    /// unaffected-target fast path). See [`EngineOptions::force_full_sweep`].
+    pub fn with_force_full_sweep(mut self, force: bool) -> Self {
+        self.force_full_sweep = force;
+        self
+    }
+
     /// Lift the engine-relevant fields out of a build configuration
     /// (LRU capacity, worker threads and the fault cap).
     pub fn from_build_config(config: &crate::BuildConfig) -> Self {
@@ -92,6 +128,7 @@ impl EngineOptions {
             lru_rows: config.engine_lru_rows.max(1),
             parallel: config.parallel.clone(),
             max_faults: config.max_faults.max(1),
+            force_full_sweep: force_full_sweep_from_env(),
         }
     }
 }
@@ -119,6 +156,36 @@ pub(super) struct AugmentedTier {
     pub(super) csr: CompactSubgraph,
     /// The fault family the structure was constructed to answer exactly.
     pub(super) coverage: AugmentCoverage,
+    /// Per-slot canonical fault-free *parent* rows over the `H⁺` adjacency.
+    /// The distances equal the shared fault-free rows (every tier preserves
+    /// fault-free distances), but canonical parents are adjacency-relative,
+    /// so the repair path needs the `H⁺` flavour to copy unaffected entries
+    /// from.
+    pub(super) fault_free_parent: Vec<Vec<ParentEntry>>,
+}
+
+/// Per-slot index of the fault-free BFS tree `T0` used by the incremental
+/// row repair and the unaffected-target fast path: preorder subtree
+/// intervals over `T0` plus the tree-edge → child-endpoint map.
+#[derive(Debug)]
+pub(super) struct SlotTree {
+    /// Preorder intervals: the affected set of a failed tree element is a
+    /// union of `O(|F|)` contiguous ranges of `euler.order()`.
+    pub(super) euler: EulerTourIndex,
+    /// Child endpoint of each `T0` tree edge, indexed by **compact `H`**
+    /// edge id (`None` for structure edges outside the tree).
+    edge_child: Vec<Option<VertexId>>,
+}
+
+impl SlotTree {
+    /// The child endpoint under which parent-graph edge `ge` hangs in this
+    /// slot's tree, if `ge` is a tree edge.
+    pub(super) fn tree_edge_child(&self, h: &CompactSubgraph, ge: EdgeId) -> Option<VertexId> {
+        self.edge_child
+            .get(h.compact_edge(ge)?.index())
+            .copied()
+            .flatten()
+    }
 }
 
 /// The immutable preprocessed half of the fault-query engine.
@@ -152,6 +219,12 @@ pub struct EngineCore {
     pub(super) aug: Option<AugmentedTier>,
     /// Fault-free rows, one per source slot.
     fault_free: Vec<FaultFreeRow>,
+    /// Fault-free tree indices, one per source slot (same order).
+    trees: Vec<SlotTree>,
+    /// Vertex → source-slot lookup (`u32::MAX` = not a served source), so
+    /// multi-source cores resolve sources in `O(1)` instead of a linear
+    /// scan per query.
+    slot_of: Vec<u32>,
     options: EngineOptions,
     /// Identity tying contexts to the core that created them.
     pub(super) token: u64,
@@ -268,38 +341,85 @@ impl EngineCore {
             }
         }
         let h = CompactSubgraph::from_edge_set(graph, structure.edge_set());
-        let aug = aug.map(|(edges, coverage)| {
-            debug_assert!(
-                structure.edge_set().iter().all(|e| edges.contains(e)),
-                "H⁺ must contain H"
-            );
-            AugmentedTier {
-                csr: CompactSubgraph::from_edge_set(graph, &edges),
-                coverage,
-            }
-        });
         let n = graph.num_vertices();
 
         // Fault-free preprocessing: one BFS over H per source, cross-checked
         // against the graph's own distances. Any valid structure preserves
-        // them, so a divergence means the pairing is wrong.
+        // them, so a divergence means the pairing is wrong. One sweep
+        // scratch and one cross-check buffer serve every source.
         let mut fault_free = Vec::with_capacity(sources.len());
-        let mut queue = VecDeque::with_capacity(n);
+        let mut trees = Vec::with_capacity(sources.len());
+        let mut scratch = SweepScratch::new(n);
+        let mut check_dist: Vec<u32> = Vec::new();
+        let mut check_queue = VecDeque::new();
+        let full_view = SubgraphView::full(graph);
         for &s in &sources {
             let mut row = FaultFreeRow {
                 dist: vec![UNREACHABLE; n],
                 parent: vec![None; n],
             };
-            super::bfs_sweep(s, &mut row.dist, &mut row.parent, &mut queue, |u| {
-                h.neighbors_parent_ids(u)
-            });
-            let graph_dist = ftb_sp::bfs_distances(graph, s);
-            if let Some(i) = (0..graph_dist.len()).find(|&i| graph_dist[i] != row.dist[i]) {
+            super::bfs_sweep(s, &mut scratch, |u| h.neighbors_parent_ids(u));
+            scratch.materialize(&mut row.dist, &mut row.parent);
+            ftb_sp::bfs::bfs_distances_into(&full_view, s, &mut check_dist, &mut check_queue);
+            if let Some(i) = (0..check_dist.len()).find(|&i| check_dist[i] != row.dist[i]) {
                 return Err(FtbfsError::FaultFreeDistanceMismatch {
                     vertex: VertexId::new(i),
                 });
             }
+            // Index the slot's tree T0 for the repair path: preorder
+            // intervals plus the tree-edge → child map (every tree edge is
+            // a structure edge, so compact H ids index it densely).
+            let euler = EulerTourIndex::from_parents(s, &row.parent);
+            let mut edge_child = vec![None; h.num_edges()];
+            for (i, p) in row.parent.iter().enumerate() {
+                if let Some((_, ge)) = p {
+                    let ce = h.compact_edge(*ge).expect("tree edges are structure edges");
+                    edge_child[ce.index()] = Some(VertexId::new(i));
+                }
+            }
+            trees.push(SlotTree { euler, edge_child });
             fault_free.push(row);
+        }
+
+        // The augmented tier additionally needs canonical fault-free
+        // parents relative to the H⁺ adjacency (distances are the same —
+        // every tier preserves fault-free distances — but canonical parent
+        // selection is adjacency-order-relative).
+        let aug = aug.map(|(edges, coverage)| {
+            debug_assert!(
+                structure.edge_set().iter().all(|e| edges.contains(e)),
+                "H⁺ must contain H"
+            );
+            let csr = CompactSubgraph::from_edge_set(graph, &edges);
+            let mut dist_buf = vec![UNREACHABLE; n];
+            let fault_free_parent = sources
+                .iter()
+                .enumerate()
+                .map(|(slot, &s)| {
+                    let mut parent = vec![None; n];
+                    super::bfs_sweep(s, &mut scratch, |u| csr.neighbors_parent_ids(u));
+                    scratch.materialize(&mut dist_buf, &mut parent);
+                    debug_assert_eq!(
+                        dist_buf, fault_free[slot].dist,
+                        "H⁺ must preserve fault-free distances"
+                    );
+                    parent
+                })
+                .collect();
+            AugmentedTier {
+                csr,
+                coverage,
+                fault_free_parent,
+            }
+        });
+
+        let mut slot_of = vec![u32::MAX; n];
+        for (slot, &s) in sources.iter().enumerate() {
+            // First slot wins for a repeated source, matching the linear
+            // scan this lookup replaces.
+            if slot_of[s.index()] == u32::MAX {
+                slot_of[s.index()] = slot as u32;
+            }
         }
 
         Ok(EngineCore {
@@ -309,6 +429,8 @@ impl EngineCore {
             h,
             aug,
             fault_free,
+            trees,
+            slot_of,
             options,
             token: NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed),
         })
@@ -360,12 +482,97 @@ impl EngineCore {
         (&row.dist, &row.parent)
     }
 
-    /// Resolve a source vertex to its row slot.
+    /// Resolve a source vertex to its row slot in `O(1)` via the
+    /// preprocessed vertex → slot lookup (out-of-range vertices are simply
+    /// not served).
     pub(super) fn source_slot(&self, source: VertexId) -> Result<usize, FtbfsError> {
-        self.sources
-            .iter()
-            .position(|&s| s == source)
-            .ok_or(FtbfsError::SourceNotServed { source })
+        match self.slot_of.get(source.index()) {
+            Some(&slot) if slot != u32::MAX => Ok(slot as usize),
+            _ => Err(FtbfsError::SourceNotServed { source }),
+        }
+    }
+
+    /// The fault-free tree index of a source slot.
+    pub(super) fn slot_tree(&self, slot: usize) -> &SlotTree {
+        &self.trees[slot]
+    }
+
+    /// `true` if `v` is **provably unaffected** by `faults` as seen from
+    /// slot `slot`: the canonical tree path `T0(s → v)` uses no failed tree
+    /// edge and no failed vertex, so `dist(s, v, G' ∖ F) = dist(s, v, G)`
+    /// for every serving subgraph `T0 ⊆ G' ⊆ G` — the fault-free row
+    /// answers in `O(|F|)` with no search. Out-of-tree targets are
+    /// unaffected too (they stay unreachable under any fault set).
+    pub(super) fn target_unaffected(&self, slot: usize, v: VertexId, faults: &FaultSet) -> bool {
+        let tree = &self.trees[slot];
+        faults.iter().all(|f| match f {
+            Fault::Edge(ge) => match tree.tree_edge_child(&self.h, ge) {
+                Some(c) => !tree.euler.is_ancestor(c, v),
+                None => true,
+            },
+            Fault::Vertex(u) => !tree.euler.is_ancestor(u, v),
+        })
+    }
+
+    /// Collect the merged preorder intervals (into `out`, as
+    /// `(start, end)` ranges over the slot tree's
+    /// [`order`](EulerTourIndex::order) array) of the subtrees hanging
+    /// under the failed elements of `faults`. Returns the number of
+    /// affected vertices. Subtree intervals are laminar, so sorting and one
+    /// merge pass suffice.
+    pub(super) fn affected_intervals(
+        &self,
+        slot: usize,
+        faults: &FaultSet,
+        out: &mut Vec<(u32, u32)>,
+    ) -> usize {
+        let tree = &self.trees[slot];
+        out.clear();
+        for f in faults.iter() {
+            let root = match f {
+                Fault::Edge(ge) => tree.tree_edge_child(&self.h, ge),
+                Fault::Vertex(u) if tree.euler.in_tree(u) => Some(u),
+                Fault::Vertex(_) => None,
+            };
+            if let Some(r) = root {
+                let range = tree.euler.subtree(r);
+                out.push((range.start as u32, range.end as u32));
+            }
+        }
+        out.sort_unstable();
+        let mut w = 0usize;
+        for i in 0..out.len() {
+            if w > 0 && out[i].0 < out[w - 1].1 {
+                out[w - 1].1 = out[w - 1].1.max(out[i].1);
+            } else {
+                out[w] = out[i];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+        out.iter().map(|&(a, b)| (b - a) as usize).sum()
+    }
+
+    /// Number of vertices whose canonical shortest path from `source` uses
+    /// an element of `faults` — the *affected set* the incremental row
+    /// repair re-sweeps (everything else is answered from the fault-free
+    /// row). Exposed so experiments can report affected-set size
+    /// distributions per workload.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::SourceNotServed`] for a source without a slot,
+    /// [`FtbfsError::InvalidFault`] / [`FtbfsError::FaultSetTooLarge`] for
+    /// a bad fault set.
+    pub fn affected_vertex_count(
+        &self,
+        source: VertexId,
+        faults: &FaultSet,
+    ) -> Result<usize, FtbfsError> {
+        self.check_fault_set(faults)?;
+        let slot = self.source_slot(source)?;
+        let mut intervals = Vec::new();
+        Ok(self.affected_intervals(slot, faults, &mut intervals))
     }
 
     pub(super) fn check_vertex(&self, v: VertexId) -> Result<(), FtbfsError> {

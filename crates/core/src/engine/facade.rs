@@ -209,8 +209,12 @@ impl<'g> FaultQueryEngine<'g> {
     /// triggers at most one BFS per worker regardless of how many vertices
     /// are probed against it; groups needing a BFS are sharded across
     /// [`EngineOptions::parallel`] worker threads, each with its own
-    /// context. Results are returned in input order and are byte-identical
-    /// to the serial path; `None` marks a disconnected vertex.
+    /// context. Within a group, provably unaffected targets are answered
+    /// by the fault-free fast path and the group's row — repaired
+    /// incrementally, not fully re-swept — is only materialized when an
+    /// affected target needs it. Results are returned in input order and
+    /// are byte-identical to the serial path; `None` marks a disconnected
+    /// vertex.
     pub fn query_many(
         &mut self,
         queries: &[(VertexId, EdgeId)],

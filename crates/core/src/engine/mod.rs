@@ -69,6 +69,38 @@
 //! reports the vertex disconnected (`Ok(None)`), matching brute-force BFS
 //! over the masked graph.
 //!
+//! # Incremental row repair and the unaffected fast path
+//!
+//! A fault only changes the distance of vertices whose canonical shortest
+//! path *uses* the failed element — the subtrees hanging under the fault in
+//! the slot's fault-free BFS tree `T0` (the observation behind the sparse
+//! FT-BFS constructions of Parter–Peleg 2013). The engine exploits it
+//! twice, and both optimisations are answer-preserving (byte-identical
+//! rows, asserted in the `row_repair` differential suite):
+//!
+//! * **Targeted fast path** — a distance query whose target is provably
+//!   unaffected (its tree path avoids every failed tree edge and vertex —
+//!   an `O(|F|)` check against preprocessed Euler-tour subtree intervals)
+//!   is answered straight from the fault-free row: no search, no row, no
+//!   LRU traffic. Counted in [`TierCounters::unaffected_fast_path`].
+//! * **Repair instead of re-sweep** — a cache miss on the `sparse_h_bfs` /
+//!   `augmented_bfs` tiers does not re-sweep the whole serving CSR: the row
+//!   starts as a copy of the tier's fault-free rows, the affected subtrees
+//!   (`O(1)` preorder intervals) are reset and re-swept by a bounded BFS
+//!   seeded from their unaffected boundary at fault-free depths, and
+//!   canonical parents are patched where distances or adjacency changed.
+//!   Cost is `O(n)` memcpy plus `O(vol(affected))` instead of a full
+//!   `O(n + |CSR|)` traversal; counted in [`QueryStats::repaired_rows`].
+//!
+//! Parent entries everywhere are **canonical** — the first neighbor one
+//! level closer in (filtered) adjacency order, a pure function of the final
+//! distance row — which is what makes repaired and fully-swept rows
+//! byte-identical, and serial, sharded and repaired serving
+//! indistinguishable. Set [`EngineOptions::force_full_sweep`] (or the
+//! [`FORCE_FULL_SWEEP_ENV`] environment variable) to disable both paths for
+//! differential testing or measurement; the `row_repair` criterion bench
+//! gates the ≥ 2× serving gap between the two modes in CI.
+//!
 //! Each context keeps the last [`EngineOptions::lru_rows`] computed rows
 //! keyed by (source, fault set) — a single-edge query and its
 //! singleton-set twin share one row — so interleaved queries against a
@@ -92,7 +124,7 @@ mod multi;
 #[cfg(test)]
 mod tests;
 
-pub use self::core::{EngineCore, EngineOptions};
+pub use self::core::{EngineCore, EngineOptions, FORCE_FULL_SWEEP_ENV};
 pub use context::QueryContext;
 pub use facade::FaultQueryEngine;
 pub use multi::MultiSourceEngine;
@@ -127,6 +159,13 @@ pub struct TierCounters {
     /// Answered straight from the preprocessed fault-free row (every fault
     /// an edge outside the structure).
     pub fault_free_row: usize,
+    /// Answered in `O(|F|)` from the fault-free row because the target was
+    /// *provably unaffected*: its canonical tree path avoids every failed
+    /// element, so no search (and no row) is needed at all. Only targeted
+    /// distance queries take this path; disable it (together with the
+    /// incremental row repair) via
+    /// [`EngineOptions::force_full_sweep`](super::EngineOptions).
+    pub unaffected_fast_path: usize,
     /// Answered from a BFS row over the sparse structure CSR `H ∖ {e}`
     /// (single non-reinforced structure-edge failures — the seed paper's
     /// guarantee).
@@ -143,11 +182,16 @@ pub struct TierCounters {
 impl TierCounters {
     /// Sum of all tiers (equals the total query count).
     pub fn total(&self) -> usize {
-        self.fault_free_row + self.sparse_h_bfs + self.augmented_bfs + self.full_graph_bfs
+        self.fault_free_row
+            + self.unaffected_fast_path
+            + self.sparse_h_bfs
+            + self.augmented_bfs
+            + self.full_graph_bfs
     }
 
     fn merge(&mut self, other: &TierCounters) {
         self.fault_free_row += other.fault_free_row;
+        self.unaffected_fast_path += other.unaffected_fast_path;
         self.sparse_h_bfs += other.sparse_h_bfs;
         self.augmented_bfs += other.augmented_bfs;
         self.full_graph_bfs += other.full_graph_bfs;
@@ -156,6 +200,7 @@ impl TierCounters {
     fn delta_since(&self, earlier: &TierCounters) -> TierCounters {
         TierCounters {
             fault_free_row: self.fault_free_row - earlier.fault_free_row,
+            unaffected_fast_path: self.unaffected_fast_path - earlier.unaffected_fast_path,
             sparse_h_bfs: self.sparse_h_bfs - earlier.sparse_h_bfs,
             augmented_bfs: self.augmented_bfs - earlier.augmented_bfs,
             full_graph_bfs: self.full_graph_bfs - earlier.full_graph_bfs,
@@ -175,9 +220,15 @@ pub struct QueryStats {
     pub augmented_bfs_runs: usize,
     /// BFS sweeps over the full graph (the exact fallback).
     pub full_graph_bfs_runs: usize,
-    /// Queries answered from an already-computed row (the fault-free row or
-    /// an LRU hit).
+    /// Queries answered from an already-computed row (the fault-free row,
+    /// the unaffected fast path, or an LRU hit).
     pub cached_answers: usize,
+    /// Cache-miss rows produced by the *incremental repair* path (fault-free
+    /// copy + bounded BFS over the affected subtrees) instead of a full CSR
+    /// sweep. Each repaired row is also counted in the sweep counter of its
+    /// tier (`structure_bfs_runs` / `augmented_bfs_runs`), so
+    /// `repaired_rows` tells how many of those searches were bounded.
+    pub repaired_rows: usize,
     /// Per-tier attribution of every answered query (fields sum to
     /// [`QueryStats::queries`]).
     pub tiers: TierCounters,
@@ -192,6 +243,7 @@ impl QueryStats {
         self.augmented_bfs_runs += other.augmented_bfs_runs;
         self.full_graph_bfs_runs += other.full_graph_bfs_runs;
         self.cached_answers += other.cached_answers;
+        self.repaired_rows += other.repaired_rows;
         self.tiers.merge(&other.tiers);
     }
 
@@ -204,6 +256,7 @@ impl QueryStats {
             augmented_bfs_runs: self.augmented_bfs_runs - earlier.augmented_bfs_runs,
             full_graph_bfs_runs: self.full_graph_bfs_runs - earlier.full_graph_bfs_runs,
             cached_answers: self.cached_answers - earlier.cached_answers,
+            repaired_rows: self.repaired_rows - earlier.repaired_rows,
             tiers: self.tiers.delta_since(&earlier.tiers),
         }
     }
@@ -211,6 +264,10 @@ impl QueryStats {
 
 /// Borrowed distance + parent rows of one BFS sweep.
 type RowRefs<'a> = (&'a [u32], &'a [Option<(VertexId, EdgeId)>]);
+
+/// One parent-row entry: the canonical predecessor of a vertex and the
+/// parent-graph id of the connecting edge.
+type ParentEntry = Option<(VertexId, EdgeId)>;
 
 /// `None` for the `UNREACHABLE` sentinel, `Some(d)` otherwise.
 fn finite(d: u32) -> Option<u32> {
@@ -221,33 +278,79 @@ fn finite(d: u32) -> Option<u32> {
     }
 }
 
-/// The one BFS loop every sweep shares: reset the output rows, then expand
-/// from `source` over whatever adjacency `neighbors` yields. `neighbors`
-/// must already exclude the failed edge and report edges as parent-graph
-/// edge ids.
-fn bfs_sweep<I, F>(
-    source: VertexId,
-    dist: &mut [u32],
-    parent: &mut [Option<(VertexId, EdgeId)>],
-    queue: &mut VecDeque<VertexId>,
-    neighbors: F,
-) where
+/// Reusable BFS sweep state: a generation-stamped distance row (reset is an
+/// `O(1)` epoch bump, not an `O(n)` fill), an *unstamped* parent row (only
+/// read for vertices whose distance is valid this epoch — every such vertex
+/// is popped exactly once and writes its entry), and the visit queue.
+#[derive(Clone, Debug)]
+pub(super) struct SweepScratch {
+    dist: ftb_sp::TimestampedVector<u32>,
+    parent: Vec<ParentEntry>,
+    queue: VecDeque<VertexId>,
+}
+
+impl SweepScratch {
+    pub(super) fn new(num_vertices: usize) -> Self {
+        SweepScratch {
+            dist: ftb_sp::TimestampedVector::new(num_vertices, UNREACHABLE),
+            parent: vec![None; num_vertices],
+            queue: VecDeque::with_capacity(num_vertices),
+        }
+    }
+
+    /// Copy the sweep result into materialized rows (an LRU slot or a
+    /// preprocessed fault-free row).
+    pub(super) fn materialize(&self, dist: &mut [u32], parent: &mut [ParentEntry]) {
+        for i in 0..dist.len() {
+            let d = self.dist.get(i);
+            dist[i] = d;
+            parent[i] = if d == UNREACHABLE {
+                None
+            } else {
+                self.parent[i]
+            };
+        }
+    }
+}
+
+/// The one BFS loop every full sweep shares: expand from `source` over
+/// whatever adjacency `neighbors` yields, into the scratch's stamped rows
+/// (no per-sweep fill). `neighbors` must already exclude the failed
+/// elements and report edges as parent-graph edge ids.
+///
+/// Parent entries are **canonical**: the parent of `v` is the first
+/// neighbor `(w, e)` in `v`'s own (filtered) adjacency order with
+/// `dist(w) + 1 == dist(v)` — a pure function of the final distance row and
+/// the adjacency, *not* of the traversal order. When `v` is popped, every
+/// vertex at depth `dist(v) - 1` is final, so one scan discovers `v`'s
+/// successors and selects `v`'s canonical parent at the same time. The
+/// incremental repair path recomputes exactly this rule from final
+/// distances, which is what makes repaired rows byte-identical to full
+/// sweeps.
+fn bfs_sweep<I, F>(source: VertexId, scratch: &mut SweepScratch, neighbors: F)
+where
     I: Iterator<Item = (VertexId, EdgeId)>,
     F: Fn(VertexId) -> I,
 {
-    dist.fill(UNREACHABLE);
-    parent.fill(None);
-    queue.clear();
-    dist[source.index()] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
+    scratch.dist.reset();
+    scratch.queue.clear();
+    scratch.dist.set(source.index(), 0);
+    scratch.parent[source.index()] = None;
+    scratch.queue.push_back(source);
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist.get(u.index());
+        let mut canonical: ParentEntry = None;
         for (w, ge) in neighbors(u) {
-            if dist[w.index()] == UNREACHABLE {
-                dist[w.index()] = du + 1;
-                parent[w.index()] = Some((u, ge));
-                queue.push_back(w);
+            let dw = scratch.dist.get(w.index());
+            if dw == UNREACHABLE {
+                scratch.dist.set(w.index(), du + 1);
+                scratch.queue.push_back(w);
+            } else if canonical.is_none() && du > 0 && dw + 1 == du {
+                canonical = Some((w, ge));
             }
+        }
+        if u != source {
+            scratch.parent[u.index()] = canonical;
         }
     }
 }

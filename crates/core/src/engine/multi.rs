@@ -189,7 +189,9 @@ impl<'g> MultiSourceEngine<'g> {
     ///
     /// Grouped by (source, failing edge) and sharded across
     /// [`EngineOptions::parallel`] workers exactly like
-    /// [`FaultQueryEngine::query_many`](super::FaultQueryEngine::query_many);
+    /// [`FaultQueryEngine::query_many`](super::FaultQueryEngine::query_many),
+    /// including the per-target unaffected fast path and incremental row
+    /// repair (each source slot has its own fault-free tree index);
     /// results are returned in input order, byte-identical to the serial
     /// path.
     pub fn query_many(

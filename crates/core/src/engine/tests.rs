@@ -36,6 +36,13 @@ fn brute_faults(graph: &Graph, s: VertexId, v: VertexId, faults: &FaultSet) -> O
     (d != UNREACHABLE).then_some(d)
 }
 
+/// Options with the repair/fast path pinned **on**, so these tests keep
+/// exercising the repaired pipeline even under `FTBFS_FORCE_FULL_SWEEP=1`
+/// (CI runs the whole suite that way to cover the escape hatch).
+fn repaired_options() -> EngineOptions {
+    EngineOptions::new().serial().with_force_full_sweep(false)
+}
+
 #[test]
 fn engine_core_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
@@ -168,12 +175,17 @@ fn lru_capacity_bounds_recomputation() {
     let edges: Vec<EdgeId> = s.edges().take(3).collect();
     assert!(edges.len() >= 3, "structure too small for the LRU test");
 
+    // Force full sweeps: this test counts one search per miss, and the
+    // unaffected fast path would answer some probes without any row.
     // Capacity 1 (the 0.2 one-row behaviour): a round-robin over three
     // failures evicts on every step, so every query repeats its BFS.
     let mut one = FaultQueryEngine::with_options(
         &graph,
         s.clone(),
-        EngineOptions::new().with_lru_rows(1).serial(),
+        EngineOptions::new()
+            .with_lru_rows(1)
+            .serial()
+            .with_force_full_sweep(true),
     )
     .expect("matching graph");
     for _ in 0..4 {
@@ -185,9 +197,15 @@ fn lru_capacity_bounds_recomputation() {
     assert_eq!(one_runs, 12, "capacity 1 must recompute on every rotation");
 
     // Capacity 4: the working set fits, so each failure is searched once.
-    let mut four =
-        FaultQueryEngine::with_options(&graph, s, EngineOptions::new().with_lru_rows(4).serial())
-            .expect("matching graph");
+    let mut four = FaultQueryEngine::with_options(
+        &graph,
+        s,
+        EngineOptions::new()
+            .with_lru_rows(4)
+            .serial()
+            .with_force_full_sweep(true),
+    )
+    .expect("matching graph");
     for _ in 0..4 {
         for &e in &edges {
             four.dist_after_fault(VertexId(1), e).expect("in range");
@@ -726,9 +744,17 @@ fn lru_eviction_order_under_fault_set_keying() {
             .into_iter()
             .collect(),
     ];
-    let mut engine =
-        FaultQueryEngine::with_options(&graph, s, EngineOptions::new().with_lru_rows(2).serial())
-            .expect("matching graph");
+    // Forced full sweeps: the probes below count one search per miss, which
+    // the unaffected fast path would short-circuit for some vertices.
+    let mut engine = FaultQueryEngine::with_options(
+        &graph,
+        s,
+        EngineOptions::new()
+            .with_lru_rows(2)
+            .serial()
+            .with_force_full_sweep(true),
+    )
+    .expect("matching graph");
     let runs = |e: &FaultQueryEngine| {
         let st = e.query_stats();
         st.structure_bfs_runs + st.full_graph_bfs_runs
@@ -885,7 +911,18 @@ fn multi_source_fault_sets_are_exact_per_source() {
 #[test]
 fn tier_counters_sum_to_queries_and_attribute_lru_hits() {
     let graph = generators::complete(9);
-    let mut engine = engine_for(&graph, 0.3, 31);
+    // Forced full sweeps so every probe resolves a row and the per-tier
+    // attribution below is exact (the fast path has its own tests).
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(31).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let mut engine = FaultQueryEngine::with_options(
+        &graph,
+        s,
+        EngineOptions::new().serial().with_force_full_sweep(true),
+    )
+    .expect("matching graph");
     let outside = graph
         .edge_ids()
         .find(|&e| !engine.structure().contains_edge(e))
@@ -938,6 +975,210 @@ fn stats_delta_since_subtracts_fieldwise() {
     let mut merged = before;
     merged.merge(&delta);
     assert_eq!(merged, engine.query_stats());
+}
+
+#[test]
+fn unaffected_fast_path_answers_without_a_row() {
+    let graph = generators::grid(6, 6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(41).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = EngineCore::build_with(&graph, s, repaired_options()).expect("matching graph");
+    let mut ctx = core.new_context();
+    // A structure edge whose failure leaves some vertex provably
+    // unaffected and some affected: grid BFS trees always have proper
+    // subtrees.
+    let (e, unaffected, affected) = core
+        .structure()
+        .backup_edges()
+        .find_map(|e| {
+            let faults = FaultSet::from(e);
+            if core.route(&faults) != super::Tier::SparseH {
+                return None;
+            }
+            let un = graph
+                .vertices()
+                .find(|&v| core.target_unaffected(0, v, &faults))?;
+            let af = graph
+                .vertices()
+                .find(|&v| !core.target_unaffected(0, v, &faults))?;
+            Some((e, un, af))
+        })
+        .expect("grid structures have partial failures");
+    let faults = FaultSet::from(e);
+    // Unaffected target: O(1) answer, no sweep, no repair, no LRU row.
+    let d = ctx.dist_after_faults(&core, unaffected, &faults).unwrap();
+    assert_eq!(d, core.fault_free_dist_slot(0, unaffected));
+    assert_eq!(d, brute_faults(&graph, VertexId(0), unaffected, &faults));
+    let stats = ctx.stats();
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.tiers.unaffected_fast_path, 1);
+    assert_eq!(stats.cached_answers, 1);
+    assert_eq!(stats.structure_bfs_runs, 0);
+    assert_eq!(stats.repaired_rows, 0);
+    // Affected target: the row is computed — by repair, counted as one
+    // structure sweep.
+    let d = ctx.dist_after_faults(&core, affected, &faults).unwrap();
+    assert_eq!(d, brute_faults(&graph, VertexId(0), affected, &faults));
+    let stats = ctx.stats();
+    assert_eq!(stats.tiers.unaffected_fast_path, 1);
+    assert_eq!(stats.tiers.sparse_h_bfs, 1);
+    assert_eq!(stats.structure_bfs_runs, 1);
+    assert_eq!(stats.repaired_rows, 1);
+    assert_eq!(stats.tiers.total(), stats.queries);
+}
+
+#[test]
+fn forced_full_sweeps_disable_fast_path_and_repair() {
+    let graph = generators::grid(6, 6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(41).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = EngineCore::build_with(
+        &graph,
+        s,
+        EngineOptions::new().serial().with_force_full_sweep(true),
+    )
+    .expect("matching graph");
+    assert!(core.options().force_full_sweep);
+    let mut ctx = core.new_context();
+    let e = core
+        .structure()
+        .backup_edges()
+        .next()
+        .expect("structure has backup edges");
+    for v in graph.vertices() {
+        let got = ctx.dist_after_fault(&core, v, e).expect("in range");
+        assert_eq!(got, brute_force(&graph, v, e));
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.tiers.unaffected_fast_path, 0, "fast path is off");
+    assert_eq!(stats.repaired_rows, 0, "repair is off");
+    assert_eq!(stats.structure_bfs_runs + stats.full_graph_bfs_runs, 1);
+    assert!(
+        !EngineOptions::new()
+            .with_force_full_sweep(false)
+            .force_full_sweep
+    );
+}
+
+#[test]
+fn path_queries_never_take_the_fast_path() {
+    // Paths need a parent chain, so even a provably unaffected target
+    // resolves a materialized row.
+    let graph = generators::grid(5, 5);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(43).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = EngineCore::build_with(&graph, s, repaired_options()).expect("matching graph");
+    let mut ctx = core.new_context();
+    let (e, unaffected) = core
+        .structure()
+        .backup_edges()
+        .find_map(|e| {
+            let faults = FaultSet::from(e);
+            (core.route(&faults) == super::Tier::SparseH)
+                .then(|| {
+                    graph
+                        .vertices()
+                        .find(|&v| {
+                            core.target_unaffected(0, v, &faults)
+                                && core.fault_free_dist_slot(0, v).is_some()
+                        })
+                        .map(|v| (e, v))
+                })
+                .flatten()
+        })
+        .expect("grid structures have partial failures");
+    let p = ctx
+        .path_after_fault(&core, unaffected, e)
+        .expect("in range")
+        .expect("reachable");
+    assert_eq!(p.last(), unaffected);
+    let stats = ctx.stats();
+    assert_eq!(stats.tiers.unaffected_fast_path, 0);
+    assert_eq!(stats.tiers.sparse_h_bfs, 1);
+    assert_eq!(stats.structure_bfs_runs, 1, "the row was computed");
+}
+
+#[test]
+fn batched_queries_use_the_fast_path_per_target() {
+    // Within a fault-group of a batch, unaffected targets are answered
+    // without touching the group's row; the sweep only runs when an
+    // affected target needs it.
+    let graph = generators::grid(6, 6);
+    let s = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(47).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let core = EngineCore::build_with(&graph, s, repaired_options()).expect("matching graph");
+    let faults: Vec<FaultSet> = core
+        .structure()
+        .backup_edges()
+        .map(FaultSet::from)
+        .filter(|f| core.route(f) == super::Tier::SparseH)
+        .take(4)
+        .collect();
+    assert!(!faults.is_empty());
+    let queries: Vec<(VertexId, FaultSet)> = faults
+        .iter()
+        .flat_map(|f| graph.vertices().map(move |v| (v, f.clone())))
+        .collect();
+    let mut ctx = core.new_context();
+    let got = ctx.query_many_faults(&core, &queries).expect("in range");
+    for (i, (v, f)) in queries.iter().enumerate() {
+        assert_eq!(got[i], brute_faults(&graph, VertexId(0), *v, f));
+    }
+    let stats = ctx.stats();
+    assert!(
+        stats.tiers.unaffected_fast_path > 0,
+        "grid tree faults leave unaffected targets"
+    );
+    assert_eq!(stats.tiers.total(), stats.queries);
+    assert!(stats.structure_bfs_runs <= faults.len());
+}
+
+#[test]
+fn repaired_and_forced_engines_agree_on_augmented_duals() {
+    let graph = generators::hypercube(4);
+    let base = TradeoffBuilder::new(0.3)
+        .with_config(|c| c.with_seed(53).serial())
+        .build(&graph, &Sources::single(VertexId(0)))
+        .expect("valid input");
+    let aug = crate::ftbfs::FtBfsAugmenter::new(crate::ftbfs::AugmentCoverage::DualFailure)
+        .with_seed(53)
+        .serial()
+        .augment(&graph, base)
+        .expect("matching graph");
+    let repaired = EngineCore::build_augmented_with(&graph, aug.clone(), repaired_options())
+        .expect("matching graph");
+    let forced = EngineCore::build_augmented_with(
+        &graph,
+        aug,
+        EngineOptions::new().serial().with_force_full_sweep(true),
+    )
+    .expect("matching graph");
+    let mut rctx = repaired.new_context();
+    let mut fctx = forced.new_context();
+    for faults in ftb_graph::enumerate_fault_sets(&graph, 2).iter().step_by(7) {
+        for v in graph.vertices() {
+            assert_eq!(
+                rctx.dist_after_faults(&repaired, v, faults).unwrap(),
+                fctx.dist_after_faults(&forced, v, faults).unwrap(),
+                "{v:?} under {faults}"
+            );
+            assert_eq!(
+                rctx.path_after_faults(&repaired, v, faults).unwrap(),
+                fctx.path_after_faults(&forced, v, faults).unwrap(),
+                "{v:?} under {faults}"
+            );
+        }
+    }
+    assert!(rctx.stats().repaired_rows > 0);
+    assert_eq!(fctx.stats().repaired_rows, 0);
 }
 
 #[test]

@@ -117,7 +117,7 @@ pub use config::BuildConfig;
 pub use cost::CostModel;
 pub use engine::{
     EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext, QueryStats,
-    TierCounters,
+    TierCounters, FORCE_FULL_SWEEP_ENV,
 };
 pub use error::FtbfsError;
 pub use ftbfs::{AugmentCoverage, AugmentStats, AugmentedStructure, FtBfsAugmenter};

@@ -295,6 +295,15 @@ impl CompactSubgraph {
         self.from_parent[parent.index()].map(EdgeId)
     }
 
+    /// `true` if the parent-graph edge survived the extraction (is part of
+    /// this compact subgraph). Out-of-range parent ids are simply absent.
+    #[inline]
+    pub fn contains_parent_edge(&self, parent: EdgeId) -> bool {
+        self.from_parent
+            .get(parent.index())
+            .is_some_and(|slot| slot.is_some())
+    }
+
     /// Iterate the surviving `(neighbor, edge)` pairs of `v`, reporting
     /// edges as **parent-graph** edge ids.
     pub fn neighbors_parent_ids(

@@ -14,7 +14,9 @@
 //! * [`ShortestPathTree`] — the BFS tree `T0 = ⋃_v π(s, v)` rooted at the
 //!   source, with parent pointers, depths, and path extraction,
 //! * [`replacement`] — batched replacement distances `dist(s, ·, G \ {e})`
-//!   for every tree edge `e`, computed in parallel.
+//!   for every tree edge `e`, computed in parallel,
+//! * [`TimestampedVector`] — generation-stamped scratch whose reset is
+//!   `O(1)`, backing the query engine's per-miss sweep state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod lex;
 pub mod path;
 pub mod replacement;
 pub mod sp_tree;
+pub mod timestamped;
 pub mod weights;
 
 pub use bfs::{bfs_distances, bfs_distances_view};
@@ -33,6 +36,7 @@ pub use lex::{LexSearch, PathCost};
 pub use path::Path;
 pub use replacement::ReplacementDistances;
 pub use sp_tree::ShortestPathTree;
+pub use timestamped::TimestampedVector;
 pub use weights::TieBreakWeights;
 
 /// Hop distance value used throughout: `u32::MAX` denotes "unreachable".

@@ -1,0 +1,242 @@
+//! Preorder Euler intervals over a parent-pointer tree row.
+//!
+//! The incremental post-failure row repair of the query engine rests on one
+//! structural fact (Parter–Peleg 2013): a fault can only change the distance
+//! of vertices whose canonical shortest path *uses* the failed element —
+//! i.e. the descendants, in the fault-free BFS tree, of the failed tree
+//! edge's child endpoint (or of the failed vertex). [`EulerTourIndex`] makes
+//! that affected set addressable in `O(1)`: it assigns every tree vertex a
+//! preorder number `tin` such that the subtree of `v` is exactly the
+//! contiguous range `tin(v) .. tout(v)` of the preorder sequence, which the
+//! index also materialises as the [`EulerTourIndex::order`] array.
+//!
+//! Unlike [`TreeIndex`](crate::TreeIndex), which is built from a
+//! [`ShortestPathTree`](ftb_sp::ShortestPathTree) and answers LCA queries,
+//! this index is built straight from a *parent row* — the
+//! `Option<(parent, edge)>` per vertex that a BFS sweep leaves behind — so a
+//! serving engine can index the trees of its preprocessed fault-free rows
+//! without rebuilding any tree object.
+
+use ftb_graph::VertexId;
+
+/// Preorder entry sentinel for vertices outside the tree.
+const OUT_OF_TREE: u32 = u32::MAX;
+
+/// Preorder numbering of a rooted tree given as a parent-pointer row, with
+/// `O(1)` subtree intervals and ancestor tests.
+///
+/// Vertices whose parent entry is `None` (other than the root) are treated
+/// as unreachable: they get no preorder number, [`EulerTourIndex::in_tree`]
+/// is `false` for them, and ancestor tests involving them answer `false`.
+#[derive(Clone, Debug)]
+pub struct EulerTourIndex {
+    root: VertexId,
+    /// Preorder entry time per vertex ([`OUT_OF_TREE`] if unreachable).
+    tin: Vec<u32>,
+    /// One past the preorder entry time of the last descendant, so the
+    /// subtree of `v` is `order[tin(v) .. tout(v)]`.
+    tout: Vec<u32>,
+    /// The preorder sequence itself: `order[tin(v)] == v`.
+    order: Vec<VertexId>,
+}
+
+impl EulerTourIndex {
+    /// Build the index from the parent row of a BFS/SP tree rooted at
+    /// `root`. `parents[v]` is `Some((parent, edge_payload))` for every
+    /// reachable non-root vertex; the edge payload is ignored, so any row
+    /// shape (graph edge ids, weights, …) works.
+    ///
+    /// Runs in `O(n)` time and space; iterative, so path-shaped trees of any
+    /// depth are fine.
+    pub fn from_parents<E: Copy>(root: VertexId, parents: &[Option<(VertexId, E)>]) -> Self {
+        let n = parents.len();
+        // Children counts → CSR-style child buckets (children of each vertex
+        // in ascending vertex-id order, so the preorder is deterministic).
+        let mut child_count = vec![0u32; n];
+        for p in parents.iter().flatten() {
+            child_count[p.0.index()] += 1;
+        }
+        let mut child_start = vec![0u32; n + 1];
+        for i in 0..n {
+            child_start[i + 1] = child_start[i] + child_count[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut children = vec![VertexId(0); child_start[n] as usize];
+        for (i, p) in parents.iter().enumerate() {
+            if let Some((p, _)) = p {
+                children[cursor[p.index()] as usize] = VertexId::new(i);
+                cursor[p.index()] += 1;
+            }
+        }
+
+        let mut tin = vec![OUT_OF_TREE; n];
+        let mut tout = vec![OUT_OF_TREE; n];
+        let mut order = Vec::new();
+        if root.index() < n {
+            // Iterative preorder DFS; (vertex, next-child cursor) frames.
+            let mut stack: Vec<(VertexId, u32)> = vec![(root, child_start[root.index()])];
+            tin[root.index()] = 0;
+            order.push(root);
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                if *next < child_start[v.index() + 1] {
+                    let c = children[*next as usize];
+                    *next += 1;
+                    tin[c.index()] = order.len() as u32;
+                    order.push(c);
+                    stack.push((c, child_start[c.index()]));
+                } else {
+                    tout[v.index()] = order.len() as u32;
+                    stack.pop();
+                }
+            }
+        }
+        EulerTourIndex {
+            root,
+            tin,
+            tout,
+            order,
+        }
+    }
+
+    /// The tree root.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// `true` if `v` is reachable (has a preorder number).
+    #[inline]
+    pub fn in_tree(&self, v: VertexId) -> bool {
+        self.tin[v.index()] != OUT_OF_TREE
+    }
+
+    /// Number of tree vertices (length of the preorder sequence).
+    #[inline]
+    pub fn tree_size(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The preorder sequence; the subtree of `v` occupies
+    /// `order()[subtree(v)]`.
+    #[inline]
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// The preorder interval of `v`'s subtree (as a range into
+    /// [`EulerTourIndex::order`]); empty for out-of-tree vertices.
+    #[inline]
+    pub fn subtree(&self, v: VertexId) -> std::ops::Range<usize> {
+        let t = self.tin[v.index()];
+        if t == OUT_OF_TREE {
+            return 0..0;
+        }
+        t as usize..self.tout[v.index()] as usize
+    }
+
+    /// Number of vertices in `v`'s subtree (0 for out-of-tree vertices).
+    #[inline]
+    pub fn subtree_size(&self, v: VertexId) -> usize {
+        self.subtree(v).len()
+    }
+
+    /// `true` if `a` is an ancestor of `b` (every tree vertex is an ancestor
+    /// of itself); `false` if either vertex is outside the tree.
+    #[inline]
+    pub fn is_ancestor(&self, a: VertexId, b: VertexId) -> bool {
+        let (ta, tb) = (self.tin[a.index()], self.tin[b.index()]);
+        ta != OUT_OF_TREE && tb != OUT_OF_TREE && ta <= tb && tb < self.tout[a.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// parents[v] = Some((parent, ())) — unit edge payload.
+    fn idx(root: u32, parents: &[Option<u32>]) -> EulerTourIndex {
+        let rows: Vec<Option<(VertexId, ())>> = parents
+            .iter()
+            .map(|p| p.map(|p| (VertexId(p), ())))
+            .collect();
+        EulerTourIndex::from_parents(VertexId(root), &rows)
+    }
+
+    #[test]
+    fn path_tree_intervals_are_suffixes() {
+        // 0 -> 1 -> 2 -> 3
+        let t = idx(0, &[None, Some(0), Some(1), Some(2)]);
+        assert_eq!(t.tree_size(), 4);
+        assert_eq!(
+            t.order(),
+            &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
+        assert_eq!(t.subtree(VertexId(1)), 1..4);
+        assert_eq!(t.subtree_size(VertexId(2)), 2);
+        assert!(t.is_ancestor(VertexId(0), VertexId(3)));
+        assert!(t.is_ancestor(VertexId(2), VertexId(2)));
+        assert!(!t.is_ancestor(VertexId(3), VertexId(2)));
+        assert_eq!(t.root(), VertexId(0));
+    }
+
+    #[test]
+    fn star_tree_subtrees_are_singletons() {
+        let t = idx(0, &[None, Some(0), Some(0), Some(0)]);
+        assert_eq!(t.subtree(VertexId(0)), 0..4);
+        for v in 1..4u32 {
+            assert_eq!(t.subtree_size(VertexId(v)), 1);
+            assert!(t.is_ancestor(VertexId(0), VertexId(v)));
+            assert!(!t.is_ancestor(VertexId(1), VertexId(v)) || v == 1);
+        }
+    }
+
+    #[test]
+    fn branching_tree_intervals_are_contiguous_subtrees() {
+        //      0
+        //     / \
+        //    1   2
+        //   / \    \
+        //  3   4    5
+        let t = idx(0, &[None, Some(0), Some(0), Some(1), Some(1), Some(2)]);
+        for v in 0..6u32 {
+            let v = VertexId(v);
+            let range = t.subtree(v);
+            // every vertex in the interval is a descendant, everything
+            // outside is not
+            for (pos, &w) in t.order().iter().enumerate() {
+                assert_eq!(
+                    range.contains(&pos),
+                    t.is_ancestor(v, w),
+                    "subtree({v:?}) vs {w:?}"
+                );
+            }
+        }
+        assert_eq!(t.subtree_size(VertexId(1)), 3);
+        assert_eq!(t.subtree_size(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_out_of_tree() {
+        let t = idx(0, &[None, Some(0), None, Some(2)]);
+        assert!(t.in_tree(VertexId(0)));
+        assert!(t.in_tree(VertexId(1)));
+        assert!(!t.in_tree(VertexId(2)), "disconnected component");
+        assert!(!t.in_tree(VertexId(3)), "reachable only from 2");
+        assert_eq!(t.tree_size(), 2);
+        assert_eq!(t.subtree(VertexId(2)), 0..0);
+        assert!(!t.is_ancestor(VertexId(0), VertexId(2)));
+        assert!(!t.is_ancestor(VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_the_stack() {
+        let n = 100_000u32;
+        let parents: Vec<Option<u32>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        let t = idx(0, &parents);
+        assert_eq!(t.tree_size(), n as usize);
+        assert!(t.is_ancestor(VertexId(0), VertexId(n - 1)));
+        assert_eq!(t.subtree_size(VertexId(n / 2)), (n - n / 2) as usize);
+    }
+}

@@ -71,8 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = engine.query_stats();
     println!(
-        "tier counters: fault-free row {}, sparse H {}, augmented H+ {}, full graph {}",
+        "tier counters: fault-free row {}, unaffected fast path {}, sparse H {}, \
+         augmented H+ {}, full graph {}",
         stats.tiers.fault_free_row,
+        stats.tiers.unaffected_fast_path,
         stats.tiers.sparse_h_bfs,
         stats.tiers.augmented_bfs,
         stats.tiers.full_graph_bfs

@@ -113,6 +113,7 @@ pub use ftb_core::{
     FaultQueryEngine, FaultSet, FaultSetMismatch, FtBfsAugmenter, FtBfsStructure, FtbfsError,
     MultiSourceBuilder, MultiSourceEngine, MultiSourceStructure, QueryContext, QueryStats,
     ReinforcedTreeBuilder, Sources, StructureBuilder, TierCounters, TradeoffBuilder,
+    FORCE_FULL_SWEEP_ENV,
 };
 
 pub use ftb_core::{

@@ -166,8 +166,17 @@ fn dual_vertex_faults_fall_back_to_the_full_graph_tier() {
         assert_eq!(got, brute(&graph, VertexId(0), v, &faults));
     }
     let stats = engine.query_stats();
-    assert_eq!(stats.tiers.full_graph_bfs, stats.queries);
+    // Dual vertex faults never use the augmented tier: every query is
+    // either answered by the exact full-graph fallback or — for targets
+    // whose tree path provably avoids both vertices — by the O(1)
+    // unaffected fast path straight off the fault-free row.
     assert_eq!(stats.tiers.augmented_bfs, 0);
+    assert_eq!(stats.tiers.sparse_h_bfs, 0);
+    assert_eq!(
+        stats.tiers.full_graph_bfs + stats.tiers.unaffected_fast_path,
+        stats.queries
+    );
+    assert!(stats.full_graph_bfs_runs > 0, "the fallback must have run");
 }
 
 /// Single-fault coverage serves singles sparsely but sends dual failures to
@@ -336,7 +345,10 @@ fn multi_source_augmented_engine_is_exact_for_every_source() {
     }
     let stats = engine.query_stats();
     assert_eq!(stats.tiers.total(), stats.queries);
-    // Only sets with two vertex faults may have used the fallback.
+    // Only sets with two vertex faults may have used the fallback; targets
+    // provably unaffected by them are answered by the fast path instead,
+    // so the fallback tier is bounded by (not equal to) the uncovered
+    // query count.
     let uncovered_queries: usize = enumerate_fault_sets(&graph, 2)
         .iter()
         .step_by(5)
@@ -344,7 +356,11 @@ fn multi_source_augmented_engine_is_exact_for_every_source() {
         .count()
         * sources.len()
         * graph.vertices().step_by(3).count();
-    assert_eq!(stats.tiers.full_graph_bfs, uncovered_queries);
+    assert!(stats.tiers.full_graph_bfs <= uncovered_queries);
+    assert!(
+        stats.tiers.full_graph_bfs > 0,
+        "some dual-vertex query must have needed the fallback row"
+    );
 }
 
 /// Augmentation bookkeeping is visible end to end: structure stats, core

@@ -134,10 +134,69 @@ proptest! {
             }
         }
         let stats = engine.query_stats();
-        prop_assert_eq!(
-            stats.tiers.full_graph_bfs, fallback_queries,
-            "covered sets must stay off the full-graph tier (seed={})", seed
+        // Covered sets must stay off the full-graph tier; uncovered-set
+        // queries split between the fallback and the unaffected fast path
+        // (targets whose tree path provably avoids both faults), so the
+        // fallback tier is bounded by the uncovered query count.
+        prop_assert!(
+            stats.tiers.full_graph_bfs <= fallback_queries,
+            "covered sets must stay off the full-graph tier (seed={})",
+            seed
         );
+        prop_assert_eq!(stats.tiers.total(), stats.queries);
+    }
+
+    /// The incremental row repair: on random graphs with random ε, the
+    /// default engine (repair + unaffected fast path) and a forced
+    /// full-sweep engine produce byte-identical answers — distances *and*
+    /// extracted paths, whose last edge is the row's parent entry, so this
+    /// pins the parent rows too — for every sampled fault set of size ≤ 2.
+    #[test]
+    fn repaired_rows_agree_with_forced_full_sweeps(
+        n in 14usize..36,
+        avg_degree in 3usize..7,
+        eps in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        use ftbfs::graph::enumerate_fault_sets;
+        use ftbfs::{EngineOptions, FaultQueryEngine};
+
+        let m = n * avg_degree / 2;
+        let graph = families::erdos_renyi_gnm(n, m, seed);
+        let structure = TradeoffBuilder::new(eps)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("generated workloads are valid input");
+        // Repair pinned on so the differential survives a test run under
+        // FTBFS_FORCE_FULL_SWEEP=1 (CI covers that mode for the whole suite).
+        let mut repaired = FaultQueryEngine::with_options(
+            &graph,
+            structure.clone(),
+            EngineOptions::new().serial().with_force_full_sweep(false),
+        )
+        .expect("matching graph");
+        let mut full = FaultQueryEngine::with_options(
+            &graph,
+            structure,
+            EngineOptions::new().serial().with_force_full_sweep(true),
+        )
+        .expect("matching graph");
+        for faults in enumerate_fault_sets(&graph, 2).iter().step_by(9) {
+            for v in graph.vertices().step_by(2) {
+                prop_assert_eq!(
+                    repaired.dist_after_faults(v, faults).expect("in range"),
+                    full.dist_after_faults(v, faults).expect("in range"),
+                    "eps={}, seed={}: dist({:?}) under {}", eps, seed, v, faults
+                );
+                prop_assert_eq!(
+                    repaired.path_after_faults(v, faults).expect("in range"),
+                    full.path_after_faults(v, faults).expect("in range"),
+                    "eps={}, seed={}: path({:?}) under {}", eps, seed, v, faults
+                );
+            }
+        }
+        prop_assert_eq!(full.query_stats().repaired_rows, 0);
+        let stats = repaired.query_stats();
         prop_assert_eq!(stats.tiers.total(), stats.queries);
     }
 
