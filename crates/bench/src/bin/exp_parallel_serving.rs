@@ -6,7 +6,7 @@
 //! determinism contract). Also exercises the multi-source engine: per-source
 //! batches against one shared core.
 
-use ftb_bench::Table;
+use ftb_bench::{median, Table};
 use ftb_core::{
     EngineOptions, FaultQueryEngine, MultiSourceEngine, Sources, StructureBuilder, TradeoffBuilder,
 };
@@ -14,6 +14,9 @@ use ftb_graph::{EdgeId, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_workloads::{Workload, WorkloadFamily};
 use std::time::Instant;
+
+/// Timed repetitions per configuration; the median is reported.
+const REPS: usize = 3;
 
 fn main() {
     let seed = 8u64;
@@ -56,17 +59,24 @@ fn main() {
         let options = EngineOptions::new().with_parallel(parallel);
         let mut engine = FaultQueryEngine::with_options(&graph, structure.clone(), options)
             .expect("matching graph");
-        // Warm-up pass (first touch pays page faults), then the timed pass;
-        // report only the timed pass's counter increments.
+        // Warm-up pass (first touch pays page faults), then the median of
+        // several timed passes — robust against a one-off scheduler stall;
+        // report only one pass's counter increments.
         let _ = engine.query_many(&queries).expect("in range");
         let warm = engine.query_stats();
-        let t = Instant::now();
-        let results = engine.query_many(&queries).expect("in range");
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut samples = Vec::with_capacity(REPS);
+        let mut results = Vec::new();
+        for _ in 0..REPS {
+            let t = Instant::now();
+            results = engine.query_many(&queries).expect("in range");
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let total = engine.query_stats();
-        let sweeps = (total.structure_bfs_runs - warm.structure_bfs_runs)
-            + (total.full_graph_bfs_runs - warm.full_graph_bfs_runs);
-        (results, ms, sweeps)
+        let sweeps = ((total.structure_bfs_runs - warm.structure_bfs_runs)
+            + (total.full_graph_bfs_runs - warm.full_graph_bfs_runs))
+            / REPS;
+        (results, median(&samples), sweeps)
     };
 
     let (reference, serial_ms, _) = run(ParallelConfig::serial());
@@ -117,9 +127,15 @@ fn main() {
         let mut engine =
             MultiSourceEngine::with_options(&graph, mbfs.clone(), options).expect("matching graph");
         let _ = engine.query_many(&ms_queries).expect("in range");
-        let t = Instant::now();
-        let results = engine.query_many(&ms_queries).expect("in range");
-        (results, t.elapsed().as_secs_f64() * 1e3)
+        let mut samples = Vec::with_capacity(REPS);
+        let mut results = Vec::new();
+        for _ in 0..REPS {
+            let t = Instant::now();
+            results = engine.query_many(&ms_queries).expect("in range");
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (results, median(&samples))
     };
     let (ms_reference, ms_serial) = run_multi(ParallelConfig::serial());
     let mut table = Table::new(

@@ -16,20 +16,11 @@
 //!    counters proving where the work went. Answers are asserted
 //!    identical.
 
-use ftb_bench::Table;
+use ftb_bench::{median, percentile, Table};
 use ftb_core::{EngineOptions, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
 use ftb_graph::{FaultSet, Graph, VertexId};
 use ftb_workloads::{FaultScenario, Workload, WorkloadFamily};
 use std::time::Instant;
-
-fn median_of(sorted: &[usize]) -> usize {
-    sorted[sorted.len() / 2]
-}
-
-fn percentile(sorted: &[usize], p: f64) -> usize {
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
 
 fn main() {
     let seed = 21u64;
@@ -84,7 +75,7 @@ fn main() {
                 n.to_string(),
                 scenario.name().to_string(),
                 counts[0].to_string(),
-                median_of(&counts).to_string(),
+                median(&counts).to_string(),
                 percentile(&counts, 0.9).to_string(),
                 counts[counts.len() - 1].to_string(),
                 format!("{:.1}%", 100.0 * mean),
@@ -147,17 +138,26 @@ fn main() {
             let a = repaired.query_many_faults(&queries).expect("in range");
             let b = full.query_many_faults(&queries).expect("in range");
             assert_eq!(a, b, "repaired batch diverged from full sweeps");
+            // Median of independent repeats: one slow outlier (page fault,
+            // scheduler hiccup) cannot skew the reported time the way a
+            // mean over the same repeats would.
             let reps = 5usize;
-            let t0 = Instant::now();
+            let mut rep_samples = Vec::with_capacity(reps);
             for _ in 0..reps {
+                let t0 = Instant::now();
                 std::hint::black_box(repaired.query_many_faults(&queries).expect("in range"));
+                rep_samples.push(t0.elapsed());
             }
-            let t_rep = t0.elapsed() / reps as u32;
-            let t0 = Instant::now();
+            let mut full_samples = Vec::with_capacity(reps);
             for _ in 0..reps {
+                let t0 = Instant::now();
                 std::hint::black_box(full.query_many_faults(&queries).expect("in range"));
+                full_samples.push(t0.elapsed());
             }
-            let t_full = t0.elapsed() / reps as u32;
+            rep_samples.sort_unstable();
+            full_samples.sort_unstable();
+            let t_rep = median(&rep_samples);
+            let t_full = median(&full_samples);
             let rs = repaired.query_stats();
             let fs_ = full.query_stats();
             let sweeps = |s: &ftb_core::QueryStats| s.structure_bfs_runs + s.full_graph_bfs_runs;

@@ -7,8 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stats;
 pub mod table;
 
+pub use stats::{median, percentile, LatencyHistogram, LatencySummary};
 pub use table::Table;
 
 /// Least-squares slope of `log(y)` against `log(x)` — the measured exponent

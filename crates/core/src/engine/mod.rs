@@ -262,6 +262,89 @@ impl QueryStats {
     }
 }
 
+/// A lock-free publication cell for one worker's [`QueryStats`].
+///
+/// The serving pattern behind it: each worker thread owns a
+/// [`QueryContext`] (not shared, not lockable without poisoning the hot
+/// path) and, after finishing a request, *publishes* its context's counter
+/// totals into its own `AtomicQueryStats` slot with
+/// [`AtomicQueryStats::store`]. Any other thread — a `Stats`-op handler, a
+/// metrics scraper — calls [`AtomicQueryStats::snapshot`] on every slot and
+/// folds the results with [`QueryStats::merge`], aggregating per-worker
+/// counters without taking a single lock on the serve path.
+///
+/// Consistency contract: every field is an independent relaxed atomic, so a
+/// snapshot racing a store may mix fields from two adjacent publications —
+/// but each field is monotonically non-decreasing and every published value
+/// was true at some point, which is exactly what monitoring counters need.
+/// A snapshot never observes a *torn* field and never goes backwards
+/// field-wise.
+#[derive(Debug, Default)]
+pub struct AtomicQueryStats {
+    queries: std::sync::atomic::AtomicUsize,
+    structure_bfs_runs: std::sync::atomic::AtomicUsize,
+    augmented_bfs_runs: std::sync::atomic::AtomicUsize,
+    full_graph_bfs_runs: std::sync::atomic::AtomicUsize,
+    cached_answers: std::sync::atomic::AtomicUsize,
+    repaired_rows: std::sync::atomic::AtomicUsize,
+    tier_fault_free_row: std::sync::atomic::AtomicUsize,
+    tier_unaffected_fast_path: std::sync::atomic::AtomicUsize,
+    tier_sparse_h_bfs: std::sync::atomic::AtomicUsize,
+    tier_augmented_bfs: std::sync::atomic::AtomicUsize,
+    tier_full_graph_bfs: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicQueryStats {
+    /// An all-zero cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `stats` (a context's running totals) into this cell.
+    pub fn store(&self, stats: &QueryStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.queries.store(stats.queries, Relaxed);
+        self.structure_bfs_runs
+            .store(stats.structure_bfs_runs, Relaxed);
+        self.augmented_bfs_runs
+            .store(stats.augmented_bfs_runs, Relaxed);
+        self.full_graph_bfs_runs
+            .store(stats.full_graph_bfs_runs, Relaxed);
+        self.cached_answers.store(stats.cached_answers, Relaxed);
+        self.repaired_rows.store(stats.repaired_rows, Relaxed);
+        self.tier_fault_free_row
+            .store(stats.tiers.fault_free_row, Relaxed);
+        self.tier_unaffected_fast_path
+            .store(stats.tiers.unaffected_fast_path, Relaxed);
+        self.tier_sparse_h_bfs
+            .store(stats.tiers.sparse_h_bfs, Relaxed);
+        self.tier_augmented_bfs
+            .store(stats.tiers.augmented_bfs, Relaxed);
+        self.tier_full_graph_bfs
+            .store(stats.tiers.full_graph_bfs, Relaxed);
+    }
+
+    /// Read the last published totals as a plain [`QueryStats`] value.
+    pub fn snapshot(&self) -> QueryStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        QueryStats {
+            queries: self.queries.load(Relaxed),
+            structure_bfs_runs: self.structure_bfs_runs.load(Relaxed),
+            augmented_bfs_runs: self.augmented_bfs_runs.load(Relaxed),
+            full_graph_bfs_runs: self.full_graph_bfs_runs.load(Relaxed),
+            cached_answers: self.cached_answers.load(Relaxed),
+            repaired_rows: self.repaired_rows.load(Relaxed),
+            tiers: TierCounters {
+                fault_free_row: self.tier_fault_free_row.load(Relaxed),
+                unaffected_fast_path: self.tier_unaffected_fast_path.load(Relaxed),
+                sparse_h_bfs: self.tier_sparse_h_bfs.load(Relaxed),
+                augmented_bfs: self.tier_augmented_bfs.load(Relaxed),
+                full_graph_bfs: self.tier_full_graph_bfs.load(Relaxed),
+            },
+        }
+    }
+}
+
 /// Borrowed distance + parent rows of one BFS sweep.
 type RowRefs<'a> = (&'a [u32], &'a [Option<(VertexId, EdgeId)>]);
 

@@ -1213,3 +1213,97 @@ fn augmented_core_routes_and_answers_inside_the_engine_crate() {
     assert!(stats.tiers.augmented_bfs > 0);
     assert_eq!(stats.augmented_bfs_runs, 1, "one sweep, then LRU hits");
 }
+
+#[test]
+fn query_stats_merge_and_delta_are_inverse_fieldwise() {
+    let a = QueryStats {
+        queries: 10,
+        structure_bfs_runs: 3,
+        augmented_bfs_runs: 2,
+        full_graph_bfs_runs: 1,
+        cached_answers: 4,
+        repaired_rows: 2,
+        tiers: TierCounters {
+            fault_free_row: 4,
+            unaffected_fast_path: 1,
+            sparse_h_bfs: 3,
+            augmented_bfs: 1,
+            full_graph_bfs: 1,
+        },
+    };
+    let b = QueryStats {
+        queries: 7,
+        structure_bfs_runs: 1,
+        augmented_bfs_runs: 0,
+        full_graph_bfs_runs: 2,
+        cached_answers: 3,
+        repaired_rows: 1,
+        tiers: TierCounters {
+            fault_free_row: 2,
+            unaffected_fast_path: 0,
+            sparse_h_bfs: 1,
+            augmented_bfs: 2,
+            full_graph_bfs: 2,
+        },
+    };
+    // merge accumulates every field, including the per-tier counters...
+    let mut merged = a;
+    merged.merge(&b);
+    assert_eq!(merged.queries, 17);
+    assert_eq!(merged.structure_bfs_runs, 4);
+    assert_eq!(merged.tiers.total(), a.tiers.total() + b.tiers.total());
+    // ...and delta_since undoes it exactly: (a ⊕ b) ∖ a = b, (a ⊕ b) ∖ b = a.
+    assert_eq!(merged.delta_since(&a), b);
+    assert_eq!(merged.delta_since(&b), a);
+    // The zero element is neutral on both sides.
+    let zero = QueryStats::default();
+    assert_eq!(merged.delta_since(&zero), merged);
+    let mut z = zero;
+    z.merge(&merged);
+    assert_eq!(z, merged);
+}
+
+#[test]
+fn atomic_stats_roundtrip_and_lock_free_aggregation() {
+    let graph = generators::hypercube(4);
+    let mut engine = engine_for(&graph, 0.3, 77);
+    for e in [EdgeId(0), EdgeId(3), EdgeId(7)] {
+        for v in graph.vertices() {
+            engine.dist_after_fault(v, e).expect("in range");
+        }
+    }
+    let live = engine.query_stats();
+    assert!(live.queries > 0);
+
+    // store → snapshot is the identity on QueryStats values.
+    let cell = AtomicQueryStats::new();
+    assert_eq!(cell.snapshot(), QueryStats::default());
+    cell.store(&live);
+    assert_eq!(cell.snapshot(), live);
+
+    // The Stats-op aggregation pattern: per-worker cells published by
+    // worker threads, snapshotted and merged by a reader with no locks.
+    let cells: Vec<AtomicQueryStats> = (0..4).map(|_| AtomicQueryStats::new()).collect();
+    let cells = Arc::new(cells);
+    let core = engine.core().clone();
+    std::thread::scope(|scope| {
+        for (w, cell) in cells.iter().enumerate() {
+            let core = core.clone();
+            let graph = &graph;
+            scope.spawn(move || {
+                let mut ctx = core.new_context();
+                for v in graph.vertices() {
+                    ctx.dist_after_fault(&core, v, EdgeId(w as u32))
+                        .expect("in range");
+                    cell.store(&ctx.stats());
+                }
+            });
+        }
+    });
+    let mut total = QueryStats::default();
+    for cell in cells.iter() {
+        total.merge(&cell.snapshot());
+    }
+    assert_eq!(total.queries, 4 * graph.num_vertices());
+    assert_eq!(total.tiers.total(), total.queries, "tiers sum to queries");
+}

@@ -116,8 +116,8 @@ pub use builder::{
 pub use config::BuildConfig;
 pub use cost::CostModel;
 pub use engine::{
-    EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext, QueryStats,
-    TierCounters, FORCE_FULL_SWEEP_ENV,
+    AtomicQueryStats, EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext,
+    QueryStats, TierCounters, FORCE_FULL_SWEEP_ENV,
 };
 pub use error::FtbfsError;
 pub use ftbfs::{AugmentCoverage, AugmentStats, AugmentedStructure, FtBfsAugmenter};

@@ -155,6 +155,34 @@ impl Graph {
         self.neighbors.len()
     }
 
+    /// A 64-bit fingerprint of the graph's topology: FNV-1a over the vertex
+    /// count, the edge count, and every edge's endpoint pair in id order.
+    ///
+    /// Two graphs share a fingerprint exactly when they have the same
+    /// vertex/edge spaces and the same endpoints for every edge id — the
+    /// property query ids depend on. The network protocol's hello handshake
+    /// exchanges this value so a client replaying a workload against a
+    /// server is guaranteed to be naming vertices and edges of the *same*
+    /// graph (up to 64-bit collision odds).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |value: u32| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.num_vertices() as u32);
+        eat(self.num_edges() as u32);
+        for edge in &self.edges {
+            eat(edge.u.0);
+            eat(edge.v.0);
+        }
+        hash
+    }
+
     /// Total memory footprint of the CSR arrays in bytes (approximate).
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * 4
@@ -262,6 +290,25 @@ mod tests {
             assert_eq!(from_u, eid);
             assert_eq!(from_v, eid);
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_topologies() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.fingerprint(), triangle_plus_pendant().fingerprint());
+        // One fewer edge: a different graph, a different fingerprint.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(0), VertexId(2));
+        assert_ne!(g.fingerprint(), b.build().fingerprint());
+        // Same counts, different wiring: still distinguished.
+        let mut c = GraphBuilder::new(4);
+        c.add_edge(VertexId(0), VertexId(1));
+        c.add_edge(VertexId(1), VertexId(2));
+        c.add_edge(VertexId(2), VertexId(3));
+        c.add_edge(VertexId(0), VertexId(3));
+        assert_ne!(g.fingerprint(), c.build().fingerprint());
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! `ftb-loadgen` — open-loop load generator for `ftb-serve`, reporting
+//! tail latency honestly.
+//!
+//! ```text
+//! ftb-loadgen --addr 127.0.0.1:7411 --family erdos-renyi --n 2000 --seed 7 \
+//!             --rate 2000 --requests 10000 --clients 4 --process poisson
+//! ```
+//!
+//! The generator regenerates the served graph locally from the same
+//! `(family, n, seed)` recipe and refuses to run unless the handshake
+//! fingerprint matches — the queries it mints must name real vertices and
+//! edges of the server's graph.
+//!
+//! **Open loop:** every request's send time is fixed by an
+//! [`ArrivalSchedule`] before the run, and latency is measured from that
+//! *scheduled* instant, not from the actual write. A slow server therefore
+//! shows up as growing latency (client backlog included) instead of
+//! silently lowering the offered rate — the difference between measuring
+//! the system and measuring the client's politeness. Shed requests
+//! (`Overloaded` frames) are counted separately from successes: under
+//! saturation, the interesting number is how much load the admission
+//! control refused.
+
+use ftb_bench::LatencyHistogram;
+use ftb_server::{setup, Client, EngineSpec, Request, Response};
+use ftb_workloads::{ArrivalProcess, ArrivalSchedule, FaultScenario};
+use std::process::exit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    spec: EngineSpec,
+    rate: f64,
+    requests: usize,
+    clients: usize,
+    process: ArrivalProcess,
+    faults_per_set: usize,
+    scenario: FaultScenario,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftb-loadgen --addr HOST:PORT [--family NAME] [--n N] [--seed S]\n\
+         \x20                  [--rate R] [--requests Q] [--clients C]\n\
+         \x20                  [--process fixed|poisson] [--f K] [--scenario NAME]\n\
+         \x20                  [--shutdown]\n\
+         scenarios: {}",
+        FaultScenario::all()
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number, got {s:?}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        spec: EngineSpec::default(),
+        rate: 1000.0,
+        requests: 5000,
+        clients: 4,
+        process: ArrivalProcess::Poisson,
+        faults_per_set: 1,
+        scenario: FaultScenario::RandomEdges,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--family" => {
+                let name = value("--family");
+                args.spec.family = setup::parse_family(&name).unwrap_or_else(|| {
+                    eprintln!("unknown family {name:?}");
+                    usage()
+                });
+            }
+            "--n" => args.spec.n = parse_num(&value("--n"), "--n"),
+            "--seed" => args.spec.seed = parse_num(&value("--seed"), "--seed"),
+            "--rate" => args.rate = parse_num(&value("--rate"), "--rate"),
+            "--requests" => args.requests = parse_num(&value("--requests"), "--requests"),
+            "--clients" => args.clients = parse_num(&value("--clients"), "--clients"),
+            "--process" => {
+                let name = value("--process");
+                args.process = ArrivalProcess::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown arrival process {name:?}");
+                    usage()
+                });
+            }
+            "--f" => args.faults_per_set = parse_num(&value("--f"), "--f"),
+            "--scenario" => {
+                let name = value("--scenario");
+                args.scenario = FaultScenario::all()
+                    .iter()
+                    .copied()
+                    .find(|s| s.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown scenario {name:?}");
+                        usage()
+                    });
+            }
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    args
+}
+
+/// Per-thread outcome counters, merged after the run.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    disconnected: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = args.spec.graph();
+    let source = args.spec.source();
+    let fingerprint = graph.fingerprint();
+
+    // Handshake probe: the run is meaningless unless the server serves the
+    // exact graph the workload was minted against.
+    let mut probe = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("ftb-loadgen: connect {} failed: {e}", args.addr);
+        exit(1)
+    });
+    let info = probe.info().clone();
+    if info.fingerprint != fingerprint {
+        eprintln!(
+            "ftb-loadgen: graph fingerprint mismatch: server {:#018x}, local {:#018x}\n\
+             (server was started with a different --family/--n/--seed)",
+            info.fingerprint, fingerprint
+        );
+        exit(1);
+    }
+    if !info.sources.contains(&source) {
+        eprintln!("ftb-loadgen: server does not serve source {source:?}");
+        exit(1);
+    }
+
+    // Mint the workload: scenario fault sets cycled over spread-out targets.
+    let n = graph.num_vertices();
+    let mut fault_sets = args.scenario.generate(
+        &graph,
+        source,
+        args.faults_per_set,
+        64.min(args.requests.max(1)),
+        args.spec.seed,
+    );
+    fault_sets.retain(|s| !s.is_empty());
+    if fault_sets.is_empty() {
+        fault_sets.push(ftb_graph::FaultSet::new());
+    }
+    let target = |i: usize| {
+        // Fibonacci hashing spreads targets over the vertex space without
+        // pulling in an RNG.
+        ftb_graph::VertexId(((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32)
+    };
+    let requests: Vec<Request> = (0..args.requests)
+        .map(|i| Request::Dist {
+            source,
+            target: target(i),
+            faults: fault_sets[i % fault_sets.len()].clone(),
+        })
+        .collect();
+    let schedule =
+        ArrivalSchedule::generate(args.process, args.rate, requests.len(), args.spec.seed);
+
+    println!(
+        "ftb-loadgen: {} requests at {} req/s ({} arrivals), {} clients, scenario {} (f={}), graph {}",
+        requests.len(),
+        args.rate,
+        args.process.name(),
+        args.clients,
+        args.scenario.name(),
+        args.faults_per_set,
+        args.spec.describe(),
+    );
+
+    let before = probe.stats().unwrap_or_else(|e| {
+        eprintln!("ftb-loadgen: stats failed: {e}");
+        exit(1)
+    });
+
+    // Open-loop replay: a shared cursor hands out request indices; each
+    // client thread waits for the request's scheduled instant, sends, and
+    // charges the full scheduled-to-answered interval as latency.
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let clients = args.clients.max(1).min(requests.len().max(1));
+    let start = Instant::now() + Duration::from_millis(50);
+    let mut merged_hist = LatencyHistogram::new();
+    let mut merged_tally = Tally::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            let cursor = Arc::clone(&cursor);
+            let addr = &args.addr;
+            let requests = &requests;
+            let schedule = &schedule;
+            handles.push(scope.spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                let mut tally = Tally::default();
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        tally.errors += 1;
+                        return (hist, tally);
+                    }
+                };
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let due = start + schedule.offsets()[i];
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    match client.request(&requests[i]) {
+                        Ok(Response::Dist(d)) => {
+                            tally.ok += 1;
+                            if d.is_none() {
+                                tally.disconnected += 1;
+                            }
+                            hist.record(due.elapsed().as_nanos() as u64);
+                        }
+                        Ok(Response::Overloaded) => tally.shed += 1,
+                        Ok(_) => tally.errors += 1,
+                        Err(_) => {
+                            tally.errors += 1;
+                            // The connection is gone; reconnect and go on.
+                            match Client::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                (hist, tally)
+            }));
+        }
+        for handle in handles {
+            if let Ok((hist, tally)) = handle.join() {
+                merged_hist.merge(&hist);
+                merged_tally.ok += tally.ok;
+                merged_tally.disconnected += tally.disconnected;
+                merged_tally.shed += tally.shed;
+                merged_tally.errors += tally.errors;
+            }
+        }
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    println!(
+        "completed {} ok ({} disconnected answers), {} shed, {} errors in {:.2}s -> {:.0} req/s served",
+        merged_tally.ok,
+        merged_tally.disconnected,
+        merged_tally.shed,
+        merged_tally.errors,
+        wall,
+        merged_tally.ok as f64 / wall,
+    );
+    if merged_hist.count() > 0 {
+        println!(
+            "latency from scheduled send (client backlog included): \
+             p50 {:.3}ms  p99 {:.3}ms  p999 {:.3}ms  max {:.3}ms  mean {:.3}ms",
+            ms(merged_hist.value_at_quantile(0.50)),
+            ms(merged_hist.value_at_quantile(0.99)),
+            ms(merged_hist.value_at_quantile(0.999)),
+            ms(merged_hist.max()),
+            merged_hist.mean() / 1e6,
+        );
+    }
+
+    match probe.stats() {
+        Ok(after) => {
+            println!(
+                "server deltas: queries={} cached={} repaired_rows={} accepted={} shed={}",
+                after.queries - before.queries,
+                after.cached_answers - before.cached_answers,
+                after.repaired_rows - before.repaired_rows,
+                after.accepted - before.accepted,
+                after.shed - before.shed,
+            );
+            println!(
+                "server tiers: fault_free_row={} unaffected_fast_path={} sparse_h_bfs={} \
+                 augmented_bfs={} full_graph_bfs={}",
+                after.tier_fault_free_row - before.tier_fault_free_row,
+                after.tier_unaffected_fast_path - before.tier_unaffected_fast_path,
+                after.tier_sparse_h_bfs - before.tier_sparse_h_bfs,
+                after.tier_augmented_bfs - before.tier_augmented_bfs,
+                after.tier_full_graph_bfs - before.tier_full_graph_bfs,
+            );
+        }
+        Err(e) => eprintln!("ftb-loadgen: final stats failed: {e}"),
+    }
+
+    if args.shutdown {
+        match probe.shutdown() {
+            Ok(()) => println!("server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("ftb-loadgen: shutdown failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    if merged_tally.ok == 0 {
+        eprintln!("ftb-loadgen: no request succeeded");
+        exit(1);
+    }
+}

@@ -1,0 +1,128 @@
+//! `ftb-serve` — build an FT-BFS engine once, then serve fault queries
+//! over TCP until a `Shutdown` frame (or SIGKILL) arrives.
+//!
+//! ```text
+//! ftb-serve --addr 127.0.0.1:7411 --family erdos-renyi --n 2000 --seed 7 \
+//!           --eps 0.3 --workers 4 --queue-depth 256
+//! ```
+//!
+//! The graph is regenerated from `(family, n, seed)` — the same recipe
+//! `ftb-loadgen` uses — and its fingerprint is exchanged in the handshake,
+//! so a mismatched client fails fast instead of querying the wrong graph.
+
+use ftb_core::EngineOptions;
+use ftb_server::{setup, EngineSpec, ServeOptions, Server};
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    spec: EngineSpec,
+    options: ServeOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftb-serve [--addr HOST:PORT] [--family NAME] [--n N] [--seed S]\n\
+         \x20                [--eps E] [--augment] [--workers W] [--queue-depth D]\n\
+         \x20                [--idle-timeout-ms MS]\n\
+         families: {}",
+        ftb_workloads::WorkloadFamily::all()
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7411".to_string(),
+        spec: EngineSpec::default(),
+        options: ServeOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--family" => {
+                let name = value("--family");
+                args.spec.family = setup::parse_family(&name).unwrap_or_else(|| {
+                    eprintln!("unknown family {name:?}");
+                    usage()
+                });
+            }
+            "--n" => args.spec.n = parse_num(&value("--n"), "--n"),
+            "--seed" => args.spec.seed = parse_num(&value("--seed"), "--seed"),
+            "--eps" => {
+                args.spec.eps = value("--eps").parse().unwrap_or_else(|_| {
+                    eprintln!("--eps expects a float");
+                    usage()
+                })
+            }
+            "--augment" => args.spec.augment = true,
+            "--workers" => args.options.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-depth" => {
+                args.options.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth")
+            }
+            "--idle-timeout-ms" => {
+                args.options.idle_timeout = Duration::from_millis(parse_num(
+                    &value("--idle-timeout-ms"),
+                    "--idle-timeout-ms",
+                ))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number, got {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("ftb-serve: building engine for {}", args.spec.describe());
+    let graph = args.spec.graph();
+    let core = args
+        .spec
+        .build_core(&graph, EngineOptions::new())
+        .unwrap_or_else(|e| {
+            eprintln!("ftb-serve: engine build failed: {e}");
+            exit(1)
+        });
+    let server = Server::bind(&args.addr, core, args.options).unwrap_or_else(|e| {
+        eprintln!("ftb-serve: bind {} failed: {e}", args.addr);
+        exit(1)
+    });
+    // The loadgen (and scripts) scrape this line for the resolved port.
+    println!(
+        "ftb-serve: listening on {} (n={}, m={}, fingerprint={:#018x}, workers={}, queue={})",
+        server.local_addr(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.fingerprint(),
+        args.options.workers.max(1),
+        args.options.queue_depth.max(1),
+    );
+    if let Err(e) = server.join() {
+        eprintln!("ftb-serve: {e}");
+        exit(1);
+    }
+    println!("ftb-serve: shut down cleanly");
+}

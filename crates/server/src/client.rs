@@ -1,0 +1,130 @@
+//! A minimal blocking client for the query service: one connection, one
+//! in-flight request. The load generator opens one of these per client
+//! thread; the smoke test uses it to compare wire answers against an
+//! in-process engine.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, StatsReport,
+    PROTOCOL_VERSION,
+};
+use ftb_graph::{FaultSet, VertexId};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server declared about itself in the handshake.
+#[derive(Clone, Debug)]
+pub struct ServerInfo {
+    /// The server's protocol version.
+    pub version: u16,
+    /// Fingerprint of the served graph
+    /// ([`Graph::fingerprint`](ftb_graph::Graph::fingerprint)).
+    pub fingerprint: u64,
+    /// Vertex count of the served graph.
+    pub num_vertices: u32,
+    /// Edge count of the served graph.
+    pub num_edges: u32,
+    /// The sources the engine answers from.
+    pub sources: Vec<VertexId>,
+}
+
+/// A connected, handshaken session with an `ftb-serve` process.
+pub struct Client {
+    stream: TcpStream,
+    info: ServerInfo,
+}
+
+fn bad_data<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connect and perform the hello handshake.
+    ///
+    /// Fails with `InvalidData` if the server rejects the handshake (e.g. a
+    /// protocol version mismatch) or answers with anything but `HelloOk`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            info: ServerInfo {
+                version: 0,
+                fingerprint: 0,
+                num_vertices: 0,
+                num_edges: 0,
+                sources: Vec::new(),
+            },
+        };
+        match client.request(&Request::Hello {
+            client_version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk {
+                version,
+                fingerprint,
+                num_vertices,
+                num_edges,
+                sources,
+            } => {
+                client.info = ServerInfo {
+                    version,
+                    fingerprint,
+                    num_vertices,
+                    num_edges,
+                    sources,
+                };
+                Ok(client)
+            }
+            Response::Error { message, .. } => {
+                Err(bad_data(format!("handshake rejected: {message}")))
+            }
+            other => Err(bad_data(format!("unexpected handshake reply: {other:?}"))),
+        }
+    }
+
+    /// The handshake information.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            )
+        })?;
+        decode_response(&payload).map_err(bad_data)
+    }
+
+    /// Distance query convenience wrapper.
+    pub fn dist(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        faults: FaultSet,
+    ) -> io::Result<Response> {
+        self.request(&Request::Dist {
+            source,
+            target,
+            faults,
+        })
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> io::Result<StatsReport> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(bad_data(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down; returns once it acknowledged.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(bad_data(format!("unexpected shutdown reply: {other:?}"))),
+        }
+    }
+}

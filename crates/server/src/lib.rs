@@ -1,0 +1,42 @@
+//! Network serving for FT-BFS query engines: a long-running TCP service
+//! with explicit admission control, and the client pieces to drive it.
+//!
+//! The preprocess-once/query-many shape of the Parter–Peleg structures is
+//! exactly a server's shape: build the expensive
+//! [`EngineCore`](ftb_core::EngineCore) once, then
+//! answer cheap queries forever. This crate turns that observation into a
+//! deployable pair of binaries:
+//!
+//! * **`ftb-serve`** — owns one `Arc<EngineCore>`; a thread-per-worker pool
+//!   drains a *bounded* request queue, each worker holding its private
+//!   [`QueryContext`](ftb_core::QueryContext). A full queue is answered
+//!   with an `Overloaded` frame instead of unbounded buffering (see
+//!   [`server`]).
+//! * **`ftb-loadgen`** — an open-loop load generator: request send times
+//!   are fixed *before* the run by an
+//!   [`ArrivalSchedule`](ftb_workloads::ArrivalSchedule), and latency is
+//!   measured from the scheduled send time, so client-side backlog counts
+//!   against the server — the methodology that makes p99/p999 numbers
+//!   honest near saturation.
+//!
+//! Both speak the versioned length-prefixed binary protocol of
+//! [`protocol`], whose hello handshake carries the served graph's
+//! [fingerprint](ftb_graph::Graph::fingerprint) so a client regenerating
+//! the workload locally can prove it is naming the same graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod setup;
+
+pub use client::{Client, ServerInfo};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DecodeError, ErrorCode, Request, Response, StatsReport, WirePath, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+pub use server::{wait_until_stopped, ServeOptions, Server};
+pub use setup::{parse_family, EngineSpec};

@@ -1,0 +1,512 @@
+//! The blocking TCP query server.
+//!
+//! One process owns one immutable [`EngineCore`] behind an `Arc`. Requests
+//! flow through three kinds of threads:
+//!
+//! * the **accept loop** — a non-blocking `accept` polled alongside the
+//!   shutdown flag, so a shutdown request never waits on a new client;
+//! * one **connection thread** per client — reads frames (with an idle
+//!   timeout so a wedged client cannot pin the thread forever), answers
+//!   handshake/stats/shutdown inline, and submits query work to the
+//!   bounded job queue with `try_send`;
+//! * a fixed pool of **workers** — each owns its private
+//!   [`QueryContext`] (BFS scratch + row cache) and an
+//!   [`AtomicQueryStats`] slot it publishes counters to after every job.
+//!
+//! Admission control is the load-bearing design point: the job queue is a
+//! *bounded* MPMC channel, and a full queue means the connection thread
+//! replies [`Response::Overloaded`] immediately instead of buffering. The
+//! server's memory is therefore constant under any offered load, and
+//! clients observe overload as an explicit, countable signal rather than
+//! as silently growing latency.
+//!
+//! [`Request::Stats`] is answered on the connection thread from the
+//! workers' atomic counter cells — it stays responsive even when the
+//! query queue is saturated, which is exactly when you want to read it.
+
+use crate::protocol::{
+    decode_request, encode_response, write_frame, DecodeError, ErrorCode, Request, Response,
+    StatsReport, WirePath, PROTOCOL_VERSION,
+};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ftb_core::{AtomicQueryStats, EngineCore, FtbfsError, QueryContext, QueryStats};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of [`Server::bind`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker threads draining the job queue (each with its own
+    /// [`QueryContext`]). Clamped to at least 1.
+    pub workers: usize,
+    /// Capacity of the bounded job queue; a full queue sheds with
+    /// [`Response::Overloaded`]. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// A connection idle (no bytes) for this long is closed. Also bounds
+    /// how long a half-sent frame can pin a connection thread.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_depth: 256,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One unit of queued work: a decoded query request plus the rendezvous
+/// channel its answer travels back on.
+struct Job {
+    request: Request,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    core: Arc<EngineCore>,
+    shutdown: AtomicBool,
+    idle_timeout: Duration,
+    /// Per-worker stats cells; index = worker id.
+    worker_stats: Vec<AtomicQueryStats>,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    connections: AtomicU64,
+    active_connections: AtomicUsize,
+}
+
+impl Shared {
+    fn stats_report(&self) -> StatsReport {
+        let mut total = QueryStats::default();
+        for cell in &self.worker_stats {
+            total.merge(&cell.snapshot());
+        }
+        StatsReport {
+            queries: total.queries as u64,
+            structure_bfs_runs: total.structure_bfs_runs as u64,
+            augmented_bfs_runs: total.augmented_bfs_runs as u64,
+            full_graph_bfs_runs: total.full_graph_bfs_runs as u64,
+            cached_answers: total.cached_answers as u64,
+            repaired_rows: total.repaired_rows as u64,
+            tier_fault_free_row: total.tiers.fault_free_row as u64,
+            tier_unaffected_fast_path: total.tiers.unaffected_fast_path as u64,
+            tier_sparse_h_bfs: total.tiers.sparse_h_bfs as u64,
+            tier_augmented_bfs: total.tiers.augmented_bfs as u64,
+            tier_full_graph_bfs: total.tiers.full_graph_bfs as u64,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hello_ok(&self) -> Response {
+        let graph = self.core.graph();
+        Response::HelloOk {
+            version: PROTOCOL_VERSION,
+            fingerprint: graph.fingerprint(),
+            num_vertices: graph.num_vertices() as u32,
+            num_edges: graph.num_edges() as u32,
+            sources: self.core.sources().to_vec(),
+        }
+    }
+}
+
+/// A running query server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or send [`Request::Shutdown`] over the wire) and
+/// then [`Server::join`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `core` with `options`. Returns once the listener is live; all
+    /// serving happens on background threads.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        core: Arc<EngineCore>,
+        options: ServeOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let workers = options.workers.max(1);
+        let shared = Arc::new(Shared {
+            core,
+            shutdown: AtomicBool::new(false),
+            idle_timeout: options.idle_timeout.max(Duration::from_millis(1)),
+            worker_stats: (0..workers).map(|_| AtomicQueryStats::new()).collect(),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+        });
+
+        let (job_tx, job_rx) = bounded::<Job>(options.queue_depth.max(1));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                thread::Builder::new()
+                    .name(format!("ftb-worker-{slot}"))
+                    .spawn(move || worker_loop(shared, rx, slot))
+            })
+            .collect::<io::Result<_>>()?;
+        drop(job_rx);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::Builder::new()
+            .name("ftb-accept".to_string())
+            .spawn(move || {
+                accept_loop(listener, accept_shared, job_tx, worker_handles);
+            })?;
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_handle,
+        })
+    }
+
+    /// The bound address (with the resolved port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Request a graceful shutdown: stop accepting, let in-flight requests
+    /// complete, drain the queue, stop the workers.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a shutdown (local or wire-requested) has been triggered.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The same counters [`Request::Stats`] reports, read in-process.
+    pub fn stats(&self) -> StatsReport {
+        self.shared.stats_report()
+    }
+
+    /// Block until the server has fully stopped (all connections closed,
+    /// queue drained, workers joined). Only returns after a shutdown has
+    /// been triggered by [`Server::shutdown`] or a wire request.
+    pub fn join(self) -> io::Result<()> {
+        self.accept_handle
+            .join()
+            .map_err(|_| io::Error::other("server accept thread panicked"))
+    }
+}
+
+/// Poll interval of the accept loop: the latency bound on noticing the
+/// shutdown flag with no client activity.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    worker_handles: Vec<JoinHandle<()>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let jobs = job_tx.clone();
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let spawned =
+                    thread::Builder::new()
+                        .name("ftb-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &conn_shared, &jobs);
+                            conn_shared
+                                .active_connections
+                                .fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    // Thread spawn failed (resource exhaustion): the guard
+                    // above never ran, undo the active count and drop the
+                    // stream, refusing the connection.
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            // Transient accept errors (aborted handshake etc.): keep serving.
+            Err(_) => thread::sleep(ACCEPT_TICK),
+        }
+    }
+    drop(listener);
+    // Graceful drain: connection threads notice the flag after their
+    // current request (or their next idle tick) and exit on their own.
+    while shared.active_connections.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(2));
+    }
+    // Last sender gone → workers drain the remaining queue and stop.
+    drop(job_tx);
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>, slot: usize) {
+    let mut ctx = shared.core.new_context();
+    while let Ok(job) = jobs.recv() {
+        let response = answer(&shared.core, &mut ctx, &job.request);
+        shared.worker_stats[slot].store(&ctx.stats());
+        // A send failure means the connection died while its request was
+        // queued; the answer is simply dropped.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn engine_error(err: &FtbfsError) -> Response {
+    Response::Error {
+        code: ErrorCode::from_engine_error(err) as u16,
+        message: err.to_string(),
+    }
+}
+
+/// Compute the answer to one query request on the worker's context.
+fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Response {
+    match request {
+        Request::Dist {
+            source,
+            target,
+            faults,
+        } => match ctx.dist_after_faults_from(core, *source, *target, faults) {
+            Ok(d) => Response::Dist(d),
+            Err(e) => engine_error(&e),
+        },
+        Request::Path {
+            source,
+            target,
+            faults,
+        } => match ctx.path_after_faults_from(core, *source, *target, faults) {
+            Ok(p) => Response::Path(p.map(|path| WirePath {
+                vertices: path.vertices().to_vec(),
+                edges: path.edges().to_vec(),
+            })),
+            Err(e) => engine_error(&e),
+        },
+        Request::BatchDist { source, queries } => {
+            let mut out = Vec::with_capacity(queries.len());
+            for (target, faults) in queries {
+                match ctx.dist_after_faults_from(core, *source, *target, faults) {
+                    Ok(d) => out.push(d),
+                    // The whole batch fails on the first invalid entry: a
+                    // partial answer vector would silently misalign.
+                    Err(e) => return engine_error(&e),
+                }
+            }
+            Response::BatchDist(out)
+        }
+        // Routed inline by the connection thread; reaching a worker is a bug.
+        Request::Hello { .. } | Request::Stats | Request::Shutdown => Response::Error {
+            code: ErrorCode::Internal as u16,
+            message: "control request routed to a worker".to_string(),
+        },
+    }
+}
+
+/// Outcome of reading one frame under the idle/shutdown regime.
+enum FrameRead {
+    Frame(Vec<u8>),
+    /// Clean EOF, idle expiry, or shutdown noticed between frames.
+    Closed,
+}
+
+/// Read one frame, accumulating idle time in `idle_timeout`-bounded ticks.
+///
+/// Between frames, a shutdown closes the connection immediately; *inside*
+/// a frame the read keeps going (the request is considered in flight) until
+/// the frame completes or the idle budget runs out — so a wedged client
+/// that sent half a length prefix cannot pin the thread past the timeout.
+fn read_frame_idle(stream: &mut TcpStream, shared: &Shared) -> io::Result<FrameRead> {
+    let mut len_bytes = [0u8; 4];
+    match fill_with_idle(stream, shared, &mut len_bytes, true)? {
+        FillOutcome::Done => {}
+        FillOutcome::Closed => return Ok(FrameRead::Closed),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > crate::protocol::MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::FrameTooLarge { len }.to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match fill_with_idle(stream, shared, &mut payload, false)? {
+        FillOutcome::Done => Ok(FrameRead::Frame(payload)),
+        FillOutcome::Closed => Ok(FrameRead::Closed),
+    }
+}
+
+enum FillOutcome {
+    Done,
+    Closed,
+}
+
+fn fill_with_idle(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    buf: &mut [u8],
+    at_frame_boundary: bool,
+) -> io::Result<FillOutcome> {
+    let mut filled = 0usize;
+    let mut idle = Duration::ZERO;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                // Clean close at a frame boundary; truncation inside one.
+                return if at_frame_boundary && filled == 0 {
+                    Ok(FillOutcome::Closed)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                idle = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if at_frame_boundary && filled == 0 && shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(FillOutcome::Closed);
+                }
+                idle += read_tick(shared);
+                if idle >= shared.idle_timeout {
+                    return Ok(FillOutcome::Closed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FillOutcome::Done)
+}
+
+/// Read-timeout tick: short enough to notice shutdown promptly, never
+/// longer than the idle budget itself.
+fn read_tick(shared: &Shared) -> Duration {
+    shared.idle_timeout.min(Duration::from_millis(100))
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_tick(shared)))?;
+    let mut hello_done = false;
+    loop {
+        let payload = match read_frame_idle(&mut stream, shared)? {
+            FrameRead::Frame(p) => p,
+            FrameRead::Closed => return Ok(()),
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // A peer that sends garbage gets one typed error frame,
+                // then the connection closes: framing is unrecoverable.
+                let resp = Response::Error {
+                    code: ErrorCode::MalformedFrame as u16,
+                    message: e.to_string(),
+                };
+                write_frame(&mut stream, &encode_response(&resp))?;
+                return Ok(());
+            }
+        };
+        let mut close_after_reply = false;
+        let response = match request {
+            Request::Hello { client_version } => {
+                if client_version == PROTOCOL_VERSION {
+                    hello_done = true;
+                    shared.hello_ok()
+                } else {
+                    close_after_reply = true;
+                    Response::Error {
+                        code: ErrorCode::ProtocolViolation as u16,
+                        message: format!(
+                            "server speaks protocol version {PROTOCOL_VERSION}, \
+                             client sent {client_version}"
+                        ),
+                    }
+                }
+            }
+            Request::Stats => Response::Stats(shared.stats_report()),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                close_after_reply = true;
+                Response::ShuttingDown
+            }
+            work @ (Request::Dist { .. } | Request::Path { .. } | Request::BatchDist { .. }) => {
+                if !hello_done {
+                    Response::Error {
+                        code: ErrorCode::ProtocolViolation as u16,
+                        message: "queries before Hello handshake".to_string(),
+                    }
+                } else {
+                    submit(shared, jobs, work)
+                }
+            }
+        };
+        write_frame(&mut stream, &encode_response(&response))?;
+        if close_after_reply || shared.shutdown.load(Ordering::SeqCst) {
+            // The in-flight request (if any) was answered above; close so
+            // the accept loop's drain can complete.
+            return Ok(());
+        }
+    }
+}
+
+/// Admission control: offer the job to the bounded queue without blocking.
+fn submit(shared: &Shared, jobs: &Sender<Job>, request: Request) -> Response {
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    match jobs.try_send(Job {
+        request,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {
+            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            // The worker holds the only sender; RecvError here means it
+            // dropped the job during shutdown drain.
+            reply_rx.recv().unwrap_or(Response::Error {
+                code: ErrorCode::Internal as u16,
+                message: "server shut down before answering".to_string(),
+            })
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            Response::Overloaded
+        }
+        Err(TrySendError::Disconnected(_)) => Response::Error {
+            code: ErrorCode::Internal as u16,
+            message: "server is shutting down".to_string(),
+        },
+    }
+}
+
+/// Block until `server`'s port stops accepting connections, with a bound.
+/// Test/CI helper for "the server actually exited" assertions.
+pub fn wait_until_stopped(addr: SocketAddr, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(50)).is_err() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    false
+}

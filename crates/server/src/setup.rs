@@ -1,0 +1,124 @@
+//! Shared engine/workload setup for `ftb-serve` and `ftb-loadgen`.
+//!
+//! Both binaries must agree on the graph down to the last edge id — the
+//! server to build the engine, the load generator to mint valid queries
+//! and verify the handshake fingerprint. An [`EngineSpec`] is that shared
+//! recipe: a workload family, size, seed and build parameters, all
+//! deterministic.
+
+use ftb_core::{
+    build_augmented_structure, BuildConfig, BuildPlan, EngineCore, EngineOptions, FtbfsError,
+    Sources, StructureBuilder, TradeoffBuilder,
+};
+use ftb_graph::{Graph, VertexId};
+use ftb_workloads::{Workload, WorkloadFamily};
+use std::sync::Arc;
+
+/// A deterministic recipe for the served graph and engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSpec {
+    /// Workload family generating the graph.
+    pub family: WorkloadFamily,
+    /// Target vertex count.
+    pub n: usize,
+    /// Generation/build seed.
+    pub seed: u64,
+    /// Tradeoff parameter `ε` of the structure build.
+    pub eps: f64,
+    /// Run the replacement-path augmentation stage, giving vertex faults
+    /// and dual failures a sparse serving tier instead of the full-graph
+    /// fallback.
+    pub augment: bool,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineSpec {
+            family: WorkloadFamily::ErdosRenyi,
+            n: 1000,
+            seed: 7,
+            eps: 0.3,
+            augment: false,
+        }
+    }
+}
+
+/// Parse a workload family by its [`WorkloadFamily::name`].
+pub fn parse_family(name: &str) -> Option<WorkloadFamily> {
+    WorkloadFamily::all()
+        .iter()
+        .copied()
+        .find(|f| f.name() == name)
+}
+
+impl EngineSpec {
+    /// The graph this spec names (deterministic in `family`/`n`/`seed`).
+    pub fn graph(&self) -> Graph {
+        Workload::new(self.family, self.n, self.seed).generate()
+    }
+
+    /// The single source the structure is built from.
+    pub fn source(&self) -> VertexId {
+        VertexId(0)
+    }
+
+    /// Build the shareable engine core for `graph` (which must come from
+    /// [`EngineSpec::graph`]).
+    pub fn build_core(
+        &self,
+        graph: &Graph,
+        options: EngineOptions,
+    ) -> Result<Arc<EngineCore>, FtbfsError> {
+        let sources = Sources::single(self.source());
+        let core = if self.augment {
+            let config = BuildConfig::new(self.eps).with_seed(self.seed);
+            let augmented = build_augmented_structure(
+                graph,
+                &sources,
+                BuildPlan::Tradeoff { eps: self.eps },
+                &config,
+            )?;
+            EngineCore::build_augmented_with(graph, augmented, options)?
+        } else {
+            let structure = TradeoffBuilder::new(self.eps)
+                .with_config(|c| c.with_seed(self.seed))
+                .build(graph, &sources)?;
+            EngineCore::build_with(graph, structure, options)?
+        };
+        Ok(Arc::new(core))
+    }
+
+    /// Human-readable one-liner for startup banners.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}(n={}, seed={}) eps={}{}",
+            self.family.name(),
+            self.n,
+            self.seed,
+            self.eps,
+            if self.augment { " +augmented" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_parse() {
+        for &f in WorkloadFamily::all() {
+            assert_eq!(parse_family(f.name()), Some(f));
+        }
+        assert_eq!(parse_family("no-such-family"), None);
+    }
+
+    #[test]
+    fn spec_graph_is_deterministic() {
+        let spec = EngineSpec {
+            n: 120,
+            ..EngineSpec::default()
+        };
+        assert_eq!(spec.graph().fingerprint(), spec.graph().fingerprint());
+    }
+}

@@ -16,13 +16,16 @@
 //! * [`suite`] — named workload descriptors consumed by the bench harness,
 //! * [`fault_scenarios`] — multi-fault failure patterns (random f-sets,
 //!   correlated vertex outages, faults concentrated on the BFS tree) for
-//!   the fault-query experiments.
+//!   the fault-query experiments,
+//! * [`open_loop`] — deterministic open-loop arrival schedules (fixed-rate
+//!   and Poisson) for the network load generator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod families;
 pub mod fault_scenarios;
+pub mod open_loop;
 pub mod suite;
 
 pub use families::{
@@ -30,4 +33,5 @@ pub use families::{
     random_geometric_grid,
 };
 pub use fault_scenarios::FaultScenario;
+pub use open_loop::{ArrivalProcess, ArrivalSchedule};
 pub use suite::{Workload, WorkloadFamily};

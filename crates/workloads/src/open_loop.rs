@@ -1,0 +1,179 @@
+//! Open-loop arrival schedules for load generation.
+//!
+//! An *open-loop* load generator decides request send times **before** the
+//! run, from an arrival process and a target rate, and never lets server
+//! slowness delay later sends. This is the methodology that exposes tail
+//! latency honestly: a closed-loop client (send, wait, send) implicitly
+//! throttles itself to the server's pace and hides queueing delay, which is
+//! precisely the quantity a saturation study is after.
+//!
+//! Schedules are deterministic: the same `(process, rate, count, seed)`
+//! yields the same offsets, so a run is reproducible and the server/client
+//! pair can regenerate identical workloads independently.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// The inter-arrival distribution of an open-loop schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Constant spacing `1/rate` — an idealised, burst-free arrival stream.
+    /// Useful to isolate server-side variance from arrival variance.
+    Fixed,
+    /// Exponentially distributed inter-arrival gaps (a Poisson process) —
+    /// the standard model of independent clients, with natural bursts that
+    /// probe queueing behaviour near saturation.
+    Poisson,
+}
+
+impl ArrivalProcess {
+    /// All processes, for sweeps and CLI parsing.
+    pub fn all() -> &'static [ArrivalProcess] {
+        &[ArrivalProcess::Fixed, ArrivalProcess::Poisson]
+    }
+
+    /// Stable lowercase name (CLI value and table label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Fixed => "fixed",
+            ArrivalProcess::Poisson => "poisson",
+        }
+    }
+
+    /// Parse a name produced by [`ArrivalProcess::name`].
+    pub fn parse(s: &str) -> Option<ArrivalProcess> {
+        ArrivalProcess::all()
+            .iter()
+            .copied()
+            .find(|p| p.name() == s)
+    }
+}
+
+/// A precomputed open-loop schedule: monotone non-decreasing send offsets
+/// from the run's start instant.
+#[derive(Clone, Debug)]
+pub struct ArrivalSchedule {
+    offsets: Vec<Duration>,
+}
+
+impl ArrivalSchedule {
+    /// Generate `count` send offsets at `rate` requests/second.
+    ///
+    /// The first request is scheduled at offset 0 for `Fixed` (then every
+    /// `1/rate`), and after one exponential gap for `Poisson`. Offsets are
+    /// monotone non-decreasing by construction.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not finite and positive.
+    pub fn generate(process: ArrivalProcess, rate: f64, count: usize, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        let gap = 1.0 / rate;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(count);
+        let mut t = 0.0f64;
+        for i in 0..count {
+            match process {
+                ArrivalProcess::Fixed => t = gap * i as f64,
+                ArrivalProcess::Poisson => {
+                    // Inverse-CDF sample of Exp(rate); 1-u keeps ln's
+                    // argument in (0, 1] so the gap is finite.
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    t += -gap * (1.0 - u).ln();
+                }
+            }
+            offsets.push(Duration::from_secs_f64(t));
+        }
+        ArrivalSchedule { offsets }
+    }
+
+    /// The send offsets, from the run's start instant.
+    pub fn offsets(&self) -> &[Duration] {
+        &self.offsets
+    }
+
+    /// Number of scheduled sends.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` when the schedule holds no sends.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total span of the schedule (offset of the last send; zero if empty).
+    pub fn span(&self) -> Duration {
+        self.offsets.last().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_evenly_spaced() {
+        let s = ArrivalSchedule::generate(ArrivalProcess::Fixed, 1000.0, 5, 1);
+        let offs = s.offsets();
+        assert_eq!(offs.len(), 5);
+        assert_eq!(offs[0], Duration::ZERO);
+        for (i, &o) in offs.iter().enumerate() {
+            let expected = Duration::from_micros(1000 * i as u64);
+            let err = o.abs_diff(expected);
+            assert!(err < Duration::from_nanos(100), "offset {i}: {o:?}");
+        }
+        assert_eq!(s.span(), *offs.last().unwrap());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let a = ArrivalSchedule::generate(ArrivalProcess::Poisson, 500.0, 200, 42);
+        let b = ArrivalSchedule::generate(ArrivalProcess::Poisson, 500.0, 200, 42);
+        assert_eq!(a.offsets(), b.offsets());
+        let c = ArrivalSchedule::generate(ArrivalProcess::Poisson, 500.0, 200, 43);
+        assert_ne!(a.offsets(), c.offsets(), "different seed, same stream");
+    }
+
+    #[test]
+    fn offsets_are_monotone() {
+        for &p in ArrivalProcess::all() {
+            let s = ArrivalSchedule::generate(p, 2000.0, 1000, 7);
+            for w in s.offsets().windows(2) {
+                assert!(w[0] <= w[1], "{}: offsets went backwards", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_approximates_one_over_rate() {
+        let rate = 1000.0;
+        let count = 20_000;
+        let s = ArrivalSchedule::generate(ArrivalProcess::Poisson, rate, count, 11);
+        // Mean inter-arrival gap over many samples concentrates on 1/rate.
+        let mean_gap = s.span().as_secs_f64() / count as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean_gap - expected).abs() < expected * 0.05,
+            "mean gap {mean_gap} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_well_behaved() {
+        let s = ArrivalSchedule::generate(ArrivalProcess::Fixed, 10.0, 0, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.span(), Duration::ZERO);
+    }
+
+    #[test]
+    fn process_names_round_trip() {
+        for &p in ArrivalProcess::all() {
+            assert_eq!(ArrivalProcess::parse(p.name()), Some(p));
+        }
+        assert_eq!(ArrivalProcess::parse("bursty"), None);
+    }
+}

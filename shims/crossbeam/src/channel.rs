@@ -1,0 +1,349 @@
+//! Offline stand-in for the `crossbeam::channel` bounded MPMC channel.
+//!
+//! Only the surface the workspace uses is provided: [`bounded`] capacity-`n`
+//! channels with cloneable senders *and* receivers, blocking
+//! [`Sender::send`] / [`Receiver::recv`], the non-blocking
+//! [`Sender::try_send`] (the admission-control primitive — a full queue is
+//! reported as [`TrySendError::Full`] instead of buffering unboundedly) and
+//! [`Receiver::recv_timeout`]. Disconnection semantics match crossbeam:
+//! once every `Sender` is dropped, receivers drain the remaining queue and
+//! then observe `Disconnected`; once every `Receiver` is dropped, sends fail
+//! immediately.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condvars (`not_empty`,
+//! `not_full`) — not a lock-free ring, but the contract and the observable
+//! behaviour are the ones the serving stack is written against.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared state of one channel.
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error of a blocking [`Sender::send`]: every receiver is gone. The
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of a non-blocking [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back. This is the
+    /// backpressure signal admission control acts on.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error of a blocking [`Receiver::recv`]: the queue is empty and every
+/// sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of a [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error of a non-blocking [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty.
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// The sending half of a bounded channel (cloneable; MPMC).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a bounded channel (cloneable; MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create a bounded MPMC channel holding at most `capacity` queued
+/// messages (minimum 1 — crossbeam's zero-capacity rendezvous mode is not
+/// reproduced, and no caller here wants it).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `msg`, blocking while the queue is at capacity. Fails only
+    /// when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.chan.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Enqueue `msg` without blocking: [`TrySendError::Full`] when the
+    /// queue is at capacity, [`TrySendError::Disconnected`] when every
+    /// receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.senders -= 1;
+            inner.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they can observe disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest message, blocking while the queue is empty.
+    /// Fails once the queue is drained *and* every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.chan.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Like [`Receiver::recv`] with an upper bound on the wait.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .chan
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() {
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.chan.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.receivers -= 1;
+            inner.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they can observe disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn try_send_reports_full_at_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn receivers_drain_then_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_send(7).unwrap();
+        tx.try_send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+        assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_an_empty_queue() {
+        let (_tx, rx) = bounded::<u32>(1);
+        let t = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_message_once() {
+        let (tx, rx) = bounded::<usize>(3);
+        let producers = 4;
+        let per_producer = 200;
+        let consumers = 3;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per_producer {
+                    tx.send(p * per_producer + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumer_handles = Vec::new();
+        for _ in 0..consumers {
+            let rx = rx.clone();
+            consumer_handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumer_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..producers * per_producer).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn blocking_send_waits_for_space() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        sender.join().unwrap();
+    }
+}
