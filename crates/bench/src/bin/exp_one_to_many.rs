@@ -1,0 +1,279 @@
+//! Experiment E12 — one-to-many serving: amortised row extraction with
+//! interval-batched target checks.
+//!
+//! Two questions, two tables:
+//!
+//! 1. **E12a — what does batching buy per target shape?** The same
+//!    `(fault set, target list)` stream is served by the per-target loop
+//!    (`dist_after_faults` once per target, the only shape the engine
+//!    offered before `DistMany`) and by the batched entry point
+//!    (`dist_many_after_faults`). Sparse frames (t = 16) are dominated by
+//!    the interval-batched unaffected classification; dense frames (all
+//!    targets) by the single amortised row extraction. The counters
+//!    (`batched_unaffected`, `restricted_repairs`, `repaired_rows`) show
+//!    where the batched path routed the work. More distinct fault sets
+//!    (32) than the LRU holds (8), so fault sets are cache misses — this
+//!    measures the miss path, not the cache.
+//! 2. **E12b — where is the restricted-sweep crossover?** For fault sets
+//!    with a sizeable affected set, the number of *requested* affected
+//!    targets `a` is swept from 1 upward. Small `a` should take the
+//!    target-restricted repair sweep (terminate once the requested
+//!    targets settle, no row retained); large `a` should fall back to the
+//!    full row materialisation (pay once, serve every target and later
+//!    cache hits). The table reports which path the
+//!    `RESTRICTED_SWEEP_RATIO` heuristic chose at each `a` and the time
+//!    per fault set, so the crossover band is visible in the timings, not
+//!    just asserted.
+//!
+//! Answers are asserted identical between the two paths throughout.
+
+use ftb_bench::{median, Table};
+use ftb_core::{EngineOptions, FaultQueryEngine, Sources, StructureBuilder, TradeoffBuilder};
+use ftb_graph::{FaultSet, Graph, VertexId};
+use ftb_workloads::{FaultScenario, Workload, WorkloadFamily};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 21;
+const SOURCE: VertexId = VertexId(0);
+
+fn fresh_engine<'g>(
+    graph: &'g Graph,
+    structure: &ftb_core::FtBfsStructure,
+) -> FaultQueryEngine<'g> {
+    FaultQueryEngine::with_options(graph, structure.clone(), EngineOptions::new().serial())
+        .expect("matching graph")
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn timed(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    median(&samples)
+}
+
+fn main() {
+    // One mid-size instance per family. Structure construction is the
+    // expensive part of this binary (superlinear in n; ~7 s per family at
+    // n = 2000 in release), so the instance size is chosen to keep the
+    // whole experiment in tens of seconds, not tens of minutes.
+    let families = [WorkloadFamily::ErdosRenyi, WorkloadFamily::LayeredDeep];
+    let mut shapes = Table::new(
+        "E12a — one-to-many vs per-target loop (n=2000, 32 fault sets per cell, median of 5)",
+        &[
+            "workload",
+            "f",
+            "shape",
+            "per-target",
+            "batched",
+            "speedup",
+            "unaffected",
+            "restricted",
+            "rows",
+        ],
+    );
+    let mut crossover: Option<Table> = None;
+
+    for &family in &families {
+        let graph = Workload::new(family, 2000, SEED).generate();
+        let n = graph.num_vertices();
+        let structure = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(SEED).serial())
+            .build(&graph, &Sources::single(SOURCE))
+            .expect("valid input");
+
+        let sparse: Vec<VertexId> = (0..16u64)
+            .map(|i| VertexId((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32))
+            .collect();
+        let dense: Vec<VertexId> = graph.vertices().collect();
+
+        for f in [1usize, 2] {
+            let sets: Vec<FaultSet> = FaultScenario::TreeConcentrated
+                .generate(&graph, SOURCE, f, 32, SEED)
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect();
+            for (shape, targets) in [("sparse-t16", &sparse), ("dense-all", &dense)] {
+                // One engine per side, reused across repeats: 32 distinct
+                // fault sets against an 8-row LRU miss on every pass, so
+                // the repeats re-measure the miss path without paying the
+                // structure clone inside the timed region.
+                let mut per_target = fresh_engine(&graph, &structure);
+                let mut batched = fresh_engine(&graph, &structure);
+                for fs in &sets {
+                    let serial: Vec<Option<u32>> = targets
+                        .iter()
+                        .map(|&v| per_target.dist_after_faults(v, fs).expect("in range"))
+                        .collect();
+                    let many = batched
+                        .dist_many_after_faults(targets, fs)
+                        .expect("in range");
+                    assert_eq!(many, serial, "batched diverged on {}", family.name());
+                }
+                let counters_before = batched.query_stats();
+                let t_old = timed(5, || {
+                    for fs in &sets {
+                        for &v in targets {
+                            std::hint::black_box(
+                                per_target.dist_after_faults(v, fs).expect("in range"),
+                            );
+                        }
+                    }
+                });
+                let t_new = timed(5, || {
+                    for fs in &sets {
+                        std::hint::black_box(
+                            batched
+                                .dist_many_after_faults(targets, fs)
+                                .expect("in range"),
+                        );
+                    }
+                });
+                // Counter deltas over the 5 timed passes, reported per
+                // pass so the row reads as "per replay of the 32 sets".
+                let d = batched.query_stats().delta_since(&counters_before);
+                shapes.add_row(vec![
+                    family.name().to_string(),
+                    f.to_string(),
+                    shape.to_string(),
+                    format!("{t_old:?}"),
+                    format!("{t_new:?}"),
+                    format!("{:.1}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+                    (d.tiers.batched_unaffected / 5).to_string(),
+                    (d.restricted_repairs / 5).to_string(),
+                    (d.repaired_rows / 5).to_string(),
+                ]);
+            }
+        }
+
+        // E12b on the first family only: the crossover shape is a property
+        // of the engine heuristic, not the workload.
+        if crossover.is_some() {
+            continue;
+        }
+        let probe = fresh_engine(&graph, &structure);
+        let core = std::sync::Arc::clone(probe.core());
+        drop(probe);
+        // Pool fault sets across scenarios until enough carry an affected
+        // set big enough to sweep; more sets than the LRU holds keeps
+        // every measurement on the miss path even when the dense side
+        // caches its row.
+        let mut dense_sets: Vec<(FaultSet, Vec<VertexId>)> = Vec::new();
+        for scenario in [
+            FaultScenario::TreeConcentrated,
+            FaultScenario::CorrelatedVertices,
+            FaultScenario::RandomEdges,
+        ] {
+            for fs in scenario
+                .generate(&graph, SOURCE, 2, 96, SEED)
+                .into_iter()
+                .filter(|s| !s.is_empty())
+            {
+                let affected: Vec<VertexId> = graph
+                    .vertices()
+                    .filter(|&v| !core.is_target_unaffected(SOURCE, v, &fs).expect("in range"))
+                    .collect();
+                if affected.len() >= 24 {
+                    dense_sets.push((fs, affected));
+                }
+            }
+        }
+        dense_sets.truncate(12);
+        if dense_sets.len() < 9 {
+            println!(
+                "E12b skipped: only {} {} fault sets produced an affected set >= 24 \
+                 (need > LRU capacity)",
+                dense_sets.len(),
+                family.name()
+            );
+            continue;
+        }
+        let mut sizes: Vec<usize> = dense_sets.iter().map(|(_, a)| a.len()).collect();
+        sizes.sort_unstable();
+        let mut table = Table::new(
+            &format!(
+                "E12b — restricted-sweep crossover ({}, n={}, {} fault sets, |affected| median {}, median of 5)",
+                family.name(),
+                n,
+                dense_sets.len(),
+                median(&sizes),
+            ),
+            &[
+                "a (affected targets)",
+                "restricted",
+                "rows repaired",
+                "sweeps",
+                "time/set",
+                "time/target",
+            ],
+        );
+        let max_a = sizes[0];
+        let mut steps: Vec<usize> = Vec::new();
+        let mut a = 1usize;
+        while a < max_a {
+            steps.push(a);
+            a *= 2;
+        }
+        steps.push(max_a);
+        for &a in &steps {
+            // Evenly spaced affected targets: the restricted sweep must
+            // chase targets across the whole affected region, not one
+            // lucky cluster near the boundary.
+            let requests: Vec<(&FaultSet, Vec<VertexId>)> = dense_sets
+                .iter()
+                .map(|(fs, affected)| {
+                    let stride = (affected.len() / a).max(1);
+                    (
+                        fs,
+                        affected.iter().copied().step_by(stride).take(a).collect(),
+                    )
+                })
+                .collect();
+            let mut engine = fresh_engine(&graph, &structure);
+            let before = engine.query_stats();
+            let t = timed(5, || {
+                for (fs, targets) in &requests {
+                    std::hint::black_box(
+                        engine
+                            .dist_many_after_faults(targets, fs)
+                            .expect("in range"),
+                    );
+                }
+            });
+            let d = engine.query_stats().delta_since(&before);
+            // Restricted sweeps and full-row materialisations both run a
+            // BFS of some tier; the sweeps column minus the restricted
+            // column is the number of full rows built (by repair or by
+            // sweep — `rows repaired` shows how many were repairs).
+            let sweeps = d.structure_bfs_runs + d.augmented_bfs_runs + d.full_graph_bfs_runs;
+            table.add_row(vec![
+                a.to_string(),
+                (d.restricted_repairs / 5).to_string(),
+                (d.repaired_rows / 5).to_string(),
+                (sweeps / 5).to_string(),
+                format!("{:?}", t / requests.len() as u32),
+                format!("{:?}", t / (requests.len() * a) as u32),
+            ]);
+        }
+        crossover = Some(table);
+    }
+
+    println!("{}", shapes.render());
+    if let Some(table) = crossover {
+        println!("{}", table.render());
+        println!(
+            "The `restricted` column drains as a * RESTRICTED_SWEEP_RATIO crosses |affected| \
+             per set. Restricted sweeps are the cheaper miss at small a; the full-row side \
+             pays more up front but lands the row in the LRU, so later hits on the same \
+             fault set are free — that cache-for-later effect is why the ratio is biased \
+             toward full rows instead of sitting at the raw per-miss break-even."
+        );
+    }
+    println!(
+        "The committed `one_to_many` criterion baseline gates the sparse and dense shapes in CI."
+    );
+}

@@ -174,8 +174,95 @@ fn main() {
         }
     }
     println!("{}", serving.render());
+
+    // 3. Dense all-target serving through the one-to-many API: the same
+    // fault sets, but every vertex requested, answered once per target by
+    // the per-target loop and once per fault set by
+    // `dist_many_after_faults` (one interval-batched classification plus
+    // one amortised row extraction). This is the shape `exp_one_to_many`
+    // sweeps in detail; here it closes the loop on E11b by showing what
+    // the repaired row costs when it is *extracted in bulk* instead of
+    // probed 24 times.
+    let all_targets: Vec<VertexId> = graph.vertices().collect();
+    let mut dense = Table::new(
+        &format!(
+            "E11c — dense all-target serving, per-target loop vs one-to-many (n={}, 48 fault sets x {} targets)",
+            graph.num_vertices(),
+            all_targets.len()
+        ),
+        &["scenario", "f", "per-target", "one-to-many", "speedup"],
+    );
+    for &scenario in &[FaultScenario::TreeConcentrated, FaultScenario::RandomEdges] {
+        for f in [1usize, 2] {
+            let sets: Vec<FaultSet> = scenario
+                .generate(&graph, source, f, 48, seed)
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mut per_target = FaultQueryEngine::with_options(
+                &graph,
+                structure.clone(),
+                EngineOptions::new().serial(),
+            )
+            .expect("matching graph");
+            let mut batched = FaultQueryEngine::with_options(
+                &graph,
+                structure.clone(),
+                EngineOptions::new().serial(),
+            )
+            .expect("matching graph");
+            for fs_set in &sets {
+                let a: Vec<Option<u32>> = all_targets
+                    .iter()
+                    .map(|&v| per_target.dist_after_faults(v, fs_set).expect("in range"))
+                    .collect();
+                let b = batched
+                    .dist_many_after_faults(&all_targets, fs_set)
+                    .expect("in range");
+                assert_eq!(a, b, "one-to-many diverged from the per-target loop");
+            }
+            let reps = 5usize;
+            let time = |f: &mut dyn FnMut()| {
+                let mut samples = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    f();
+                    samples.push(t0.elapsed());
+                }
+                samples.sort_unstable();
+                median(&samples)
+            };
+            let t_old = time(&mut || {
+                for fs_set in &sets {
+                    for &v in &all_targets {
+                        std::hint::black_box(
+                            per_target.dist_after_faults(v, fs_set).expect("in range"),
+                        );
+                    }
+                }
+            });
+            let t_new = time(&mut || {
+                for fs_set in &sets {
+                    std::hint::black_box(
+                        batched
+                            .dist_many_after_faults(&all_targets, fs_set)
+                            .expect("in range"),
+                    );
+                }
+            });
+            dense.add_row(vec![
+                scenario.name().to_string(),
+                f.to_string(),
+                format!("{t_old:?}"),
+                format!("{t_new:?}"),
+                format!("{:.1}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+            ]);
+        }
+    }
+    println!("{}", dense.render());
     println!(
         "The committed `row_repair` criterion baseline gates both sides in CI; \
-         set FTBFS_FORCE_FULL_SWEEP=1 to pin any engine to the full-sweep path."
+         set FTBFS_FORCE_FULL_SWEEP=1 to pin any engine to the full-sweep path. \
+         `exp_one_to_many` sweeps the restricted-sweep crossover behind E11c's batched column."
     );
 }

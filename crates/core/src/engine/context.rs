@@ -36,6 +36,29 @@ const MARK_AFFECTED: u8 = 1;
 /// [`RepairScratch::marks`] value: unaffected boundary vertex already
 /// collected (seed dedup).
 const MARK_BOUNDARY: u8 = 2;
+/// [`RepairScratch::marks`] value: affected vertex *requested* by a
+/// one-to-many query — the target-restricted sweep stops once every such
+/// vertex is settled.
+const MARK_TARGET: u8 = 3;
+
+/// Crossover denominator of the target-restricted repair sweep: a
+/// one-to-many cache miss runs restricted (settle only the requested
+/// affected targets, skip the `O(n)` row materialisation, cache nothing)
+/// when the requested targets cover at most `1/RESTRICTED_SWEEP_RATIO` of
+/// the affected set, and falls back to the full repair (which amortises
+/// across the whole target set *and* lands the row in the LRU) otherwise.
+/// Measured with `exp_one_to_many` E12b (ErdosRenyi, n = 2000): per cache
+/// miss the restricted sweep is ~3x cheaper than the full materialisation
+/// at small `a`, and the gap closes as `a` approaches the affected-set
+/// size; 8 keeps the restricted path for the clearly-winning band and
+/// cedes the rest to the repair's cache-for-later effect.
+const RESTRICTED_SWEEP_RATIO: usize = 8;
+
+/// Largest one-to-many target count classified by the sort-then-sweep
+/// interval walk ([`ftb_tree::covered_keys`]). Above it, sorting the keys
+/// costs more than the classification itself, so each key binary-searches
+/// the merged intervals directly (`O(t log |F|)`, no sort).
+const SORTED_CLASSIFY_MAX_TARGETS: usize = 64;
 
 /// Reusable state of the incremental row repair (all cleared in `O(1)` or
 /// proportional to the previous repair's size — nothing here is `O(n)` per
@@ -58,6 +81,10 @@ struct RepairScratch {
     /// Level-synchronous BFS frontiers.
     frontier: Vec<VertexId>,
     next: Vec<VertexId>,
+    /// Post-failure distances of the *target-restricted* sweep, which
+    /// settles requested affected targets without materialising a row;
+    /// generation-stamped so each restricted sweep starts clean in `O(1)`.
+    rdist: TimestampedVector<u32>,
 }
 
 impl RepairScratch {
@@ -69,6 +96,7 @@ impl RepairScratch {
             intervals: Vec::new(),
             frontier: Vec::new(),
             next: Vec::new(),
+            rdist: TimestampedVector::new(num_vertices, UNREACHABLE),
         }
     }
 
@@ -176,6 +204,97 @@ impl RepairScratch {
             }
         }
     }
+
+    /// Target-restricted repair sweep (the RPHAST-style restriction of
+    /// [`RepairScratch::repair_region`]): compute post-failure distances for
+    /// only the requested affected `targets`, without materialising a row.
+    ///
+    /// Same structure as the repair — mark the affected
+    /// [`RepairScratch::intervals`], collect the unaffected boundary as
+    /// seeds at fault-free depth, run the bounded level-synchronous BFS —
+    /// except that nothing is copied or reset (`O(n)` memcpy avoided, no
+    /// parent fixups) and the BFS **stops as soon as every marked target is
+    /// settled**: a level-synchronous BFS distance is final at assignment,
+    /// so the early exit cannot change any answer. Afterwards
+    /// [`RepairScratch::rdist`] holds each target's post-failure distance
+    /// (`UNREACHABLE` = disconnected).
+    ///
+    /// `neighbors` must yield exactly the post-failure adjacency the full
+    /// sweep would traverse, so the settled distances are byte-identical to
+    /// the distances a repaired (or fully swept) row would contain.
+    fn restricted_sweep<I, F, T>(
+        &mut self,
+        order: &[VertexId],
+        dist0: &[u32],
+        targets: T,
+        neighbors: F,
+    ) where
+        I: Iterator<Item = (VertexId, EdgeId)>,
+        F: Fn(VertexId) -> I,
+        T: Iterator<Item = VertexId>,
+    {
+        self.marks.reset();
+        self.rdist.reset();
+        for &(a, b) in &self.intervals {
+            for &v in &order[a as usize..b as usize] {
+                self.marks.set(v.index(), MARK_AFFECTED);
+            }
+        }
+        let mut remaining = 0usize;
+        for t in targets {
+            // Duplicate targets are marked (and counted) once.
+            if self.marks.get(t.index()) == MARK_AFFECTED {
+                self.marks.set(t.index(), MARK_TARGET);
+                remaining += 1;
+            }
+        }
+        self.seeds.clear();
+        for &(a, b) in &self.intervals {
+            for &v in &order[a as usize..b as usize] {
+                for (w, _) in neighbors(v) {
+                    if self.marks.get(w.index()) == 0 {
+                        self.marks.set(w.index(), MARK_BOUNDARY);
+                        if dist0[w.index()] != UNREACHABLE {
+                            self.seeds.push((dist0[w.index()], w));
+                        }
+                    }
+                }
+            }
+        }
+        self.seeds.sort_unstable();
+        self.frontier.clear();
+        self.next.clear();
+        let mut si = 0usize;
+        let mut level = 0u32;
+        while remaining > 0 && (si < self.seeds.len() || !self.frontier.is_empty()) {
+            if self.frontier.is_empty() {
+                level = level.max(self.seeds[si].0);
+            }
+            while si < self.seeds.len() && self.seeds[si].0 == level {
+                self.frontier.push(self.seeds[si].1);
+                si += 1;
+            }
+            for fi in 0..self.frontier.len() {
+                let u = self.frontier[fi];
+                for (w, _) in neighbors(u) {
+                    let mark = self.marks.get(w.index());
+                    if mark >= MARK_AFFECTED
+                        && mark != MARK_BOUNDARY
+                        && self.rdist.get(w.index()) == UNREACHABLE
+                    {
+                        self.rdist.set(w.index(), level + 1);
+                        if mark == MARK_TARGET {
+                            remaining -= 1;
+                        }
+                        self.next.push(w);
+                    }
+                }
+            }
+            self.frontier.clear();
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            level += 1;
+        }
+    }
 }
 
 /// The canonical-parent rule shared with [`bfs_sweep`]: the first neighbor
@@ -256,6 +375,12 @@ pub struct QueryContext {
     scratch: SweepScratch,
     /// Incremental-repair scratch (marks, boundary seeds, frontiers).
     repair: RepairScratch,
+    /// One-to-many scratch: `(preorder, input index)` keys of the requested
+    /// targets, sorted by preorder number for the batched interval search.
+    many_keys: Vec<(u32, u32)>,
+    /// One-to-many scratch: input indices of the targets that fell inside
+    /// an affected interval.
+    many_affected: Vec<u32>,
     clock: u64,
     stats: QueryStats,
 }
@@ -270,6 +395,8 @@ impl QueryContext {
             rows: Vec::new(),
             scratch: SweepScratch::new(n),
             repair: RepairScratch::new(n),
+            many_keys: Vec::new(),
+            many_affected: Vec::new(),
             clock: 0,
             stats: QueryStats::default(),
         }
@@ -368,6 +495,52 @@ impl QueryContext {
         self.checked_faults(core, v, faults)?;
         let slot = core.source_slot(source)?;
         Ok(self.answer_unchecked(core, slot, v, faults))
+    }
+
+    /// One-to-many post-failure distances `dist(s, v, G ∖ F)` from the
+    /// primary source to every vertex in `targets`, in input order
+    /// (duplicates allowed; `None` marks a disconnected target).
+    ///
+    /// The whole target set shares one classification and at most one
+    /// search: targets are sorted by Euler-tour preorder number and
+    /// binary-searched against the merged affected intervals of `F` —
+    /// `O(|F| log t + t)` instead of `t` independent `O(|F|)` probes —
+    /// and every provably-unaffected target is answered straight from the
+    /// fault-free row ([`TierCounters::batched_unaffected`](super::TierCounters)).
+    /// When only a few targets are affected, a *target-restricted* repair
+    /// sweep settles exactly those ([`QueryStats::restricted_repairs`]);
+    /// dense affected sets fall back to one ordinary row
+    /// materialisation that amortises across all of them. Results are
+    /// byte-identical to `targets.len()` separate
+    /// [`QueryContext::dist_after_faults`] calls.
+    ///
+    /// Counts `targets.len()` queries. Errors as
+    /// [`QueryContext::dist_after_faults`].
+    pub fn dist_many_after_faults(
+        &mut self,
+        core: &EngineCore,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.checked_many(core, targets, faults)?;
+        Ok(self.dist_many_unchecked(core, 0, targets, faults))
+    }
+
+    /// One-to-many post-failure distances from an explicit source of a
+    /// multi-source core. Errors as
+    /// [`QueryContext::dist_many_after_faults`], plus
+    /// [`FtbfsError::SourceNotServed`] for a source the core was not built
+    /// for.
+    pub fn dist_many_after_faults_from(
+        &mut self,
+        core: &EngineCore,
+        source: VertexId,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.checked_many(core, targets, faults)?;
+        let slot = core.source_slot(source)?;
+        Ok(self.dist_many_unchecked(core, slot, targets, faults))
     }
 
     /// A concrete post-failure shortest path from the primary source to `v`
@@ -500,6 +673,20 @@ impl QueryContext {
         Ok(())
     }
 
+    fn checked_many(
+        &self,
+        core: &EngineCore,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Result<(), FtbfsError> {
+        self.check_core(core)?;
+        for &v in targets {
+            core.check_vertex(v)?;
+        }
+        core.check_fault_set(faults)?;
+        Ok(())
+    }
+
     /// Distance answer with validation already done (shared by the single
     /// query paths and the facades' batch shards). Counts one query.
     ///
@@ -529,9 +716,186 @@ impl QueryContext {
         finite(dist[v.index()])
     }
 
-    /// Path answer with validation already done. Counts one query. (No
-    /// unaffected fast path here: extracting a path needs the row's parent
-    /// chain, which may detour through affected vertices.)
+    /// One-to-many answer with validation already done (shared by the
+    /// public entry points, the facades and the server's batch grouping).
+    /// Counts `targets.len()` queries; results are in input order.
+    ///
+    /// Under [`EngineOptions::force_full_sweep`](super::EngineOptions) the
+    /// batch degrades to per-target [`QueryContext::answer_unchecked`]
+    /// calls, so differential runs compare like with like.
+    pub(super) fn dist_many_unchecked(
+        &mut self,
+        core: &EngineCore,
+        slot: usize,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Vec<Option<u32>> {
+        if core.options().force_full_sweep {
+            return targets
+                .iter()
+                .map(|&v| self.answer_unchecked(core, slot, v, faults))
+                .collect();
+        }
+        self.stats.queries += targets.len();
+        let tier = core.route(faults);
+        if tier == Tier::FaultFree {
+            // Every fault is an edge outside H: the fault-free row answers
+            // the whole batch.
+            self.count_tier_many(Tier::FaultFree, targets.len());
+            self.stats.cached_answers += targets.len();
+            let (dist0, _) = core.fault_free_row(slot);
+            return targets.iter().map(|&v| finite(dist0[v.index()])).collect();
+        }
+        // An LRU hit answers every target from the cached row, exactly as
+        // the per-target path would.
+        let key_slot = slot as u32;
+        if let Some(i) = self
+            .rows
+            .iter()
+            .position(|r| r.source_slot == key_slot && r.faults == *faults)
+        {
+            self.clock += 1;
+            self.rows[i].last_used = self.clock;
+            self.count_tier_many(tier, targets.len());
+            self.stats.cached_answers += targets.len();
+            let dist = &self.rows[i].dist;
+            return targets.iter().map(|&v| finite(dist[v.index()])).collect();
+        }
+        // Batched unaffected classification against the merged affected
+        // intervals — never an `O(|F|)` ancestor probe per target. Sparse
+        // frames sort the targets by preorder number once and sweep the
+        // intervals over the sorted keys (`O(|F| log t + t)`); dense frames
+        // skip the `O(t log t)` sort (which would dominate the whole batch)
+        // and binary-search each key over the `O(|F|)` intervals instead
+        // (`O(t log |F|)`). Both classify identically.
+        let affected_size = core.affected_intervals(slot, faults, &mut self.repair.intervals);
+        let euler = &core.slot_tree(slot).euler;
+        let mut keys = std::mem::take(&mut self.many_keys);
+        let mut affected = std::mem::take(&mut self.many_affected);
+        keys.clear();
+        affected.clear();
+        for (i, &v) in targets.iter().enumerate() {
+            // Out-of-tree targets have no preorder number; they are
+            // unaffected (unreachable with or without the faults).
+            if let Some(t) = euler.preorder(v) {
+                keys.push((t, i as u32));
+            }
+        }
+        if keys.len() <= SORTED_CLASSIFY_MAX_TARGETS {
+            keys.sort_unstable();
+            ftb_tree::covered_keys(&self.repair.intervals, &keys, |i| affected.push(i));
+        } else {
+            let intervals = &self.repair.intervals;
+            for &(t, i) in keys.iter() {
+                let idx = intervals.partition_point(|&(_, end)| end <= t);
+                if idx < intervals.len() && intervals[idx].0 <= t {
+                    affected.push(i);
+                }
+            }
+        }
+
+        // Unaffected targets read the fault-free row; affected ones are
+        // overwritten below.
+        let (dist0, _) = core.fault_free_row(slot);
+        let mut out: Vec<Option<u32>> = targets.iter().map(|&v| finite(dist0[v.index()])).collect();
+        let unaffected = targets.len() - affected.len();
+        self.stats.tiers.batched_unaffected += unaffected;
+        self.stats.cached_answers += unaffected;
+        if affected.is_empty() {
+            // Every target provably unaffected: the whole batch ran zero
+            // searches (the counter proof the one_to_many suite asserts).
+            self.many_keys = keys;
+            self.many_affected = affected;
+            return out;
+        }
+        let source = core.sources()[slot];
+        let restricted = affected.len() * RESTRICTED_SWEEP_RATIO <= affected_size
+            && !faults.contains(Fault::Vertex(source));
+        if restricted {
+            // Few targets inside a large affected set: settle exactly the
+            // requested ones, skip the row materialisation, cache nothing.
+            self.count_tier_many(tier, affected.len());
+            self.stats.restricted_repairs += 1;
+            let order = core.slot_tree(slot).euler.order();
+            let wanted = affected.iter().map(|&i| targets[i as usize]);
+            match tier {
+                Tier::SparseH => {
+                    let e = faults.as_single_edge().expect("SparseH is single-edge");
+                    let h = &core.h;
+                    let banned_compact = h.compact_edge(e);
+                    let neighbors = |u: VertexId| {
+                        h.graph()
+                            .neighbors(u)
+                            .filter(move |&(_, he)| Some(he) != banned_compact)
+                            .map(|(w, he)| (w, h.parent_edge(he)))
+                    };
+                    self.repair
+                        .restricted_sweep(order, dist0, wanted, neighbors);
+                    self.stats.structure_bfs_runs += 1;
+                }
+                Tier::Augmented => {
+                    let banned = faults.as_slice();
+                    let aug = core.aug.as_ref().expect("Augmented tier has a CSR");
+                    let csr = &aug.csr;
+                    let banned_compact = BannedEdges::collect(faults, csr);
+                    let neighbors = |u: VertexId| {
+                        csr.graph()
+                            .neighbors(u)
+                            .filter(move |&(w, ce)| {
+                                !banned_compact.contains(ce) && !banned.contains(&Fault::Vertex(w))
+                            })
+                            .map(|(w, ce)| (w, csr.parent_edge(ce)))
+                    };
+                    self.repair
+                        .restricted_sweep(order, dist0, wanted, neighbors);
+                    self.stats.augmented_bfs_runs += 1;
+                }
+                Tier::FullGraph => {
+                    let banned = faults.as_slice();
+                    let graph = core.graph();
+                    let neighbors = |u: VertexId| {
+                        graph.neighbors(u).filter(move |&(w, ge)| {
+                            !banned.contains(&Fault::Edge(ge))
+                                && !banned.contains(&Fault::Vertex(w))
+                        })
+                    };
+                    self.repair
+                        .restricted_sweep(order, dist0, wanted, neighbors);
+                    self.stats.full_graph_bfs_runs += 1;
+                }
+                Tier::FaultFree => unreachable!("handled above"),
+            }
+            for &i in &affected {
+                let v = targets[i as usize];
+                out[i as usize] = finite(self.repair.rdist.get(v.index()));
+            }
+        } else {
+            // Dense affected set: one ordinary row materialisation (repair
+            // or full sweep) amortises across every affected target and
+            // lands in the LRU for the next batch. `ensure_row` attributes
+            // one query to the tier; the remaining affected targets read
+            // the just-computed row like cache hits.
+            let row = self.ensure_row(core, slot, faults, tier);
+            self.count_tier_many(tier, affected.len() - 1);
+            self.stats.cached_answers += affected.len() - 1;
+            let (dist, _) = self.row(core, slot, row);
+            for &i in &affected {
+                out[i as usize] = finite(dist[targets[i as usize].index()]);
+            }
+        }
+        self.many_keys = keys;
+        self.many_affected = affected;
+        out
+    }
+
+    /// Path answer with validation already done. Counts one query.
+    ///
+    /// When the target's whole root-to-target parent chain is provably
+    /// unaffected, the path is extracted straight from the tier's
+    /// fault-free parent row without any search (counted as
+    /// [`TierCounters::unaffected_fast_path`](super::TierCounters)); any
+    /// chain that might detour through affected vertices falls back to a
+    /// materialized row.
     pub(super) fn path_unchecked(
         &mut self,
         core: &EngineCore,
@@ -541,6 +905,11 @@ impl QueryContext {
     ) -> Option<Path> {
         self.stats.queries += 1;
         let tier = core.route(faults);
+        if tier != Tier::FaultFree && !core.options().force_full_sweep {
+            if let Some(answer) = self.try_unaffected_path(core, slot, v, faults, tier) {
+                return answer;
+            }
+        }
         let row = self.ensure_row(core, slot, faults, tier);
         let (dist, parent) = self.row(core, slot, row);
         if dist[v.index()] == UNREACHABLE {
@@ -557,6 +926,59 @@ impl QueryContext {
         vertices.reverse();
         edges.reverse();
         Some(Path::new(vertices, edges))
+    }
+
+    /// The path flavour of the unaffected fast path: extract the chain from
+    /// the tier's canonical fault-free parent row, verifying link by link
+    /// that it survives `faults` byte-identically. Returns `None` to fall
+    /// back to the materialized-row path (which recomputes the answer), or
+    /// `Some(answer)` when the chain is provably stable.
+    ///
+    /// Soundness: for an unaffected vertex `u` with fault-free canonical
+    /// parent `p` over the tier's adjacency, the post-failure canonical
+    /// parent is still `p` whenever `p` is unaffected and the connecting
+    /// edge is not failed: neighbor distances only grow under faults, and a
+    /// neighbor earlier in adjacency order was not one level up fault-free
+    /// (else it would be canonical), so it can never *become* one level up;
+    /// removing banned entries never changes the first surviving match.
+    /// Induction down the chain makes the whole extracted path equal the
+    /// materialized row's.
+    fn try_unaffected_path(
+        &mut self,
+        core: &EngineCore,
+        slot: usize,
+        v: VertexId,
+        faults: &FaultSet,
+        tier: Tier,
+    ) -> Option<Option<Path>> {
+        if !core.target_unaffected(slot, v, faults) {
+            return None;
+        }
+        let (dist0, _) = core.fault_free_row(slot);
+        if dist0[v.index()] == UNREACHABLE {
+            // Unaffected and fault-free-unreachable: faults cannot create
+            // connectivity, so the target stays unreachable.
+            self.stats.tiers.unaffected_fast_path += 1;
+            self.stats.cached_answers += 1;
+            return Some(None);
+        }
+        let parent0 = core.tier_parent_row(slot, tier);
+        let mut vertices = vec![v];
+        let mut edges = Vec::new();
+        let mut cursor = v;
+        while let Some((p, pe)) = parent0[cursor.index()] {
+            if faults.contains_edge(pe) || !core.target_unaffected(slot, p, faults) {
+                return None;
+            }
+            vertices.push(p);
+            edges.push(pe);
+            cursor = p;
+        }
+        self.stats.tiers.unaffected_fast_path += 1;
+        self.stats.cached_answers += 1;
+        vertices.reverse();
+        edges.reverse();
+        Some(Some(Path::new(vertices, edges)))
     }
 
     /// Borrow the rows a [`RowSlot`] refers to.
@@ -744,11 +1166,15 @@ impl QueryContext {
     }
 
     fn count_tier(&mut self, tier: Tier) {
+        self.count_tier_many(tier, 1);
+    }
+
+    fn count_tier_many(&mut self, tier: Tier, n: usize) {
         match tier {
-            Tier::FaultFree => self.stats.tiers.fault_free_row += 1,
-            Tier::SparseH => self.stats.tiers.sparse_h_bfs += 1,
-            Tier::Augmented => self.stats.tiers.augmented_bfs += 1,
-            Tier::FullGraph => self.stats.tiers.full_graph_bfs += 1,
+            Tier::FaultFree => self.stats.tiers.fault_free_row += n,
+            Tier::SparseH => self.stats.tiers.sparse_h_bfs += n,
+            Tier::Augmented => self.stats.tiers.augmented_bfs += n,
+            Tier::FullGraph => self.stats.tiers.full_graph_bfs += n,
         }
     }
 }

@@ -7,11 +7,10 @@ use crate::error::FtbfsError;
 use crate::ftbfs::{AugmentCoverage, AugmentedStructure};
 use crate::mbfs::MultiSourceStructure;
 use crate::structure::FtBfsStructure;
-use ftb_graph::{CompactSubgraph, EdgeId, Fault, FaultSet, Graph, SubgraphView, VertexId};
+use ftb_graph::{CompactSubgraph, EdgeId, Fault, FaultSet, Graph, VertexId};
 use ftb_par::ParallelConfig;
 use ftb_sp::UNREACHABLE;
 use ftb_tree::EulerTourIndex;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Environment variable disabling the incremental row repair and the
@@ -219,6 +218,12 @@ pub struct EngineCore {
     pub(super) aug: Option<AugmentedTier>,
     /// Fault-free rows, one per source slot.
     fault_free: Vec<FaultFreeRow>,
+    /// Canonical fault-free *parent* rows relative to the **full graph**
+    /// adjacency, one per slot. Distances equal the shared fault-free rows;
+    /// only the canonical-parent selection differs (it is
+    /// adjacency-order-relative). The `full_graph_bfs` tier's path fast
+    /// path extracts unaffected parent chains from these.
+    full_parent: Vec<Vec<ParentEntry>>,
     /// Fault-free tree indices, one per source slot (same order).
     trees: Vec<SlotTree>,
     /// Vertex → source-slot lookup (`u32::MAX` = not a served source), so
@@ -345,14 +350,15 @@ impl EngineCore {
 
         // Fault-free preprocessing: one BFS over H per source, cross-checked
         // against the graph's own distances. Any valid structure preserves
-        // them, so a divergence means the pairing is wrong. One sweep
-        // scratch and one cross-check buffer serve every source.
+        // them, so a divergence means the pairing is wrong. The cross-check
+        // sweep runs over the full graph with canonical parent selection,
+        // so it doubles as the builder of the per-slot full-graph parent
+        // rows the `full_graph_bfs` path fast path reads.
         let mut fault_free = Vec::with_capacity(sources.len());
+        let mut full_parent = Vec::with_capacity(sources.len());
         let mut trees = Vec::with_capacity(sources.len());
         let mut scratch = SweepScratch::new(n);
-        let mut check_dist: Vec<u32> = Vec::new();
-        let mut check_queue = VecDeque::new();
-        let full_view = SubgraphView::full(graph);
+        let mut check_dist = vec![UNREACHABLE; n];
         for &s in &sources {
             let mut row = FaultFreeRow {
                 dist: vec![UNREACHABLE; n],
@@ -360,12 +366,15 @@ impl EngineCore {
             };
             super::bfs_sweep(s, &mut scratch, |u| h.neighbors_parent_ids(u));
             scratch.materialize(&mut row.dist, &mut row.parent);
-            ftb_sp::bfs::bfs_distances_into(&full_view, s, &mut check_dist, &mut check_queue);
+            let mut g_parent = vec![None; n];
+            super::bfs_sweep(s, &mut scratch, |u| graph.neighbors(u));
+            scratch.materialize(&mut check_dist, &mut g_parent);
             if let Some(i) = (0..check_dist.len()).find(|&i| check_dist[i] != row.dist[i]) {
                 return Err(FtbfsError::FaultFreeDistanceMismatch {
                     vertex: VertexId::new(i),
                 });
             }
+            full_parent.push(g_parent);
             // Index the slot's tree T0 for the repair path: preorder
             // intervals plus the tree-edge → child map (every tree edge is
             // a structure edge, so compact H ids index it densely).
@@ -429,6 +438,7 @@ impl EngineCore {
             h,
             aug,
             fault_free,
+            full_parent,
             trees,
             slot_of,
             options,
@@ -482,6 +492,22 @@ impl EngineCore {
         (&row.dist, &row.parent)
     }
 
+    /// The canonical fault-free parent row a given tier's rows are built
+    /// from: canonical-parent selection is adjacency-order-relative, so each
+    /// serving adjacency (`H`, `H⁺`, `G`) has its own flavour. An
+    /// unaffected parent chain read from this row is byte-identical to the
+    /// chain the tier's materialized post-failure row would contain.
+    pub(super) fn tier_parent_row(&self, slot: usize, tier: Tier) -> &[ParentEntry] {
+        match tier {
+            Tier::FaultFree | Tier::SparseH => &self.fault_free[slot].parent,
+            Tier::Augmented => {
+                let aug = self.aug.as_ref().expect("augmented tier requires aug");
+                &aug.fault_free_parent[slot]
+            }
+            Tier::FullGraph => &self.full_parent[slot],
+        }
+    }
+
     /// Resolve a source vertex to its row slot in `O(1)` via the
     /// preprocessed vertex → slot lookup (out-of-range vertices are simply
     /// not served).
@@ -495,6 +521,54 @@ impl EngineCore {
     /// The fault-free tree index of a source slot.
     pub(super) fn slot_tree(&self, slot: usize) -> &SlotTree {
         &self.trees[slot]
+    }
+
+    /// Public observable twin of the engine's internal unaffected test:
+    /// `true` when `v` is provably unaffected by `faults` as seen from
+    /// `source` (its canonical `T0` path avoids every failed element), so a
+    /// distance query would be answered from the fault-free row with zero
+    /// search. Exposed so tests and experiments can construct target sets
+    /// with known classification.
+    ///
+    /// # Errors
+    ///
+    /// [`FtbfsError::SourceNotServed`] for a source without a slot,
+    /// [`FtbfsError::InvalidFault`] / [`FtbfsError::FaultSetTooLarge`] for
+    /// a bad fault set, [`FtbfsError::VertexOutOfRange`] for a bad target.
+    pub fn is_target_unaffected(
+        &self,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<bool, FtbfsError> {
+        self.check_fault_set(faults)?;
+        self.check_vertex(v)?;
+        let slot = self.source_slot(source)?;
+        Ok(self.target_unaffected(slot, v, faults))
+    }
+
+    /// Validate one `(source, target, faults)` query without answering it,
+    /// with the same checks (in the same order) as
+    /// [`QueryContext::dist_after_faults_from`](super::QueryContext::dist_after_faults_from):
+    /// target vertex, then fault set, then source. Lets a batching front
+    /// end (e.g. the TCP server) validate a whole batch up front and still
+    /// fail with exactly the error the serial query loop would have hit
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryContext::dist_after_faults_from`](super::QueryContext::dist_after_faults_from),
+    /// minus `ContextMismatch` (no context is involved).
+    pub fn validate_query(
+        &self,
+        source: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Result<(), FtbfsError> {
+        self.check_vertex(v)?;
+        self.check_fault_set(faults)?;
+        self.source_slot(source)?;
+        Ok(())
     }
 
     /// `true` if `v` is **provably unaffected** by `faults` as seen from

@@ -184,6 +184,24 @@ impl<'g> FaultQueryEngine<'g> {
         self.ctx.dist_after_faults(&self.core, v, faults)
     }
 
+    /// One-to-many post-failure distances from the source to every vertex
+    /// in `targets` under one shared fault set, in input order (`None`
+    /// marks a disconnected target).
+    ///
+    /// The whole set shares one batched unaffected classification and at
+    /// most one search (a target-restricted sweep or one amortised row) —
+    /// see [`QueryContext::dist_many_after_faults`]. Results are
+    /// byte-identical to `targets.len()` separate
+    /// [`FaultQueryEngine::dist_after_faults`] calls. Errors as
+    /// [`FaultQueryEngine::dist_after_faults`].
+    pub fn dist_many_after_faults(
+        &mut self,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.ctx.dist_many_after_faults(&self.core, targets, faults)
+    }
+
     /// A concrete post-failure shortest path from the source to `v` in
     /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`. See
     /// [`QueryContext::path_after_fault`].

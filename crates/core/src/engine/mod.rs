@@ -91,6 +91,15 @@
 //!   canonical parents are patched where distances or adjacency changed.
 //!   Cost is `O(n)` memcpy plus `O(vol(affected))` instead of a full
 //!   `O(n + |CSR|)` traversal; counted in [`QueryStats::repaired_rows`].
+//! * **One-to-many batching** — `dist_many_after_faults` answers a whole
+//!   target set against one fault set in one pass: targets are sorted by
+//!   Euler-tour preorder number and binary-searched against the merged
+//!   affected intervals (`O(|F| log t + t)` instead of `O(|F|·t)` probes),
+//!   provably-unaffected targets are read straight off the fault-free row
+//!   ([`TierCounters::batched_unaffected`]), and when only a few targets
+//!   land inside the affected subtrees a *target-restricted* repair sweep
+//!   stops as soon as every requested affected target is settled
+//!   ([`QueryStats::restricted_repairs`]) instead of repairing the row.
 //!
 //! Parent entries everywhere are **canonical** — the first neighbor one
 //! level closer in (filtered) adjacency order, a pure function of the final
@@ -150,7 +159,7 @@ use std::collections::VecDeque;
 /// answered.
 ///
 /// Every query is attributed to exactly one tier — the tier whose row
-/// (fresh or LRU-cached) produced the answer — so the four fields always
+/// (fresh or LRU-cached) produced the answer — so the fields always
 /// sum to [`QueryStats::queries`]. This makes tier routing *observable*:
 /// e.g. a test can assert that vertex-fault queries on an augmented build
 /// never land in [`TierCounters::full_graph_bfs`].
@@ -161,11 +170,20 @@ pub struct TierCounters {
     pub fault_free_row: usize,
     /// Answered in `O(|F|)` from the fault-free row because the target was
     /// *provably unaffected*: its canonical tree path avoids every failed
-    /// element, so no search (and no row) is needed at all. Only targeted
-    /// distance queries take this path; disable it (together with the
+    /// element, so no search (and no row) is needed at all. Targeted
+    /// distance queries and path queries whose whole parent chain is
+    /// unaffected take this path; disable it (together with the
     /// incremental row repair) via
     /// [`EngineOptions::force_full_sweep`](super::EngineOptions).
     pub unaffected_fast_path: usize,
+    /// Answered from the fault-free row by the *batched* one-to-many
+    /// classification: `dist_many_after_faults` sorts the requested targets
+    /// by Euler-tour preorder number and binary-searches the merged
+    /// affected intervals, so each provably-unaffected target of a
+    /// many-target query costs `O(log t)` amortised instead of an
+    /// `O(|F|)` per-target probe. Counted per *target*, like every other
+    /// tier counter.
+    pub batched_unaffected: usize,
     /// Answered from a BFS row over the sparse structure CSR `H ∖ {e}`
     /// (single non-reinforced structure-edge failures — the seed paper's
     /// guarantee).
@@ -184,6 +202,7 @@ impl TierCounters {
     pub fn total(&self) -> usize {
         self.fault_free_row
             + self.unaffected_fast_path
+            + self.batched_unaffected
             + self.sparse_h_bfs
             + self.augmented_bfs
             + self.full_graph_bfs
@@ -192,6 +211,7 @@ impl TierCounters {
     fn merge(&mut self, other: &TierCounters) {
         self.fault_free_row += other.fault_free_row;
         self.unaffected_fast_path += other.unaffected_fast_path;
+        self.batched_unaffected += other.batched_unaffected;
         self.sparse_h_bfs += other.sparse_h_bfs;
         self.augmented_bfs += other.augmented_bfs;
         self.full_graph_bfs += other.full_graph_bfs;
@@ -201,6 +221,7 @@ impl TierCounters {
         TierCounters {
             fault_free_row: self.fault_free_row - earlier.fault_free_row,
             unaffected_fast_path: self.unaffected_fast_path - earlier.unaffected_fast_path,
+            batched_unaffected: self.batched_unaffected - earlier.batched_unaffected,
             sparse_h_bfs: self.sparse_h_bfs - earlier.sparse_h_bfs,
             augmented_bfs: self.augmented_bfs - earlier.augmented_bfs,
             full_graph_bfs: self.full_graph_bfs - earlier.full_graph_bfs,
@@ -229,6 +250,12 @@ pub struct QueryStats {
     /// tier (`structure_bfs_runs` / `augmented_bfs_runs`), so
     /// `repaired_rows` tells how many of those searches were bounded.
     pub repaired_rows: usize,
+    /// One-to-many cache misses answered by a *target-restricted* repair
+    /// sweep: the bounded boundary-seeded BFS stopped as soon as every
+    /// affected *requested* target was settled, instead of repairing (or
+    /// caching) the whole row. Each restricted repair is also counted in
+    /// the sweep counter of its tier, like [`QueryStats::repaired_rows`].
+    pub restricted_repairs: usize,
     /// Per-tier attribution of every answered query (fields sum to
     /// [`QueryStats::queries`]).
     pub tiers: TierCounters,
@@ -244,6 +271,7 @@ impl QueryStats {
         self.full_graph_bfs_runs += other.full_graph_bfs_runs;
         self.cached_answers += other.cached_answers;
         self.repaired_rows += other.repaired_rows;
+        self.restricted_repairs += other.restricted_repairs;
         self.tiers.merge(&other.tiers);
     }
 
@@ -257,6 +285,7 @@ impl QueryStats {
             full_graph_bfs_runs: self.full_graph_bfs_runs - earlier.full_graph_bfs_runs,
             cached_answers: self.cached_answers - earlier.cached_answers,
             repaired_rows: self.repaired_rows - earlier.repaired_rows,
+            restricted_repairs: self.restricted_repairs - earlier.restricted_repairs,
             tiers: self.tiers.delta_since(&earlier.tiers),
         }
     }
@@ -287,8 +316,10 @@ pub struct AtomicQueryStats {
     full_graph_bfs_runs: std::sync::atomic::AtomicUsize,
     cached_answers: std::sync::atomic::AtomicUsize,
     repaired_rows: std::sync::atomic::AtomicUsize,
+    restricted_repairs: std::sync::atomic::AtomicUsize,
     tier_fault_free_row: std::sync::atomic::AtomicUsize,
     tier_unaffected_fast_path: std::sync::atomic::AtomicUsize,
+    tier_batched_unaffected: std::sync::atomic::AtomicUsize,
     tier_sparse_h_bfs: std::sync::atomic::AtomicUsize,
     tier_augmented_bfs: std::sync::atomic::AtomicUsize,
     tier_full_graph_bfs: std::sync::atomic::AtomicUsize,
@@ -312,10 +343,14 @@ impl AtomicQueryStats {
             .store(stats.full_graph_bfs_runs, Relaxed);
         self.cached_answers.store(stats.cached_answers, Relaxed);
         self.repaired_rows.store(stats.repaired_rows, Relaxed);
+        self.restricted_repairs
+            .store(stats.restricted_repairs, Relaxed);
         self.tier_fault_free_row
             .store(stats.tiers.fault_free_row, Relaxed);
         self.tier_unaffected_fast_path
             .store(stats.tiers.unaffected_fast_path, Relaxed);
+        self.tier_batched_unaffected
+            .store(stats.tiers.batched_unaffected, Relaxed);
         self.tier_sparse_h_bfs
             .store(stats.tiers.sparse_h_bfs, Relaxed);
         self.tier_augmented_bfs
@@ -334,9 +369,11 @@ impl AtomicQueryStats {
             full_graph_bfs_runs: self.full_graph_bfs_runs.load(Relaxed),
             cached_answers: self.cached_answers.load(Relaxed),
             repaired_rows: self.repaired_rows.load(Relaxed),
+            restricted_repairs: self.restricted_repairs.load(Relaxed),
             tiers: TierCounters {
                 fault_free_row: self.tier_fault_free_row.load(Relaxed),
                 unaffected_fast_path: self.tier_unaffected_fast_path.load(Relaxed),
+                batched_unaffected: self.tier_batched_unaffected.load(Relaxed),
                 sparse_h_bfs: self.tier_sparse_h_bfs.load(Relaxed),
                 augmented_bfs: self.tier_augmented_bfs.load(Relaxed),
                 full_graph_bfs: self.tier_full_graph_bfs.load(Relaxed),

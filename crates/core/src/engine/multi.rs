@@ -161,6 +161,23 @@ impl<'g> MultiSourceEngine<'g> {
             .dist_after_faults_from(&self.core, source, v, faults)
     }
 
+    /// One-to-many post-failure distances from `source` to every vertex in
+    /// `targets` under one shared fault set, in input order (`None` marks a
+    /// disconnected target). The whole set shares one batched unaffected
+    /// classification and at most one search — see
+    /// [`QueryContext::dist_many_after_faults`]; results are byte-identical
+    /// to `targets.len()` separate [`MultiSourceEngine::dist_after_faults`]
+    /// calls. Errors as [`MultiSourceEngine::dist_after_faults`].
+    pub fn dist_many_after_faults(
+        &mut self,
+        source: VertexId,
+        targets: &[VertexId],
+        faults: &FaultSet,
+    ) -> Result<Vec<Option<u32>>, FtbfsError> {
+        self.ctx
+            .dist_many_after_faults_from(&self.core, source, targets, faults)
+    }
+
     /// A concrete post-failure shortest path from `source` to `v` in
     /// `G ∖ {e}`, or `Ok(None)` when the failure disconnects `v`.
     pub fn path_after_fault(

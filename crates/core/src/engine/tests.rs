@@ -1065,16 +1065,23 @@ fn forced_full_sweeps_disable_fast_path_and_repair() {
 }
 
 #[test]
-fn path_queries_never_take_the_fast_path() {
-    // Paths need a parent chain, so even a provably unaffected target
-    // resolves a materialized row.
+fn unaffected_path_queries_take_the_fast_path() {
+    // A target whose whole root-to-target parent chain is provably
+    // unaffected gets its path straight from the fault-free row: no sweep,
+    // no row — and byte-identical to the forced-full-sweep answer.
     let graph = generators::grid(5, 5);
-    let s = TradeoffBuilder::new(0.3)
-        .with_config(|c| c.with_seed(43).serial())
-        .build(&graph, &Sources::single(VertexId(0)))
-        .expect("valid input");
-    let core = EngineCore::build_with(&graph, s, repaired_options()).expect("matching graph");
+    let build = |force| {
+        let s = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(43).serial())
+            .build(&graph, &Sources::single(VertexId(0)))
+            .expect("valid input");
+        EngineCore::build_with(&graph, s, repaired_options().with_force_full_sweep(force))
+            .expect("matching graph")
+    };
+    let core = build(false);
+    let forced = build(true);
     let mut ctx = core.new_context();
+    let mut fctx = forced.new_context();
     let (e, unaffected) = core
         .structure()
         .backup_edges()
@@ -1099,9 +1106,25 @@ fn path_queries_never_take_the_fast_path() {
         .expect("reachable");
     assert_eq!(p.last(), unaffected);
     let stats = ctx.stats();
-    assert_eq!(stats.tiers.unaffected_fast_path, 0);
-    assert_eq!(stats.tiers.sparse_h_bfs, 1);
-    assert_eq!(stats.structure_bfs_runs, 1, "the row was computed");
+    assert_eq!(stats.tiers.unaffected_fast_path, 1);
+    assert_eq!(stats.structure_bfs_runs, 0, "no row was computed");
+    // For the SparseH tier the fault-free chain IS the T0 chain, so the
+    // extracted path must equal the materialized row's path exactly.
+    let fp = fctx
+        .path_after_fault(&forced, unaffected, e)
+        .expect("in range")
+        .expect("reachable");
+    assert_eq!(p.vertices(), fp.vertices());
+    assert_eq!(p.edges(), fp.edges());
+    // An affected target still resolves a materialized row.
+    let affected = graph
+        .vertices()
+        .find(|&v| !core.target_unaffected(0, v, &FaultSet::from(e)))
+        .expect("the failed tree edge affects its subtree");
+    ctx.path_after_fault(&core, affected, e).expect("in range");
+    let stats = ctx.stats();
+    assert_eq!(stats.tiers.unaffected_fast_path, 1);
+    assert_eq!(stats.structure_bfs_runs, 1, "fallback computed the row");
 }
 
 #[test]
@@ -1223,9 +1246,11 @@ fn query_stats_merge_and_delta_are_inverse_fieldwise() {
         full_graph_bfs_runs: 1,
         cached_answers: 4,
         repaired_rows: 2,
+        restricted_repairs: 1,
         tiers: TierCounters {
             fault_free_row: 4,
             unaffected_fast_path: 1,
+            batched_unaffected: 0,
             sparse_h_bfs: 3,
             augmented_bfs: 1,
             full_graph_bfs: 1,
@@ -1238,9 +1263,11 @@ fn query_stats_merge_and_delta_are_inverse_fieldwise() {
         full_graph_bfs_runs: 2,
         cached_answers: 3,
         repaired_rows: 1,
+        restricted_repairs: 0,
         tiers: TierCounters {
             fault_free_row: 2,
             unaffected_fast_path: 0,
+            batched_unaffected: 1,
             sparse_h_bfs: 1,
             augmented_bfs: 2,
             full_graph_bfs: 2,

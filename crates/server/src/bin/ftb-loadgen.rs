@@ -38,6 +38,9 @@ struct Args {
     process: ArrivalProcess,
     faults_per_set: usize,
     scenario: FaultScenario,
+    /// 0 = classic one-request-per-target `Dist` replay; `T > 0` mints
+    /// `DistMany` frames with `T` targets sharing each fault set.
+    targets_per_request: usize,
     shutdown: bool,
 }
 
@@ -46,7 +49,7 @@ fn usage() -> ! {
         "usage: ftb-loadgen --addr HOST:PORT [--family NAME] [--n N] [--seed S]\n\
          \x20                  [--rate R] [--requests Q] [--clients C]\n\
          \x20                  [--process fixed|poisson] [--f K] [--scenario NAME]\n\
-         \x20                  [--shutdown]\n\
+         \x20                  [--targets T] [--shutdown]\n\
          scenarios: {}",
         FaultScenario::all()
             .iter()
@@ -74,6 +77,7 @@ fn parse_args() -> Args {
         process: ArrivalProcess::Poisson,
         faults_per_set: 1,
         scenario: FaultScenario::RandomEdges,
+        targets_per_request: 0,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -117,6 +121,7 @@ fn parse_args() -> Args {
                         usage()
                     });
             }
+            "--targets" => args.targets_per_request = parse_num(&value("--targets"), "--targets"),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -171,42 +176,74 @@ fn main() {
         exit(1);
     }
 
-    // Mint the workload: scenario fault sets cycled over spread-out targets.
+    // Mint the workload: scenario fault sets cycled over spread-out targets
+    // (one-to-many mode pairs each fault set with a whole target list).
     let n = graph.num_vertices();
-    let mut fault_sets = args.scenario.generate(
-        &graph,
-        source,
-        args.faults_per_set,
-        64.min(args.requests.max(1)),
-        args.spec.seed,
-    );
-    fault_sets.retain(|s| !s.is_empty());
-    if fault_sets.is_empty() {
-        fault_sets.push(ftb_graph::FaultSet::new());
-    }
-    let target = |i: usize| {
-        // Fibonacci hashing spreads targets over the vertex space without
-        // pulling in an RNG.
-        ftb_graph::VertexId(((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32)
-    };
-    let requests: Vec<Request> = (0..args.requests)
-        .map(|i| Request::Dist {
+    let requests: Vec<Request> = if args.targets_per_request > 0 {
+        let mut pairs = args.scenario.generate_one_to_many(
+            &graph,
             source,
-            target: target(i),
-            faults: fault_sets[i % fault_sets.len()].clone(),
-        })
-        .collect();
+            args.faults_per_set,
+            args.targets_per_request,
+            64.min(args.requests.max(1)),
+            args.spec.seed,
+        );
+        pairs.retain(|(s, _)| !s.is_empty());
+        if pairs.is_empty() {
+            eprintln!("ftb-loadgen: scenario produced no usable fault sets");
+            exit(1);
+        }
+        (0..args.requests)
+            .map(|i| {
+                let (faults, targets) = &pairs[i % pairs.len()];
+                Request::DistMany {
+                    source,
+                    targets: targets.clone(),
+                    faults: faults.clone(),
+                }
+            })
+            .collect()
+    } else {
+        let mut fault_sets = args.scenario.generate(
+            &graph,
+            source,
+            args.faults_per_set,
+            64.min(args.requests.max(1)),
+            args.spec.seed,
+        );
+        fault_sets.retain(|s| !s.is_empty());
+        if fault_sets.is_empty() {
+            fault_sets.push(ftb_graph::FaultSet::new());
+        }
+        let target = |i: usize| {
+            // Fibonacci hashing spreads targets over the vertex space
+            // without pulling in an RNG.
+            ftb_graph::VertexId(((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32)
+        };
+        (0..args.requests)
+            .map(|i| Request::Dist {
+                source,
+                target: target(i),
+                faults: fault_sets[i % fault_sets.len()].clone(),
+            })
+            .collect()
+    };
     let schedule =
         ArrivalSchedule::generate(args.process, args.rate, requests.len(), args.spec.seed);
 
     println!(
-        "ftb-loadgen: {} requests at {} req/s ({} arrivals), {} clients, scenario {} (f={}), graph {}",
+        "ftb-loadgen: {} requests at {} req/s ({} arrivals), {} clients, scenario {} (f={}{}), graph {}",
         requests.len(),
         args.rate,
         args.process.name(),
         args.clients,
         args.scenario.name(),
         args.faults_per_set,
+        if args.targets_per_request > 0 {
+            format!(", one-to-many x{}", args.targets_per_request)
+        } else {
+            String::new()
+        },
         args.spec.describe(),
     );
 
@@ -258,6 +295,11 @@ fn main() {
                             }
                             hist.record(due.elapsed().as_nanos() as u64);
                         }
+                        Ok(Response::DistMany(ds)) => {
+                            tally.ok += 1;
+                            tally.disconnected += ds.iter().filter(|d| d.is_none()).count() as u64;
+                            hist.record(due.elapsed().as_nanos() as u64);
+                        }
                         Ok(Response::Overloaded) => tally.shed += 1,
                         Ok(_) => tally.errors += 1,
                         Err(_) => {
@@ -304,23 +346,40 @@ fn main() {
             ms(merged_hist.max()),
             merged_hist.mean() / 1e6,
         );
+        if args.targets_per_request > 0 {
+            // Every request carries the same target count, so dividing the
+            // per-request quantiles is the exact per-target amortisation.
+            let t = args.targets_per_request as f64;
+            println!(
+                "amortised per-target ({} targets/request): \
+                 p50 {:.3}ms  p99 {:.3}ms  p999 {:.3}ms  mean {:.3}ms",
+                args.targets_per_request,
+                ms(merged_hist.value_at_quantile(0.50)) / t,
+                ms(merged_hist.value_at_quantile(0.99)) / t,
+                ms(merged_hist.value_at_quantile(0.999)) / t,
+                merged_hist.mean() / 1e6 / t,
+            );
+        }
     }
 
     match probe.stats() {
         Ok(after) => {
             println!(
-                "server deltas: queries={} cached={} repaired_rows={} accepted={} shed={}",
+                "server deltas: queries={} cached={} repaired_rows={} restricted_repairs={} \
+                 accepted={} shed={}",
                 after.queries - before.queries,
                 after.cached_answers - before.cached_answers,
                 after.repaired_rows - before.repaired_rows,
+                after.restricted_repairs - before.restricted_repairs,
                 after.accepted - before.accepted,
                 after.shed - before.shed,
             );
             println!(
-                "server tiers: fault_free_row={} unaffected_fast_path={} sparse_h_bfs={} \
-                 augmented_bfs={} full_graph_bfs={}",
+                "server tiers: fault_free_row={} unaffected_fast_path={} batched_unaffected={} \
+                 sparse_h_bfs={} augmented_bfs={} full_graph_bfs={}",
                 after.tier_fault_free_row - before.tier_fault_free_row,
                 after.tier_unaffected_fast_path - before.tier_unaffected_fast_path,
+                after.tier_batched_unaffected - before.tier_batched_unaffected,
                 after.tier_sparse_h_bfs - before.tier_sparse_h_bfs,
                 after.tier_augmented_bfs - before.tier_augmented_bfs,
                 after.tier_full_graph_bfs - before.tier_full_graph_bfs,

@@ -112,6 +112,21 @@ impl Client {
         })
     }
 
+    /// One-to-many distance query convenience wrapper: one source, one
+    /// shared fault set, many targets, answered in target order.
+    pub fn dist_many(
+        &mut self,
+        source: VertexId,
+        targets: Vec<VertexId>,
+        faults: FaultSet,
+    ) -> io::Result<Response> {
+        self.request(&Request::DistMany {
+            source,
+            targets,
+            faults,
+        })
+    }
+
     /// Fetch the server's counters.
     pub fn stats(&mut self) -> io::Result<StatsReport> {
         match self.request(&Request::Stats)? {

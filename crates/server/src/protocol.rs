@@ -65,6 +65,20 @@ pub enum Request {
         /// `(target, faults)` pairs, answered in order.
         queries: Vec<(VertexId, FaultSet)>,
     },
+    /// One-to-many distances: one source, one shared fault set, many
+    /// targets. The server answers the whole frame with a single batched
+    /// unaffected classification and at most one repair sweep
+    /// ([`QueryContext::dist_many_after_faults`](ftb_core::QueryContext::dist_many_after_faults)),
+    /// so this is the cheapest way to ask for many distances under the
+    /// same failure event.
+    DistMany {
+        /// Source vertex shared by every target.
+        source: VertexId,
+        /// Targets, answered in order.
+        targets: Vec<VertexId>,
+        /// The failed edges/vertices, shared by the whole frame.
+        faults: FaultSet,
+    },
     /// Ask for the server's aggregated query/admission counters.
     Stats,
     /// Ask the server to shut down gracefully.
@@ -94,6 +108,8 @@ pub enum Response {
     Path(Option<WirePath>),
     /// Batched distance answers, in request order.
     BatchDist(Vec<Option<u32>>),
+    /// One-to-many distance answers, in target order.
+    DistMany(Vec<Option<u32>>),
     /// Aggregated server counters.
     Stats(StatsReport),
     /// Acknowledgement of a [`Request::Shutdown`]; the connection closes
@@ -139,10 +155,16 @@ pub struct StatsReport {
     pub cached_answers: u64,
     /// Cache misses served by incremental row repair.
     pub repaired_rows: u64,
+    /// Cache misses served by a target-restricted repair sweep (one-to-many
+    /// queries whose affected targets were few).
+    pub restricted_repairs: u64,
     /// Tier: answered from the fault-free row.
     pub tier_fault_free_row: u64,
     /// Tier: provably-unaffected fast path.
     pub tier_unaffected_fast_path: u64,
+    /// Tier: targets classified unaffected by the batched one-to-many
+    /// interval search (counted per target).
+    pub tier_batched_unaffected: u64,
     /// Tier: sparse BFS over `H ∖ {e}`.
     pub tier_sparse_h_bfs: u64,
     /// Tier: BFS over the augmented CSR `H⁺ ∖ F`.
@@ -348,6 +370,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => e = Enc::new(0x05),
         Request::Shutdown => e = Enc::new(0x06),
+        Request::DistMany {
+            source,
+            targets,
+            faults,
+        } => {
+            e = Enc::new(0x07);
+            e.u32(source.0);
+            e.u32(targets.len() as u32);
+            for t in targets {
+                e.u32(t.0);
+            }
+            e.faults(faults);
+        }
     }
     e.buf
 }
@@ -409,8 +444,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.full_graph_bfs_runs,
                 s.cached_answers,
                 s.repaired_rows,
+                s.restricted_repairs,
                 s.tier_fault_free_row,
                 s.tier_unaffected_fast_path,
+                s.tier_batched_unaffected,
                 s.tier_sparse_h_bfs,
                 s.tier_augmented_bfs,
                 s.tier_full_graph_bfs,
@@ -419,6 +456,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.connections,
             ] {
                 e.u64(v);
+            }
+        }
+        Response::DistMany(ds) => {
+            e = Enc::new(0x87);
+            e.u32(ds.len() as u32);
+            for d in ds {
+                e.opt_u32(*d);
             }
         }
         Response::ShuttingDown => e = Enc::new(0x86),
@@ -534,6 +578,21 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         }
         0x05 => Request::Stats,
         0x06 => Request::Shutdown,
+        0x07 => {
+            let source = VertexId(d.u32()?);
+            let count = d.u32()? as usize;
+            // Same lying-count guard as BatchDist: each target is 4 bytes.
+            let mut targets = Vec::with_capacity(count.min(payload.len() / 4 + 1));
+            for _ in 0..count {
+                targets.push(VertexId(d.u32()?));
+            }
+            let faults = d.faults()?;
+            Request::DistMany {
+                source,
+                targets,
+                faults,
+            }
+        }
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     d.finish()?;
@@ -592,7 +651,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             Response::BatchDist(ds)
         }
         0x85 => {
-            let mut vals = [0u64; 14];
+            let mut vals = [0u64; 16];
             for v in vals.iter_mut() {
                 *v = d.u64()?;
             }
@@ -603,17 +662,27 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
                 full_graph_bfs_runs: vals[3],
                 cached_answers: vals[4],
                 repaired_rows: vals[5],
-                tier_fault_free_row: vals[6],
-                tier_unaffected_fast_path: vals[7],
-                tier_sparse_h_bfs: vals[8],
-                tier_augmented_bfs: vals[9],
-                tier_full_graph_bfs: vals[10],
-                accepted: vals[11],
-                shed: vals[12],
-                connections: vals[13],
+                restricted_repairs: vals[6],
+                tier_fault_free_row: vals[7],
+                tier_unaffected_fast_path: vals[8],
+                tier_batched_unaffected: vals[9],
+                tier_sparse_h_bfs: vals[10],
+                tier_augmented_bfs: vals[11],
+                tier_full_graph_bfs: vals[12],
+                accepted: vals[13],
+                shed: vals[14],
+                connections: vals[15],
             })
         }
         0x86 => Response::ShuttingDown,
+        0x87 => {
+            let count = d.u32()? as usize;
+            let mut ds = Vec::with_capacity(count.min(payload.len() + 1));
+            for _ in 0..count {
+                ds.push(d.opt_u32()?);
+            }
+            Response::DistMany(ds)
+        }
         0x8E => Response::Overloaded,
         0x8F => Response::Error {
             code: d.u16()?,
@@ -709,6 +778,16 @@ mod tests {
                     (VertexId(2), sample_faults()),
                 ],
             },
+            Request::DistMany {
+                source: VertexId(0),
+                targets: vec![VertexId(1), VertexId(4), VertexId(2)],
+                faults: sample_faults(),
+            },
+            Request::DistMany {
+                source: VertexId(3),
+                targets: vec![],
+                faults: FaultSet::new(),
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -736,8 +815,11 @@ mod tests {
             })),
             Response::Path(None),
             Response::BatchDist(vec![Some(1), None, Some(3)]),
+            Response::DistMany(vec![None, Some(0), Some(7)]),
             Response::Stats(StatsReport {
                 queries: 10,
+                restricted_repairs: 3,
+                tier_batched_unaffected: 5,
                 shed: 2,
                 ..Default::default()
             }),
@@ -756,16 +838,25 @@ mod tests {
 
     #[test]
     fn strict_prefixes_decode_to_truncated() {
-        let bytes = encode_request(&Request::BatchDist {
-            source: VertexId(1),
-            queries: vec![(VertexId(2), sample_faults())],
-        });
-        for cut in 0..bytes.len() {
-            assert_eq!(
-                decode_request(&bytes[..cut]),
-                Err(DecodeError::Truncated),
-                "prefix of {cut} bytes"
-            );
+        for req in [
+            Request::BatchDist {
+                source: VertexId(1),
+                queries: vec![(VertexId(2), sample_faults())],
+            },
+            Request::DistMany {
+                source: VertexId(1),
+                targets: vec![VertexId(2), VertexId(3)],
+                faults: sample_faults(),
+            },
+        ] {
+            let bytes = encode_request(&req);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode_request(&bytes[..cut]),
+                    Err(DecodeError::Truncated),
+                    "prefix of {cut} bytes of {req:?}"
+                );
+            }
         }
     }
 

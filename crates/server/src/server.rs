@@ -30,6 +30,7 @@ use crate::protocol::{
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use ftb_core::{AtomicQueryStats, EngineCore, FtbfsError, QueryContext, QueryStats};
+use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -94,8 +95,10 @@ impl Shared {
             full_graph_bfs_runs: total.full_graph_bfs_runs as u64,
             cached_answers: total.cached_answers as u64,
             repaired_rows: total.repaired_rows as u64,
+            restricted_repairs: total.restricted_repairs as u64,
             tier_fault_free_row: total.tiers.fault_free_row as u64,
             tier_unaffected_fast_path: total.tiers.unaffected_fast_path as u64,
+            tier_batched_unaffected: total.tiers.batched_unaffected as u64,
             tier_sparse_h_bfs: total.tiers.sparse_h_bfs as u64,
             tier_augmented_bfs: total.tiers.augmented_bfs as u64,
             tier_full_graph_bfs: total.tiers.full_graph_bfs as u64,
@@ -300,17 +303,45 @@ fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Respo
             Err(e) => engine_error(&e),
         },
         Request::BatchDist { source, queries } => {
-            let mut out = Vec::with_capacity(queries.len());
+            // Validate every entry up front, in input order, mirroring the
+            // per-query check sequence: the whole batch fails on the first
+            // invalid entry (a partial answer vector would silently
+            // misalign), with the same error the serial loop would hit.
             for (target, faults) in queries {
-                match ctx.dist_after_faults_from(core, *source, *target, faults) {
-                    Ok(d) => out.push(d),
-                    // The whole batch fails on the first invalid entry: a
-                    // partial answer vector would silently misalign.
+                if let Err(e) = core.validate_query(*source, *target, faults) {
+                    return engine_error(&e);
+                }
+            }
+            // Group targets sharing a fault set so one classification (and
+            // at most one repair sweep) amortises across the whole group.
+            let mut groups: BTreeMap<&ftb_graph::FaultSet, Vec<usize>> = BTreeMap::new();
+            for (i, (_, faults)) in queries.iter().enumerate() {
+                groups.entry(faults).or_default().push(i);
+            }
+            let mut out = vec![None; queries.len()];
+            let mut targets = Vec::new();
+            for (faults, indices) in groups {
+                targets.clear();
+                targets.extend(indices.iter().map(|&i| queries[i].0));
+                match ctx.dist_many_after_faults_from(core, *source, &targets, faults) {
+                    Ok(ds) => {
+                        for (&i, d) in indices.iter().zip(ds) {
+                            out[i] = d;
+                        }
+                    }
                     Err(e) => return engine_error(&e),
                 }
             }
             Response::BatchDist(out)
         }
+        Request::DistMany {
+            source,
+            targets,
+            faults,
+        } => match ctx.dist_many_after_faults_from(core, *source, targets, faults) {
+            Ok(ds) => Response::DistMany(ds),
+            Err(e) => engine_error(&e),
+        },
         // Routed inline by the connection thread; reaching a worker is a bug.
         Request::Hello { .. } | Request::Stats | Request::Shutdown => Response::Error {
             code: ErrorCode::Internal as u16,
@@ -451,7 +482,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
                 close_after_reply = true;
                 Response::ShuttingDown
             }
-            work @ (Request::Dist { .. } | Request::Path { .. } | Request::BatchDist { .. }) => {
+            work @ (Request::Dist { .. }
+            | Request::Path { .. }
+            | Request::BatchDist { .. }
+            | Request::DistMany { .. }) => {
                 if !hello_done {
                     Response::Error {
                         code: ErrorCode::ProtocolViolation as u16,

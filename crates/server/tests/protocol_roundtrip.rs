@@ -48,7 +48,12 @@ fn make_request(tag: u8, a: u32, b: u32, faults: FaultSet, batch: &[(u32, u32)])
                 .collect(),
         },
         4 => Request::Stats,
-        _ => Request::Shutdown,
+        5 => Request::Shutdown,
+        _ => Request::DistMany {
+            source: VertexId(a),
+            targets: batch.iter().map(|&(t, _)| VertexId(t)).collect(),
+            faults,
+        },
     }
 }
 
@@ -82,6 +87,12 @@ fn make_response(tag: u8, a: u32, b: u32, path_len: usize, batch: &[(u32, u32)])
         }),
         7 => Response::ShuttingDown,
         8 => Response::Overloaded,
+        9 => Response::DistMany(
+            batch
+                .iter()
+                .map(|&(d, flag)| (flag % 2 == 1).then_some(d))
+                .collect(),
+        ),
         _ => Response::Error {
             code: ErrorCode::VertexOutOfRange as u16 + (a % 8) as u16,
             message: format!("synthetic error {b}"),
@@ -94,7 +105,7 @@ proptest! {
 
     #[test]
     fn requests_reencode_byte_identically(
-        tag in 0u8..6,
+        tag in 0u8..7,
         a in 0u32..65536,
         b in 0u32..50_000,
         kinds in collection::vec(0u8..2, 0..6),
@@ -110,7 +121,7 @@ proptest! {
 
     #[test]
     fn responses_reencode_byte_identically(
-        tag in 0u8..10,
+        tag in 0u8..11,
         a in 0u32..65536,
         b in 0u32..50_000,
         path_len in 0usize..12,
@@ -125,7 +136,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_truncated(
-        tag in 0u8..6,
+        tag in 0u8..7,
         a in 0u32..65536,
         kinds in collection::vec(0u8..2, 0..6),
         ids in collection::vec(0u32..100_000, 0..6),
@@ -141,7 +152,7 @@ proptest! {
     #[test]
     fn corrupt_and_garbage_bytes_never_panic(
         garbage in collection::vec(0u32..256, 0..64),
-        tag in 0u8..10,
+        tag in 0u8..11,
         a in 0u32..65536,
         flip_pos in 0u32..10_000,
         flip_bit in 0u8..8,

@@ -145,6 +145,37 @@ impl FaultScenario {
     }
 }
 
+impl FaultScenario {
+    /// Generate `count` one-to-many requests: each pairs one fault set of
+    /// size (at most) `f` — drawn exactly like [`FaultScenario::generate`]
+    /// with the same `seed`, so the failure stream is identical — with
+    /// `targets_per_request` uniform random target vertices (duplicates
+    /// allowed, the source included like any other vertex). This is the
+    /// replay shape of a `DistMany` serving workload: one failure event,
+    /// many destinations queried under it.
+    pub fn generate_one_to_many(
+        &self,
+        graph: &Graph,
+        source: VertexId,
+        f: usize,
+        targets_per_request: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(FaultSet, Vec<VertexId>)> {
+        let faults = self.generate(graph, source, f, count, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0123_7A46 ^ (*self as u64) << 32);
+        faults
+            .into_iter()
+            .map(|set| {
+                let targets = (0..targets_per_request)
+                    .map(|_| VertexId::new(rng.random_range(0..graph.num_vertices())))
+                    .collect();
+                (set, targets)
+            })
+            .collect()
+    }
+}
+
 /// The edges of one BFS tree of `graph` rooted at `source` (first-visit
 /// parent edges; deterministic in the CSR adjacency order).
 fn bfs_tree_edges(graph: &Graph, source: VertexId) -> Vec<ftb_graph::EdgeId> {
@@ -240,6 +271,28 @@ mod tests {
             assert_eq!(set.len(), 2);
             for e in set.edges() {
                 assert!(tree.contains(&e), "{e:?} is not a tree edge");
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_many_requests_replay_the_same_fault_stream() {
+        let g = families::erdos_renyi_gnm(60, 180, 3);
+        for &scenario in FaultScenario::all() {
+            let reqs = scenario.generate_one_to_many(&g, VertexId(0), 2, 5, 12, 42);
+            let again = scenario.generate_one_to_many(&g, VertexId(0), 2, 5, 12, 42);
+            assert_eq!(reqs, again, "{} not deterministic", scenario.name());
+            assert_eq!(reqs.len(), 12);
+            let faults = scenario.generate(&g, VertexId(0), 2, 12, 42);
+            for (i, (set, targets)) in reqs.iter().enumerate() {
+                assert_eq!(
+                    set,
+                    &faults[i],
+                    "{}: fault stream diverged",
+                    scenario.name()
+                );
+                assert_eq!(targets.len(), 5);
+                assert!(targets.iter().all(|t| t.index() < g.num_vertices()));
             }
         }
     }

@@ -140,6 +140,7 @@ fn wire_answers_are_byte_identical_to_in_process_answers() {
         stats.queries,
         stats.tier_fault_free_row
             + stats.tier_unaffected_fast_path
+            + stats.tier_batched_unaffected
             + stats.tier_sparse_h_bfs
             + stats.tier_augmented_bfs
             + stats.tier_full_graph_bfs,
