@@ -1,0 +1,98 @@
+//! Experiment E13 — persistent engine snapshots: load scales with the
+//! file, not with the build.
+//!
+//! The deployment claim behind `ftb-build` / `ftb-serve --snapshot` is
+//! that restoring an engine costs one bulk pass over a flat file, while
+//! building one costs the full Parter–Peleg preprocessing — so the gap
+//! *widens* with `n`. Per size this measures, through the real file
+//! system (write to a temp file, read it back):
+//!
+//! * `build ms` — structure construction + engine assembly;
+//! * `save ms` / `bytes` — serializing and persisting the snapshot;
+//! * `load ms` / `MB/s` — restoring a ready-to-serve engine, all
+//!   revalidation passes included, with the decode throughput showing
+//!   the cost tracks the byte count;
+//! * `build/load` — the restart speedup a snapshot buys at that size.
+//!
+//! Loaded engines are spot-checked answer-identical before timing is
+//! trusted (a fast wrong load would be worse than a slow right one).
+
+use ftb_bench::Table;
+use ftb_core::{EngineCore, EngineOptions, Sources, StructureBuilder, TradeoffBuilder};
+use ftb_graph::{EdgeId, FaultSet, VertexId};
+use ftb_workloads::{Workload, WorkloadFamily};
+use std::time::Instant;
+
+fn main() {
+    let seed = 21u64;
+    let source = VertexId(0);
+    let mut table = Table::new(
+        "E13 — snapshot save/load vs rebuild (erdos-renyi, eps = 0.3)",
+        &[
+            "n",
+            "m",
+            "build ms",
+            "save ms",
+            "bytes",
+            "load ms",
+            "MB/s",
+            "build/load",
+        ],
+    );
+
+    let dir = std::env::temp_dir();
+    for &n in &[200usize, 400, 800, 1600] {
+        let graph = Workload::new(WorkloadFamily::ErdosRenyi, n, seed).generate();
+
+        let build_start = Instant::now();
+        let structure = TradeoffBuilder::new(0.3)
+            .with_config(|c| c.with_seed(seed).serial())
+            .build(&graph, &Sources::single(source))
+            .expect("valid input");
+        let core = EngineCore::build_with(&graph, structure, EngineOptions::new().serial())
+            .expect("matching graph");
+        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+        let path = dir.join(format!("ftbfs-exp-snapshot-{n}.ftbsnap"));
+        let save_start = Instant::now();
+        let bytes = core.write_snapshot(b"exp_snapshot");
+        std::fs::write(&path, &bytes).expect("temp dir is writable");
+        let save_ms = save_start.elapsed().as_secs_f64() * 1e3;
+
+        let load_start = Instant::now();
+        let read = std::fs::read(&path).expect("snapshot readable");
+        let (restored, _note) = EngineCore::read_snapshot(&read, EngineOptions::new().serial())
+            .expect("own snapshot loads");
+        let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_file(&path);
+
+        // Spot-check before trusting the timing: a handful of faulted
+        // distances must match the freshly built engine exactly.
+        let mut ctx_a = core.new_context();
+        let mut ctx_b = restored.new_context();
+        for i in 0..5u32 {
+            let faults = FaultSet::from(EdgeId(i * (graph.num_edges() as u32 / 7).max(1)));
+            let target = VertexId((n as u32 / 3).saturating_add(i) % n as u32);
+            let a = ctx_a
+                .dist_after_faults_from(&core, source, target, &faults)
+                .expect("in range");
+            let b = ctx_b
+                .dist_after_faults_from(&restored, source, target, &faults)
+                .expect("in range");
+            assert_eq!(a, b, "restored engine answers differ at n={n}");
+        }
+
+        let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+        table.add_row(vec![
+            n.to_string(),
+            graph.num_edges().to_string(),
+            format!("{build_ms:.1}"),
+            format!("{save_ms:.2}"),
+            bytes.len().to_string(),
+            format!("{load_ms:.2}"),
+            format!("{:.0}", mb / (load_ms / 1e3)),
+            format!("{:.0}x", build_ms / load_ms.max(1e-6)),
+        ]);
+    }
+    table.print();
+}

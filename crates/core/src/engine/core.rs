@@ -147,6 +147,13 @@ pub(super) struct FaultFreeRow {
 
 static NEXT_CORE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
+/// A fresh core-identity token. Every constructed core — assembled or loaded
+/// from a snapshot — gets its own, so contexts can never be replayed against
+/// a different core that merely has the same shape.
+pub(super) fn next_core_token() -> u64 {
+    NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The preprocessed augmented-serving tier: the compact CSR of `H⁺` and the
 /// coverage contract deciding which fault sets it may answer.
 #[derive(Debug)]
@@ -173,7 +180,7 @@ pub(super) struct SlotTree {
     pub(super) euler: EulerTourIndex,
     /// Child endpoint of each `T0` tree edge, indexed by **compact `H`**
     /// edge id (`None` for structure edges outside the tree).
-    edge_child: Vec<Option<VertexId>>,
+    pub(super) edge_child: Vec<Option<VertexId>>,
 }
 
 impl SlotTree {
@@ -204,33 +211,33 @@ impl SlotTree {
 #[derive(Debug)]
 pub struct EngineCore {
     /// Owned copy of the parent graph (reinforced-edge fallback BFS).
-    graph: Graph,
+    pub(super) graph: Graph,
     /// The served structure; for a multi-source core this is the collapsed
     /// union (edge and reinforcement sets are the union sets).
-    structure: FtBfsStructure,
+    pub(super) structure: FtBfsStructure,
     /// The served sources; queries name them by vertex id. Slot 0 is the
     /// primary source (the single source, or the first of the union).
-    sources: Vec<VertexId>,
+    pub(super) sources: Vec<VertexId>,
     /// Compact CSR of `H` (vertex ids preserved, edge ids translated).
     pub(super) h: CompactSubgraph,
     /// The augmented serving tier, present when the core was built from an
     /// [`AugmentedStructure`] with non-trivial coverage.
     pub(super) aug: Option<AugmentedTier>,
     /// Fault-free rows, one per source slot.
-    fault_free: Vec<FaultFreeRow>,
+    pub(super) fault_free: Vec<FaultFreeRow>,
     /// Canonical fault-free *parent* rows relative to the **full graph**
     /// adjacency, one per slot. Distances equal the shared fault-free rows;
     /// only the canonical-parent selection differs (it is
     /// adjacency-order-relative). The `full_graph_bfs` tier's path fast
     /// path extracts unaffected parent chains from these.
-    full_parent: Vec<Vec<ParentEntry>>,
+    pub(super) full_parent: Vec<Vec<ParentEntry>>,
     /// Fault-free tree indices, one per source slot (same order).
-    trees: Vec<SlotTree>,
+    pub(super) trees: Vec<SlotTree>,
     /// Vertex → source-slot lookup (`u32::MAX` = not a served source), so
     /// multi-source cores resolve sources in `O(1)` instead of a linear
     /// scan per query.
-    slot_of: Vec<u32>,
-    options: EngineOptions,
+    pub(super) slot_of: Vec<u32>,
+    pub(super) options: EngineOptions,
     /// Identity tying contexts to the core that created them.
     pub(super) token: u64,
 }
@@ -442,7 +449,7 @@ impl EngineCore {
             trees,
             slot_of,
             options,
-            token: NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed),
+            token: next_core_token(),
         })
     }
 

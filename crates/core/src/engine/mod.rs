@@ -130,8 +130,11 @@ mod context;
 mod core;
 mod facade;
 mod multi;
+mod snapshot;
 #[cfg(test)]
 mod tests;
+
+pub use snapshot::engine_layout_hash;
 
 pub use self::core::{EngineCore, EngineOptions, FORCE_FULL_SWEEP_ENV};
 pub use context::QueryContext;

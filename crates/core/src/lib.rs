@@ -99,6 +99,7 @@ pub mod ftbfs;
 pub mod mbfs;
 pub mod phase_s1;
 pub mod phase_s2;
+mod snapshot;
 pub mod stats;
 pub mod structure;
 pub mod verify;
@@ -116,8 +117,8 @@ pub use builder::{
 pub use config::BuildConfig;
 pub use cost::CostModel;
 pub use engine::{
-    AtomicQueryStats, EngineCore, EngineOptions, FaultQueryEngine, MultiSourceEngine, QueryContext,
-    QueryStats, TierCounters, FORCE_FULL_SWEEP_ENV,
+    engine_layout_hash, AtomicQueryStats, EngineCore, EngineOptions, FaultQueryEngine,
+    MultiSourceEngine, QueryContext, QueryStats, TierCounters, FORCE_FULL_SWEEP_ENV,
 };
 pub use error::FtbfsError;
 pub use ftbfs::{AugmentCoverage, AugmentStats, AugmentedStructure, FtBfsAugmenter};
@@ -134,3 +135,8 @@ pub use verify::{
 // The fault model lives next to the id types in `ftb_graph`; re-export it
 // here so engine callers need only one crate in scope.
 pub use ftb_graph::{Fault, FaultSet};
+
+// Snapshot serialization: the `Store`/`Load` traits and typed decode errors
+// live in `ftb_io`; re-export the pieces snapshot consumers need so the
+// serving tier depends on one crate for engine persistence.
+pub use ftb_io::{SnapshotError, Store as SnapshotStore, SNAPSHOT_FORMAT_VERSION};

@@ -1,0 +1,311 @@
+//! `ftb_io` serialization for the construction-side types:
+//! [`BuildStats`], [`FtBfsStructure`], [`AugmentCoverage`], [`AugmentStats`]
+//! and [`AugmentedStructure`].
+//!
+//! These impls are pure field dumps over the public constructors/accessors;
+//! the heavy flat-array payloads (bitsets) go through the bulk `ftb_io`
+//! array encoding. Engine-level serialization (the full [`EngineCore`]
+//! snapshot container) lives in `engine::snapshot`; it reuses these impls
+//! for its `STRUCTURE` section.
+//!
+//! [`EngineCore`]: crate::engine::EngineCore
+
+use crate::ftbfs::{AugmentCoverage, AugmentStats, AugmentedStructure};
+use crate::stats::BuildStats;
+use crate::structure::FtBfsStructure;
+use ftb_graph::{BitSet, VertexId};
+use ftb_io::{Load, Reader, SnapshotError, Store, Writer};
+
+fn bad(section: &'static str, detail: &'static str) -> SnapshotError {
+    SnapshotError::Malformed { section, detail }
+}
+
+impl Store for BuildStats {
+    /// Sixteen `u64` counters in declaration order, the baseline flag, and
+    /// the construction wall time as `f64` bits.
+    fn store(&self, w: &mut Writer) {
+        for count in [
+            self.num_vertices,
+            self.num_graph_edges,
+            self.num_tree_edges,
+            self.num_pairs,
+            self.num_uncovered_pairs,
+            self.num_i1_pairs,
+            self.num_i2_pairs,
+            self.s1_iterations,
+            self.s1_added_edges,
+            self.s1_leftover_pairs,
+            self.s2_glue_added_edges,
+            self.s2_added_edges,
+            self.s2_sim_sets,
+            self.reinforced_edges,
+            self.hld_levels,
+            self.k_rounds,
+        ] {
+            w.put_u64(count as u64);
+        }
+        w.put_u8(self.used_baseline as u8);
+        w.put_f64(self.construction_ms);
+    }
+}
+
+impl Load for BuildStats {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut counts = [0u64; 16];
+        for c in counts.iter_mut() {
+            *c = r.get_u64()?;
+        }
+        let used_baseline = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(bad("build stats", "baseline flag is not 0/1")),
+        };
+        let construction_ms = r.get_f64()?;
+        Ok(BuildStats {
+            num_vertices: counts[0] as usize,
+            num_graph_edges: counts[1] as usize,
+            num_tree_edges: counts[2] as usize,
+            num_pairs: counts[3] as usize,
+            num_uncovered_pairs: counts[4] as usize,
+            num_i1_pairs: counts[5] as usize,
+            num_i2_pairs: counts[6] as usize,
+            s1_iterations: counts[7] as usize,
+            s1_added_edges: counts[8] as usize,
+            s1_leftover_pairs: counts[9] as usize,
+            s2_glue_added_edges: counts[10] as usize,
+            s2_added_edges: counts[11] as usize,
+            s2_sim_sets: counts[12] as usize,
+            reinforced_edges: counts[13] as usize,
+            hld_levels: counts[14] as usize,
+            k_rounds: counts[15] as usize,
+            used_baseline,
+            construction_ms,
+        })
+    }
+}
+
+impl Store for FtBfsStructure {
+    /// Source id, `ε` bits, both edge bitsets, construction stats.
+    fn store(&self, w: &mut Writer) {
+        w.put_u32(self.source().0);
+        w.put_f64(self.eps());
+        self.edge_set().store(w);
+        self.reinforced_set().store(w);
+        self.stats().store(w);
+    }
+}
+
+impl Load for FtBfsStructure {
+    /// Revalidates the structure invariant serialization cannot encode:
+    /// the reinforced set must live in the same edge-id space as the edge
+    /// set and be a subset of it.
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let source = VertexId(r.get_u32()?);
+        let eps = r.get_f64()?;
+        let edges = BitSet::load(r)?;
+        let reinforced = BitSet::load(r)?;
+        if reinforced.capacity() != edges.capacity() {
+            return Err(bad("structure", "edge-set capacity mismatch"));
+        }
+        if !reinforced.iter().all(|e| edges.contains(e)) {
+            return Err(bad("structure", "reinforced edge outside the edge set"));
+        }
+        let stats = BuildStats::load(r)?;
+        Ok(FtBfsStructure::new(source, eps, edges, reinforced, stats))
+    }
+}
+
+impl Store for AugmentCoverage {
+    /// One byte: 0 = off, 1 = single-fault, 2 = dual-failure.
+    fn store(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AugmentCoverage::Off => 0,
+            AugmentCoverage::SingleFault => 1,
+            AugmentCoverage::DualFailure => 2,
+        });
+    }
+}
+
+impl Load for AugmentCoverage {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(AugmentCoverage::Off),
+            1 => Ok(AugmentCoverage::SingleFault),
+            2 => Ok(AugmentCoverage::DualFailure),
+            _ => Err(bad("augment coverage", "unknown coverage tag")),
+        }
+    }
+}
+
+impl Store for AugmentStats {
+    /// Six `u64` counters in declaration order plus the wall time.
+    fn store(&self, w: &mut Writer) {
+        for count in [
+            self.base_edges,
+            self.tree_edges_added,
+            self.single_added,
+            self.dual_added,
+            self.single_passes,
+            self.dual_passes,
+        ] {
+            w.put_u64(count as u64);
+        }
+        w.put_f64(self.augment_ms);
+    }
+}
+
+impl Load for AugmentStats {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut counts = [0u64; 6];
+        for c in counts.iter_mut() {
+            *c = r.get_u64()?;
+        }
+        Ok(AugmentStats {
+            base_edges: counts[0] as usize,
+            tree_edges_added: counts[1] as usize,
+            single_added: counts[2] as usize,
+            dual_added: counts[3] as usize,
+            single_passes: counts[4] as usize,
+            dual_passes: counts[5] as usize,
+            augment_ms: r.get_f64()?,
+        })
+    }
+}
+
+impl Store for AugmentedStructure {
+    /// Base structure, the `H⁺` edge set, sources, coverage, counters.
+    fn store(&self, w: &mut Writer) {
+        self.base.store(w);
+        self.edges.store(w);
+        let flat: Vec<u32> = self.sources.iter().map(|s| s.0).collect();
+        w.put_u32_slice(&flat);
+        self.coverage.store(w);
+        self.stats.store(w);
+    }
+}
+
+impl Load for AugmentedStructure {
+    /// Revalidates containment: `H⁺` must share the base edge-id space and
+    /// contain every base edge, and at least one source must be present.
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let base = FtBfsStructure::load(r)?;
+        let edges = BitSet::load(r)?;
+        if edges.capacity() != base.edge_set().capacity() {
+            return Err(bad("augmented structure", "edge-set capacity mismatch"));
+        }
+        if !base.edge_set().iter().all(|e| edges.contains(e)) {
+            return Err(bad("augmented structure", "H+ does not contain H"));
+        }
+        let sources: Vec<VertexId> = r.get_u32_vec()?.into_iter().map(VertexId).collect();
+        if sources.is_empty() {
+            return Err(bad("augmented structure", "no sources"));
+        }
+        let coverage = AugmentCoverage::load(r)?;
+        let stats = AugmentStats::load(r)?;
+        Ok(AugmentedStructure {
+            base,
+            edges,
+            sources,
+            coverage,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_structure() -> FtBfsStructure {
+        let mut edges = BitSet::new(10);
+        for e in [0usize, 2, 5, 9] {
+            edges.insert(e);
+        }
+        let mut reinforced = BitSet::new(10);
+        reinforced.insert(2);
+        let stats = BuildStats {
+            num_vertices: 6,
+            num_graph_edges: 10,
+            reinforced_edges: 1,
+            used_baseline: true,
+            construction_ms: 1.5,
+            ..Default::default()
+        };
+        FtBfsStructure::new(VertexId(3), 0.25, edges, reinforced, stats)
+    }
+
+    fn roundtrip<T: Store + Load>(value: &T) -> T {
+        let mut w = Writer::new();
+        value.store(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = T::load(&mut r).expect("roundtrip decodes");
+        r.finish("roundtrip").expect("consumed exactly");
+        out
+    }
+
+    #[test]
+    fn structure_roundtrips() {
+        let s = sample_structure();
+        let t = roundtrip(&s);
+        assert_eq!(t.source(), s.source());
+        assert_eq!(t.eps(), s.eps());
+        assert_eq!(t.edge_set(), s.edge_set());
+        assert_eq!(t.reinforced_set(), s.reinforced_set());
+        assert_eq!(t.stats(), s.stats());
+    }
+
+    #[test]
+    fn structure_rejects_reinforced_outside_edges() {
+        let mut edges = BitSet::new(4);
+        edges.insert(0);
+        let mut reinforced = BitSet::new(4);
+        reinforced.insert(3); // not in edges
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_f64(0.5);
+        edges.store(&mut w);
+        reinforced.store(&mut w);
+        BuildStats::default().store(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            FtBfsStructure::load(&mut Reader::new(&bytes)),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn augmented_structure_roundtrips() {
+        let base = sample_structure();
+        let mut edges = base.edge_set().clone();
+        edges.insert(1);
+        edges.insert(7);
+        let aug = AugmentedStructure {
+            base,
+            edges,
+            sources: vec![VertexId(3), VertexId(0)],
+            coverage: AugmentCoverage::DualFailure,
+            stats: AugmentStats {
+                base_edges: 4,
+                dual_added: 2,
+                augment_ms: 0.75,
+                ..Default::default()
+            },
+        };
+        let t = roundtrip(&aug);
+        assert_eq!(t.base().edge_set(), aug.base().edge_set());
+        assert_eq!(t.sources(), aug.sources());
+        assert_eq!(t.coverage(), aug.coverage());
+        assert_eq!(t.stats(), aug.stats());
+        assert!(t.edge_set().contains(7));
+    }
+
+    #[test]
+    fn coverage_rejects_unknown_tag() {
+        let bytes = [9u8];
+        assert!(matches!(
+            AugmentCoverage::load(&mut Reader::new(&bytes)),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+}

@@ -168,6 +168,46 @@ impl BitSet {
     }
 }
 
+impl ftb_io::Store for BitSet {
+    /// Capacity (`u64`) followed by the packed words as a flat `u64` array.
+    fn store(&self, w: &mut ftb_io::Writer) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64_slice(&self.words);
+    }
+}
+
+impl ftb_io::Load for BitSet {
+    /// Rebuilds the set, revalidating the packing invariants: the word count
+    /// must match the capacity and no bit above `capacity` may be set (the
+    /// set operations assume clean tail words). `len` is recomputed from the
+    /// words rather than trusted from the input.
+    fn load(r: &mut ftb_io::Reader<'_>) -> Result<Self, ftb_io::SnapshotError> {
+        let capacity = r.get_u64()? as usize;
+        let words = r.get_u64_vec()?;
+        if words.len() != capacity.div_ceil(64) {
+            return Err(ftb_io::SnapshotError::Malformed {
+                section: "bitset",
+                detail: "word count does not match capacity",
+            });
+        }
+        if !capacity.is_multiple_of(64) {
+            let tail_mask = !((1u64 << (capacity % 64)) - 1);
+            if words.last().is_some_and(|&last| last & tail_mask != 0) {
+                return Err(ftb_io::SnapshotError::Malformed {
+                    section: "bitset",
+                    detail: "bits set above capacity",
+                });
+            }
+        }
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(BitSet {
+            words,
+            capacity,
+            len,
+        })
+    }
+}
+
 impl std::fmt::Debug for BitSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_set().entries(self.iter()).finish()

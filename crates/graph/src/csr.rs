@@ -192,6 +192,86 @@ impl Graph {
     }
 }
 
+impl ftb_io::Store for Graph {
+    /// The four CSR arrays as flat little-endian `u32` arrays; edge
+    /// endpoints are flattened to `2m` interleaved `u` / `v` values.
+    fn store(&self, w: &mut ftb_io::Writer) {
+        w.put_u32_slice(&self.offsets);
+        w.put_u32_slice(&self.neighbors);
+        w.put_u32_slice(&self.slot_edges);
+        let mut flat = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            flat.push(e.u.0);
+            flat.push(e.v.0);
+        }
+        w.put_u32_slice(&flat);
+    }
+}
+
+impl ftb_io::Load for Graph {
+    /// Rebuilds the CSR, revalidating every structural invariant the query
+    /// layers rely on: offsets are monotone and bound the adjacency arrays,
+    /// every neighbour/edge id is in range, endpoints are canonical
+    /// (`u <= v`), and every adjacency slot names an edge whose endpoints
+    /// are exactly `{vertex, neighbour}`.
+    fn load(r: &mut ftb_io::Reader<'_>) -> Result<Self, ftb_io::SnapshotError> {
+        use ftb_io::SnapshotError::Malformed;
+        const SECTION: &str = "graph";
+        let bad = |detail: &'static str| Malformed {
+            section: SECTION,
+            detail,
+        };
+        let offsets = r.get_u32_vec()?;
+        let neighbors = r.get_u32_vec()?;
+        let slot_edges = r.get_u32_vec()?;
+        let flat = r.get_u32_vec()?;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(bad("offsets must start with 0"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("offsets not monotone"));
+        }
+        if *offsets.last().unwrap() as usize != neighbors.len() {
+            return Err(bad("offsets do not cover the adjacency array"));
+        }
+        if neighbors.len() != slot_edges.len() {
+            return Err(bad("neighbor/slot-edge length mismatch"));
+        }
+        if flat.len() % 2 != 0 {
+            return Err(bad("odd endpoint array length"));
+        }
+        let n = offsets.len() - 1;
+        let m = flat.len() / 2;
+        let edges: Vec<Edge> = flat
+            .chunks_exact(2)
+            .map(|c| Edge {
+                u: VertexId(c[0]),
+                v: VertexId(c[1]),
+            })
+            .collect();
+        if edges.iter().any(|e| e.u > e.v || e.v.index() >= n) {
+            return Err(bad("edge endpoints out of range or not canonical"));
+        }
+        if neighbors.iter().any(|&w| w as usize >= n) {
+            return Err(bad("neighbor id out of range"));
+        }
+        if slot_edges.iter().any(|&e| e as usize >= m) {
+            return Err(bad("slot edge id out of range"));
+        }
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for slot in lo..hi {
+                let edge = edges[slot_edges[slot] as usize];
+                let expect = Edge::new(VertexId(v as u32), VertexId(neighbors[slot]));
+                if edge != expect {
+                    return Err(bad("adjacency slot names an unrelated edge"));
+                }
+            }
+        }
+        Ok(Graph::from_parts(offsets, neighbors, slot_edges, edges))
+    }
+}
+
 /// Iterator over the `(neighbor, edge_id)` adjacency of a vertex.
 #[derive(Clone)]
 pub struct NeighborIter<'a> {

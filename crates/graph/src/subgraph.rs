@@ -314,6 +314,53 @@ impl CompactSubgraph {
             .neighbors(v)
             .map(|(w, ce)| (w, self.parent_edge(ce)))
     }
+
+    /// Serialize as the compact CSR plus the compact→parent edge mapping.
+    ///
+    /// The reverse mapping (`from_parent`) is not written: it is a pure
+    /// function of `to_parent` and the parent edge count, and rebuilding it
+    /// at load time is one `O(m)` scatter — cheaper than reading it.
+    pub fn store_into(&self, w: &mut ftb_io::Writer) {
+        use ftb_io::Store;
+        self.graph.store(w);
+        let flat: Vec<u32> = self.to_parent.iter().map(|e| e.0).collect();
+        w.put_u32_slice(&flat);
+    }
+
+    /// Decode a subgraph written by [`CompactSubgraph::store_into`].
+    ///
+    /// `parent_num_edges` is the edge count of the parent graph this
+    /// subgraph was extracted from; the mapping is validated to be an
+    /// injection into that id space before the reverse index is rebuilt.
+    pub fn load_from(
+        r: &mut ftb_io::Reader<'_>,
+        parent_num_edges: usize,
+    ) -> Result<Self, ftb_io::SnapshotError> {
+        use ftb_io::Load;
+        let bad = |detail: &'static str| ftb_io::SnapshotError::Malformed {
+            section: "compact subgraph",
+            detail,
+        };
+        let graph = Graph::load(r)?;
+        let to_parent: Vec<EdgeId> = r.get_u32_vec()?.into_iter().map(EdgeId).collect();
+        if to_parent.len() != graph.num_edges() {
+            return Err(bad("edge mapping length does not match compact CSR"));
+        }
+        let mut from_parent = vec![None; parent_num_edges];
+        for (compact, pe) in to_parent.iter().enumerate() {
+            if pe.index() >= parent_num_edges {
+                return Err(bad("parent edge id out of range"));
+            }
+            if from_parent[pe.index()].replace(compact as u32).is_some() {
+                return Err(bad("duplicate parent edge in mapping"));
+            }
+        }
+        Ok(CompactSubgraph {
+            graph,
+            to_parent,
+            from_parent,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,755 @@
+//! Flat-binary snapshot encoding for plain-old-data engine state.
+//!
+//! The engine (`EngineCore` and the structures it owns) is a self-contained
+//! owned value of flat `Vec`s — CSR arrays, distance rows, Euler-tour arrays.
+//! This crate provides the `rust_road_router`-style `Load`/`Store` idiom over
+//! that shape: every array is written as a `u64` element count followed by the
+//! raw little-endian bytes of its elements, and read back with **one
+//! allocation and one bulk pass per array** — there is no per-element framing,
+//! no varints, no tags inside arrays. (The workspace forbids `unsafe`, so the
+//! bulk pass is `chunks_exact` + `from_le_bytes`, which LLVM lowers to a
+//! memcpy-style loop on little-endian targets.)
+//!
+//! On top of the primitive [`Writer`]/[`Reader`] pair sits a versioned
+//! container ([`SnapshotWriter`]/[`SnapshotReader`]) with a fixed header —
+//! magic, format version, layout hash, checksum, graph fingerprint — and a
+//! per-section offset table, so higher layers can locate each section without
+//! decoding the others.
+//!
+//! Decoding is **total**: any byte string either parses or returns a typed
+//! [`SnapshotError`]. Truncated input, corrupt headers, bit flips (caught by
+//! the whole-file checksum), lying length prefixes, and schema drift (caught
+//! by the layout hash) all surface as errors, never panics, and length
+//! prefixes are bounds-checked against the remaining input *before* any
+//! allocation so hostile counts cannot trigger OOM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes identifying a snapshot file (8 bytes).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FTBSNAP\0";
+
+/// Current snapshot container format version.
+///
+/// Bumped when the *container* layout (header fields, section table encoding)
+/// changes. Schema changes to the payload of individual sections are caught
+/// separately by the layout hash.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Byte offset of the checksum field within the header; the checksum covers
+/// every byte *after* this field (fingerprint, section table, payload).
+const CHECKSUM_OFFSET: usize = 20;
+/// Fixed header size: magic(8) + version(4) + layout(8) + checksum(8) +
+/// fingerprint(8) + section_count(4).
+const HEADER_LEN: usize = 40;
+/// Bytes per section-table entry: id(4) + offset(8) + len(8).
+const TABLE_ENTRY_LEN: usize = 20;
+
+/// FNV-1a hash over a byte string, used for layout hashes and the whole-file
+/// checksum. Matches the constants used by `Graph::fingerprint`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Typed decoding failure. Every malformed input maps to exactly one of
+/// these; decoding never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not begin with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The container format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The layout hash in the header does not match this build's schema —
+    /// the snapshot was written by a build with different serialized fields.
+    LayoutMismatch {
+        /// Hash this build expects.
+        expected: u64,
+        /// Hash found in the header.
+        found: u64,
+    },
+    /// The whole-file checksum does not match: the bytes were corrupted in
+    /// storage or transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the received bytes.
+        found: u64,
+    },
+    /// The input ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A section decoded successfully but left unconsumed bytes behind.
+    TrailingBytes {
+        /// Which section had leftovers.
+        section: &'static str,
+        /// How many bytes were left.
+        remaining: usize,
+    },
+    /// The section table has no entry for a required section.
+    MissingSection {
+        /// Section id that was required.
+        id: u32,
+    },
+    /// A section's bytes decoded but violate an invariant of the target type.
+    Malformed {
+        /// Which section (or type) the violation was found in.
+        section: &'static str,
+        /// What invariant failed.
+        detail: &'static str,
+    },
+    /// The snapshot was built for a different graph than expected
+    /// (fingerprint comparison failed).
+    GraphMismatch {
+        /// Fingerprint the caller expected.
+        expected: u64,
+        /// Fingerprint recorded in (or recomputed from) the snapshot.
+        found: u64,
+    },
+    /// An underlying I/O error while reading or writing the snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads v{supported})"
+            ),
+            SnapshotError::LayoutMismatch { expected, found } => write!(
+                f,
+                "snapshot layout hash {found:#018x} does not match this build's schema {expected:#018x}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, bytes hash to {found:#018x}"
+            ),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} bytes, only {available} available"
+            ),
+            SnapshotError::TrailingBytes { section, remaining } => write!(
+                f,
+                "snapshot section `{section}` has {remaining} trailing bytes"
+            ),
+            SnapshotError::MissingSection { id } => {
+                write!(f, "snapshot is missing required section {id}")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "snapshot section `{section}` is malformed: {detail}")
+            }
+            SnapshotError::GraphMismatch { expected, found } => write!(
+                f,
+                "snapshot was built for a different graph: expected fingerprint {expected:#018x}, found {found:#018x}"
+            ),
+            SnapshotError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}
+
+/// Append-only little-endian byte sink used to build section payloads.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` as 4 little-endian bytes.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` as 8 little-endian bytes.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (byte-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append raw bytes with no framing.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u64` element count followed by the raw little-endian bytes
+    /// of the slice — the canonical flat-array encoding.
+    pub fn put_u32_slice(&mut self, vals: &[u32]) {
+        self.put_u64(vals.len() as u64);
+        self.buf.reserve(vals.len() * 4);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a `u64` element count followed by the raw little-endian bytes
+    /// of the slice.
+    pub fn put_u64_slice(&mut self, vals: &[u64]) {
+        self.put_u64(vals.len() as u64);
+        self.buf.reserve(vals.len() * 8);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor over a section's bytes.
+///
+/// Every read either succeeds or returns [`SnapshotError::Truncated`];
+/// array reads validate the element count against the remaining input
+/// *before* allocating.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor over `bytes`, starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` stored as its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u64` element count (validated against remaining input) and
+    /// that many little-endian `u32`s in one bulk pass.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let count = self.checked_count(4)?;
+        let raw = self.take(count * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Read a `u64` element count (validated against remaining input) and
+    /// that many little-endian `u64`s in one bulk pass.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let count = self.checked_count(8)?;
+        let raw = self.take(count * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.checked_count(1)?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::Malformed {
+            section: "string",
+            detail: "invalid utf-8",
+        })
+    }
+
+    /// Read a length prefix and validate it against the bytes actually
+    /// remaining, so a lying count cannot drive a huge allocation.
+    fn checked_count(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+        let count = self.get_u64()?;
+        let remaining = self.remaining();
+        if count > (remaining / elem_size) as u64 {
+            return Err(SnapshotError::Truncated {
+                needed: (count as usize).saturating_mul(elem_size),
+                available: remaining,
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Assert the section was consumed exactly.
+    pub fn finish(self, section: &'static str) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                section,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Types that can serialize themselves into a [`Writer`]. Infallible: the
+/// in-memory value is always valid.
+pub trait Store {
+    /// Append this value's canonical encoding to `w`.
+    fn store(&self, w: &mut Writer);
+}
+
+/// Types that can reconstruct themselves from a [`Reader`], validating every
+/// invariant the in-memory type relies on.
+pub trait Load: Sized {
+    /// Decode one value, advancing the reader past exactly the bytes
+    /// [`Store::store`] wrote.
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl Store for u32 {
+    fn store(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+}
+
+impl Load for u32 {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u32()
+    }
+}
+
+impl Store for u64 {
+    fn store(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+
+impl Load for u64 {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u64()
+    }
+}
+
+impl Store for f64 {
+    fn store(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+
+impl Load for f64 {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.get_f64()
+    }
+}
+
+impl Store for Vec<u32> {
+    fn store(&self, w: &mut Writer) {
+        w.put_u32_slice(self);
+    }
+}
+
+impl Load for Vec<u32> {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u32_vec()
+    }
+}
+
+impl Store for Vec<u64> {
+    fn store(&self, w: &mut Writer) {
+        w.put_u64_slice(self);
+    }
+}
+
+impl Load for Vec<u64> {
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u64_vec()
+    }
+}
+
+/// Builds a complete snapshot file: fixed header + section table + payload.
+///
+/// File layout (all integers little-endian):
+///
+/// ```text
+/// offset  size  field
+///      0     8  magic                b"FTBSNAP\0"
+///      8     4  format version       u32
+///     12     8  layout hash          u64 (FNV-1a of the schema description)
+///     20     8  checksum             u64 (FNV-1a of every byte from offset 28)
+///     28     8  graph fingerprint    u64 (Graph::fingerprint())
+///     36     4  section count        u32
+///     40   20k  section table        k × { id u32, offset u64, len u64 }
+///      …        payload              concatenated section bytes
+/// ```
+///
+/// Section offsets are relative to the start of the payload. The checksum
+/// covers the fingerprint, the table, and the payload, so any single bit
+/// flip after the checksum field is detected; flips *in* the earlier header
+/// fields are caught by the magic/version/layout checks themselves.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// New snapshot with no sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a section by id, building its payload with `fill`.
+    pub fn section(&mut self, id: u32, fill: impl FnOnce(&mut Writer)) {
+        let mut w = Writer::new();
+        fill(&mut w);
+        self.sections.push((id, w.into_bytes()));
+    }
+
+    /// Add a section whose payload is an opaque byte string.
+    pub fn raw_section(&mut self, id: u32, bytes: Vec<u8>) {
+        self.sections.push((id, bytes));
+    }
+
+    /// Assemble the final file bytes.
+    pub fn finish(self, layout_hash: u64, fingerprint: u64) -> Vec<u8> {
+        let payload_len: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
+        let table_len = self.sections.len() * TABLE_ENTRY_LEN;
+        let mut out = Vec::with_capacity(HEADER_LEN + table_len + payload_len);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&layout_hash.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // checksum patched below
+        out.extend_from_slice(&fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset: u64 = 0;
+        for (id, bytes) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            offset += bytes.len() as u64;
+        }
+        for (_, bytes) in &self.sections {
+            out.extend_from_slice(bytes);
+        }
+        let checksum = fnv1a(&out[CHECKSUM_OFFSET + 8..]);
+        out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+}
+
+/// Parsed view over a snapshot file: header validated, sections located but
+/// not yet decoded.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    fingerprint: u64,
+    payload: &'a [u8],
+    table: Vec<(u32, usize, usize)>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validate the container: magic, version, checksum, layout hash, and
+    /// section-table bounds. Individual sections are decoded lazily via
+    /// [`SnapshotReader::section`].
+    pub fn parse(bytes: &'a [u8], expected_layout: u64) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = Reader::new(&bytes[8..]);
+        let version = r.get_u32()?;
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let layout = r.get_u64()?;
+        let checksum = r.get_u64()?;
+        // Verify the checksum before trusting the layout hash or table: a
+        // bit flip anywhere past the checksum field must surface as
+        // ChecksumMismatch, not as a confusing downstream decode error.
+        let actual = fnv1a(&bytes[CHECKSUM_OFFSET + 8..]);
+        if actual != checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                expected: checksum,
+                found: actual,
+            });
+        }
+        if layout != expected_layout {
+            return Err(SnapshotError::LayoutMismatch {
+                expected: expected_layout,
+                found: layout,
+            });
+        }
+        let fingerprint = r.get_u64()?;
+        let count = r.get_u32()? as usize;
+        let table_bytes = HEADER_LEN + count * TABLE_ENTRY_LEN;
+        if bytes.len() < table_bytes {
+            return Err(SnapshotError::Truncated {
+                needed: table_bytes,
+                available: bytes.len(),
+            });
+        }
+        let payload = &bytes[table_bytes..];
+        let mut table = Vec::with_capacity(count);
+        let mut tr = Reader::new(&bytes[HEADER_LEN..table_bytes]);
+        for _ in 0..count {
+            let id = tr.get_u32()?;
+            let off = tr.get_u64()?;
+            let len = tr.get_u64()?;
+            let end = off.checked_add(len).ok_or(SnapshotError::Malformed {
+                section: "section table",
+                detail: "offset + len overflows",
+            })?;
+            if end > payload.len() as u64 {
+                return Err(SnapshotError::Truncated {
+                    needed: table_bytes + end as usize,
+                    available: bytes.len(),
+                });
+            }
+            table.push((id, off as usize, len as usize));
+        }
+        Ok(Self {
+            fingerprint,
+            payload,
+            table,
+        })
+    }
+
+    /// Graph fingerprint recorded in the header.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Raw bytes of a section, or `MissingSection`.
+    pub fn section_bytes(&self, id: u32) -> Result<&'a [u8], SnapshotError> {
+        self.table
+            .iter()
+            .find(|&&(sid, _, _)| sid == id)
+            .map(|&(_, off, len)| &self.payload[off..off + len])
+            .ok_or(SnapshotError::MissingSection { id })
+    }
+
+    /// A [`Reader`] positioned at the start of a section's bytes.
+    pub fn section(&self, id: u32) -> Result<Reader<'a>, SnapshotError> {
+        Ok(Reader::new(self.section_bytes(id)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.25);
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[]);
+        w.put_str("erdos-renyi");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), -0.25);
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_vec().unwrap(), Vec::<u64>::new());
+        assert_eq!(r.get_str().unwrap(), "erdos-renyi");
+        r.finish("test").unwrap();
+    }
+
+    #[test]
+    fn lying_count_is_truncated_not_oom() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims u64::MAX elements follow
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_u32_vec(),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.get_u32().unwrap();
+        assert_eq!(
+            r.finish("x"),
+            Err(SnapshotError::TrailingBytes {
+                section: "x",
+                remaining: 1
+            })
+        );
+    }
+
+    fn sample_snapshot() -> Vec<u8> {
+        let mut snap = SnapshotWriter::new();
+        snap.section(1, |w| w.put_u32_slice(&[10, 20, 30]));
+        snap.raw_section(2, b"note".to_vec());
+        snap.finish(0x1234, 0x5678)
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let bytes = sample_snapshot();
+        let snap = SnapshotReader::parse(&bytes, 0x1234).unwrap();
+        assert_eq!(snap.fingerprint(), 0x5678);
+        let mut r = snap.section(1).unwrap();
+        assert_eq!(r.get_u32_vec().unwrap(), vec![10, 20, 30]);
+        r.finish("s1").unwrap();
+        assert_eq!(snap.section_bytes(2).unwrap(), b"note");
+        assert_eq!(
+            snap.section(3).unwrap_err(),
+            SnapshotError::MissingSection { id: 3 }
+        );
+    }
+
+    #[test]
+    fn container_rejects_bad_magic() {
+        let mut bytes = sample_snapshot();
+        bytes[0] ^= 1;
+        assert_eq!(
+            SnapshotReader::parse(&bytes, 0x1234).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn container_rejects_version_skew() {
+        let mut bytes = sample_snapshot();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::parse(&bytes, 0x1234).unwrap_err(),
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: SNAPSHOT_FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn container_rejects_layout_mismatch() {
+        let bytes = sample_snapshot();
+        assert!(matches!(
+            SnapshotReader::parse(&bytes, 0x9999).unwrap_err(),
+            SnapshotError::LayoutMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn container_rejects_any_payload_bit_flip() {
+        let bytes = sample_snapshot();
+        for byte in CHECKSUM_OFFSET + 8..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x10;
+            assert!(
+                matches!(
+                    SnapshotReader::parse(&flipped, 0x1234).unwrap_err(),
+                    SnapshotError::ChecksumMismatch { .. }
+                ),
+                "flip at byte {byte} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn container_rejects_every_strict_prefix() {
+        let bytes = sample_snapshot();
+        for len in 0..bytes.len() {
+            assert!(
+                SnapshotReader::parse(&bytes[..len], 0x1234).is_err(),
+                "prefix of len {len} parsed"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `ftb-build` — run the expensive FT-BFS preprocessing offline and
+//! persist the finished engine as a flat-binary snapshot.
+//!
+//! ```text
+//! ftb-build --out engine.ftbsnap --family erdos-renyi --n 2000 --seed 7 \
+//!           --eps 0.3 --augment --verify
+//! ```
+//!
+//! The snapshot embeds the [`EngineSpec`] it was built from (inside the
+//! checksummed container), so `ftb-serve --snapshot` and `ftb-loadgen`
+//! can recover the recipe without re-supplying it. `--verify` reloads the
+//! written file and re-serializes the restored engine, asserting the
+//! bytes are identical — the save→load→save fixed-point check.
+
+use ftb_core::EngineOptions;
+use ftb_server::{setup, EngineSpec};
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+struct Args {
+    out: PathBuf,
+    spec: EngineSpec,
+    verify: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftb-build --out FILE [--verify]\n\
+         \x20                {}",
+        EngineSpec::cli_usage()
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut out = None;
+    let mut spec = EngineSpec::default();
+    let mut verify = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match spec.apply_cli_flag(&flag, &mut || it.next()) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("{msg}");
+                usage()
+            }
+        }
+        match flag.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    usage()
+                })))
+            }
+            "--verify" => verify = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("--out is required");
+        usage()
+    };
+    Args { out, spec, verify }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("ftb-build: building engine for {}", args.spec.describe());
+    let build_start = Instant::now();
+    let graph = args.spec.graph();
+    let core = args
+        .spec
+        .build_core(&graph, EngineOptions::new())
+        .unwrap_or_else(|e| {
+            eprintln!("ftb-build: engine build failed: {e}");
+            exit(1)
+        });
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let save_start = Instant::now();
+    if let Err(e) = setup::save_snapshot(&args.out, &core, &args.spec) {
+        eprintln!("ftb-build: writing {} failed: {e}", args.out.display());
+        exit(1);
+    }
+    let save_ms = save_start.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(&args.out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "ftb-build: wrote {} ({} bytes, fingerprint={:#018x}): build {:.1}ms, save {:.2}ms",
+        args.out.display(),
+        bytes,
+        graph.fingerprint(),
+        build_ms,
+        save_ms,
+    );
+
+    if args.verify {
+        let load_start = Instant::now();
+        let (restored, spec) = setup::load_snapshot(&args.out, EngineOptions::new())
+            .unwrap_or_else(|e| {
+                eprintln!("ftb-build: verify reload failed: {e}");
+                exit(1)
+            });
+        let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+        if spec != args.spec {
+            eprintln!(
+                "ftb-build: verify failed: embedded spec {} != built spec {}",
+                spec.describe(),
+                args.spec.describe()
+            );
+            exit(1);
+        }
+        let original = std::fs::read(&args.out).unwrap_or_else(|e| {
+            eprintln!("ftb-build: verify re-read failed: {e}");
+            exit(1)
+        });
+        let resaved = restored.write_snapshot(&setup::encode_spec(&spec));
+        if original != resaved {
+            eprintln!(
+                "ftb-build: verify failed: re-serializing the restored engine produced \
+                 different bytes ({} vs {})",
+                resaved.len(),
+                original.len()
+            );
+            exit(1);
+        }
+        println!(
+            "ftb-build: verify ok: load {:.2}ms, save->load->save is byte-identical",
+            load_ms
+        );
+    }
+}

@@ -22,7 +22,7 @@
 //! control refused.
 
 use ftb_bench::LatencyHistogram;
-use ftb_server::{setup, Client, EngineSpec, Request, Response};
+use ftb_server::{Client, EngineSpec, Request, Response};
 use ftb_workloads::{ArrivalProcess, ArrivalSchedule, FaultScenario};
 use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,11 +46,12 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ftb-loadgen --addr HOST:PORT [--family NAME] [--n N] [--seed S]\n\
-         \x20                  [--rate R] [--requests Q] [--clients C]\n\
+        "usage: ftb-loadgen --addr HOST:PORT [--rate R] [--requests Q] [--clients C]\n\
          \x20                  [--process fixed|poisson] [--f K] [--scenario NAME]\n\
          \x20                  [--targets T] [--shutdown]\n\
+         \x20                  {}\n\
          scenarios: {}",
+        EngineSpec::cli_usage(),
         FaultScenario::all()
             .iter()
             .map(|s| s.name())
@@ -82,6 +83,14 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        match args.spec.apply_cli_flag(&flag, &mut || it.next()) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("{msg}");
+                usage()
+            }
+        }
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
                 eprintln!("missing value for {name}");
@@ -90,15 +99,6 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
-            "--family" => {
-                let name = value("--family");
-                args.spec.family = setup::parse_family(&name).unwrap_or_else(|| {
-                    eprintln!("unknown family {name:?}");
-                    usage()
-                });
-            }
-            "--n" => args.spec.n = parse_num(&value("--n"), "--n"),
-            "--seed" => args.spec.seed = parse_num(&value("--seed"), "--seed"),
             "--rate" => args.rate = parse_num(&value("--rate"), "--rate"),
             "--requests" => args.requests = parse_num(&value("--requests"), "--requests"),
             "--clients" => args.clients = parse_num(&value("--clients"), "--clients"),
@@ -251,6 +251,20 @@ fn main() {
         eprintln!("ftb-loadgen: stats failed: {e}");
         exit(1)
     });
+    println!(
+        "server engine: source={} startup={:.1}ms{}",
+        if before.engine_source == 1 {
+            "snapshot"
+        } else {
+            "built"
+        },
+        before.startup_micros as f64 / 1e3,
+        if before.engine_source == 1 {
+            format!(" snapshot_format=v{}", before.snapshot_format_version)
+        } else {
+            String::new()
+        },
+    );
 
     // Open-loop replay: a shared cursor hands out request indices; each
     // client thread waits for the request's scheduled instant, sends, and

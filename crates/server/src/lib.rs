@@ -18,6 +18,11 @@
 //!   measured from the scheduled send time, so client-side backlog counts
 //!   against the server — the methodology that makes p99/p999 numbers
 //!   honest near saturation.
+//! * **`ftb-build`** — runs the expensive preprocessing *offline* and
+//!   persists the result as a flat-binary snapshot
+//!   ([`save_snapshot`]/[`load_snapshot`]); `ftb-serve --snapshot FILE`
+//!   then restores it in milliseconds instead of rebuilding, turning
+//!   server restarts from a preprocessing event into a file read.
 //!
 //! Both speak the versioned length-prefixed binary protocol of
 //! [`protocol`], whose hello handshake carries the served graph's
@@ -38,5 +43,8 @@ pub use protocol::{
     DecodeError, ErrorCode, Request, Response, StatsReport, WirePath, MAX_FRAME_LEN,
     PROTOCOL_VERSION,
 };
-pub use server::{wait_until_stopped, ServeOptions, Server};
-pub use setup::{parse_family, EngineSpec};
+pub use server::{wait_until_stopped, Provenance, ServeOptions, Server};
+pub use setup::{
+    decode_spec, encode_spec, load_snapshot, parse_family, save_snapshot, EngineSpec,
+    SnapshotLoadError,
+};

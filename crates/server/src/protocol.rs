@@ -25,8 +25,10 @@ use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
 use std::io::{Read, Write};
 
 /// Protocol version spoken by this build. The handshake rejects clients
-/// whose major version differs.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// whose major version differs. Version 2 extended [`StatsReport`] with
+/// the engine-provenance fields (`engine_source`, `startup_micros`,
+/// `snapshot_format_version`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; length prefixes beyond it are rejected
 /// as [`DecodeError::FrameTooLarge`] before allocating.
@@ -177,6 +179,17 @@ pub struct StatsReport {
     pub shed: u64,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
+    /// Where the engine came from: 0 = built in-process from the spec,
+    /// 1 = loaded from a persistent snapshot.
+    pub engine_source: u64,
+    /// Wall time from process start to ready-to-serve, in microseconds
+    /// (the preprocessing cost under `engine_source = 0`, the snapshot
+    /// load cost under `engine_source = 1`).
+    pub startup_micros: u64,
+    /// The snapshot container format version
+    /// ([`ftb_core::SNAPSHOT_FORMAT_VERSION`]) when loaded from one,
+    /// `0` when freshly built.
+    pub snapshot_format_version: u64,
 }
 
 /// Machine-readable error codes carried by [`Response::Error`].
@@ -454,6 +467,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.accepted,
                 s.shed,
                 s.connections,
+                s.engine_source,
+                s.startup_micros,
+                s.snapshot_format_version,
             ] {
                 e.u64(v);
             }
@@ -651,7 +667,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             Response::BatchDist(ds)
         }
         0x85 => {
-            let mut vals = [0u64; 16];
+            let mut vals = [0u64; 19];
             for v in vals.iter_mut() {
                 *v = d.u64()?;
             }
@@ -672,6 +688,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
                 accepted: vals[13],
                 shed: vals[14],
                 connections: vals[15],
+                engine_source: vals[16],
+                startup_micros: vals[17],
+                snapshot_format_version: vals[18],
             })
         }
         0x86 => Response::ShuttingDown,
@@ -821,6 +840,9 @@ mod tests {
                 restricted_repairs: 3,
                 tier_batched_unaffected: 5,
                 shed: 2,
+                engine_source: 1,
+                startup_micros: 12_345,
+                snapshot_format_version: 1,
                 ..Default::default()
             }),
             Response::ShuttingDown,

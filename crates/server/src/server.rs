@@ -38,6 +38,23 @@ use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// Where the served engine came from and what it cost to get ready.
+///
+/// Filled in by the binary that assembled the engine (built in-process or
+/// loaded from a snapshot) and reported verbatim through the
+/// [`StatsReport`] provenance fields, so operators can tell a
+/// snapshot-restored server from a cold-built one over the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// `true` when the engine was loaded from a persistent snapshot,
+    /// `false` when it was built from the spec in-process.
+    pub from_snapshot: bool,
+    /// Wall time from process start to ready-to-serve, in microseconds.
+    pub startup_micros: u64,
+    /// Snapshot container format version when `from_snapshot`, else 0.
+    pub snapshot_format_version: u32,
+}
+
 /// Tuning knobs of [`Server::bind`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeOptions {
@@ -50,6 +67,8 @@ pub struct ServeOptions {
     /// A connection idle (no bytes) for this long is closed. Also bounds
     /// how long a half-sent frame can pin a connection thread.
     pub idle_timeout: Duration,
+    /// Engine startup provenance echoed in [`StatsReport`].
+    pub provenance: Provenance,
 }
 
 impl Default for ServeOptions {
@@ -58,6 +77,7 @@ impl Default for ServeOptions {
             workers: thread::available_parallelism().map_or(2, |n| n.get()),
             queue_depth: 256,
             idle_timeout: Duration::from_secs(30),
+            provenance: Provenance::default(),
         }
     }
 }
@@ -80,6 +100,7 @@ struct Shared {
     shed: AtomicU64,
     connections: AtomicU64,
     active_connections: AtomicUsize,
+    provenance: Provenance,
 }
 
 impl Shared {
@@ -105,6 +126,9 @@ impl Shared {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            engine_source: self.provenance.from_snapshot as u64,
+            startup_micros: self.provenance.startup_micros,
+            snapshot_format_version: self.provenance.snapshot_format_version as u64,
         }
     }
 
@@ -152,6 +176,7 @@ impl Server {
             shed: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
+            provenance: options.provenance,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(options.queue_depth.max(1));

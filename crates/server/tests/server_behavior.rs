@@ -47,6 +47,7 @@ fn shutdown_lets_in_flight_requests_complete() {
         workers: 2,
         queue_depth: 16,
         idle_timeout: Duration::from_secs(5),
+        ..ServeOptions::default()
     });
     let addr = server.local_addr();
 
@@ -98,6 +99,7 @@ fn idle_and_wedged_connections_are_reaped() {
         workers: 1,
         queue_depth: 4,
         idle_timeout: Duration::from_millis(200),
+        ..ServeOptions::default()
     });
 
     // Fully idle connection: closed after the idle timeout.
@@ -145,6 +147,7 @@ fn protocol_state_violations_get_typed_errors() {
         workers: 1,
         queue_depth: 4,
         idle_timeout: Duration::from_secs(5),
+        ..ServeOptions::default()
     });
 
     // Query before hello.
@@ -201,6 +204,7 @@ fn out_of_range_queries_map_to_engine_error_codes() {
         workers: 1,
         queue_depth: 4,
         idle_timeout: Duration::from_secs(5),
+        ..ServeOptions::default()
     });
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let n = client.info().num_vertices;

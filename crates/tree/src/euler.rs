@@ -158,6 +158,75 @@ impl EulerTourIndex {
         let t = self.tin[v.index()];
         (t != OUT_OF_TREE).then_some(t)
     }
+
+    /// Serialize as the root plus the three flat preorder arrays.
+    pub fn store_into(&self, w: &mut ftb_io::Writer) {
+        w.put_u32(self.root.0);
+        w.put_u32_slice(&self.tin);
+        w.put_u32_slice(&self.tout);
+        let flat: Vec<u32> = self.order.iter().map(|v| v.0).collect();
+        w.put_u32_slice(&flat);
+    }
+
+    /// Decode an index written by [`EulerTourIndex::store_into`] for a tree
+    /// over `num_vertices` vertices.
+    ///
+    /// Revalidates the interval invariants the repair sweeps rely on: `tin`
+    /// and `tout` agree on tree membership, `order[tin(v)] == v` for every
+    /// in-tree vertex, the in-tree count matches the preorder sequence
+    /// length (so `order` is a permutation of the in-tree vertices), every
+    /// subtree interval is non-empty and bounded by the sequence, and the
+    /// root is the first preorder vertex whenever the tree is non-empty.
+    pub fn load_from(
+        r: &mut ftb_io::Reader<'_>,
+        num_vertices: usize,
+    ) -> Result<Self, ftb_io::SnapshotError> {
+        let bad = |detail: &'static str| ftb_io::SnapshotError::Malformed {
+            section: "euler tour index",
+            detail,
+        };
+        let root = VertexId(r.get_u32()?);
+        let tin = r.get_u32_vec()?;
+        let tout = r.get_u32_vec()?;
+        let order: Vec<VertexId> = r.get_u32_vec()?.into_iter().map(VertexId).collect();
+        if tin.len() != num_vertices || tout.len() != num_vertices {
+            return Err(bad("tin/tout length does not match vertex count"));
+        }
+        if order.len() > num_vertices {
+            return Err(bad("preorder sequence longer than vertex count"));
+        }
+        let mut in_tree = 0usize;
+        for v in 0..num_vertices {
+            match (tin[v] == OUT_OF_TREE, tout[v] == OUT_OF_TREE) {
+                (true, true) => {}
+                (false, false) => {
+                    in_tree += 1;
+                    let (t_in, t_out) = (tin[v] as usize, tout[v] as usize);
+                    if t_in >= order.len() || t_out > order.len() || t_out <= t_in {
+                        return Err(bad("subtree interval out of bounds"));
+                    }
+                    if order[t_in].index() != v {
+                        return Err(bad("preorder sequence disagrees with tin"));
+                    }
+                }
+                _ => return Err(bad("tin/tout disagree on tree membership")),
+            }
+        }
+        if in_tree != order.len() {
+            return Err(bad("in-tree count does not match preorder length"));
+        }
+        if let Some(&first) = order.first() {
+            if root != first {
+                return Err(bad("root is not the first preorder vertex"));
+            }
+        }
+        Ok(EulerTourIndex {
+            root,
+            tin,
+            tout,
+            order,
+        })
+    }
 }
 
 /// Batched interval membership: report every key whose preorder number

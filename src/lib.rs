@@ -120,6 +120,8 @@ pub use ftb_core::{
     try_build_baseline_ftbfs, try_build_ft_bfs, try_build_ft_mbfs, try_build_reinforced_tree,
 };
 
+pub use ftb_core::{SnapshotError, SnapshotStore, SNAPSHOT_FORMAT_VERSION};
+
 #[allow(deprecated)]
 pub use ftb_core::{
     build_baseline_ftbfs, build_ft_bfs, build_ft_bfs_with_eps, build_ft_mbfs, build_reinforced_tree,

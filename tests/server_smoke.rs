@@ -33,6 +33,7 @@ fn wire_answers_are_byte_identical_to_in_process_answers() {
             workers: 2,
             queue_depth: 64,
             idle_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
         },
     )
     .expect("ephemeral bind");
@@ -167,6 +168,7 @@ fn tiny_queue_bound_sheds_with_overloaded() {
             workers: 1,
             queue_depth: 1,
             idle_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
         },
     )
     .expect("ephemeral bind");

@@ -1,0 +1,179 @@
+//! Differential test for persistent engine snapshots: an engine restored
+//! from `write_snapshot` bytes must be indistinguishable from the freshly
+//! built one — byte-identical snapshot re-serialization (save→load→save is
+//! a fixed point) and answer-identical queries across every workload shape
+//! the server exposes (single dist, path, batched dist, one-to-many), in
+//! both the normal tiered regime and the forced-full-sweep regime.
+
+use ftb_core::{EngineCore, EngineOptions, FaultQueryEngine, FaultSet};
+use ftb_graph::{EdgeId, Fault, Graph, VertexId};
+use ftb_server::{setup, EngineSpec};
+use ftb_workloads::WorkloadFamily;
+use std::sync::Arc;
+
+fn spec(family: WorkloadFamily, n: usize, augment: bool) -> EngineSpec {
+    EngineSpec {
+        family,
+        n,
+        seed: 13,
+        eps: 0.3,
+        augment,
+    }
+}
+
+/// Build the engine fresh, snapshot it, restore it, and assert the
+/// restored engine re-serializes to the exact same bytes. Returns both
+/// engines plus the graph for query minting.
+fn build_and_restore(
+    spec: &EngineSpec,
+    options: EngineOptions,
+) -> (Graph, Arc<EngineCore>, Arc<EngineCore>) {
+    let graph = spec.graph();
+    let built = spec
+        .build_core(&graph, options.clone())
+        .expect("fresh build succeeds");
+    let note = setup::encode_spec(spec);
+    let bytes = built.write_snapshot(&note);
+    let (restored, restored_note) =
+        EngineCore::read_snapshot(&bytes, options).expect("snapshot loads");
+    assert_eq!(restored_note, note, "note round-trips verbatim");
+    assert_eq!(
+        setup::decode_spec(&restored_note).expect("note decodes"),
+        *spec
+    );
+    assert_eq!(
+        restored.write_snapshot(&restored_note),
+        bytes,
+        "save->load->save is byte-identical"
+    );
+    (graph, built, Arc::new(restored))
+}
+
+/// A deterministic spread of fault sets exercising every tier: single
+/// structure edges, edges outside the structure, vertex faults and dual
+/// failures (the latter two only answered without full-graph fallback
+/// when the engine is augmented, but answers must match either way).
+fn fault_sets(graph: &Graph, augmented: bool) -> Vec<FaultSet> {
+    let m = graph.num_edges();
+    let n = graph.num_vertices();
+    let mut sets = vec![FaultSet::new()];
+    for i in 0..6usize {
+        sets.push(FaultSet::from(EdgeId(((i * m) / 7) as u32)));
+    }
+    if augmented {
+        for i in 1..4usize {
+            let mut s = FaultSet::new();
+            s.insert(Fault::Vertex(VertexId(((i * n) / 5) as u32)));
+            sets.push(s);
+        }
+        let mut dual = FaultSet::new();
+        dual.insert(Fault::Edge(EdgeId(0)));
+        dual.insert(Fault::Edge(EdgeId((m / 2) as u32)));
+        sets.push(dual);
+    }
+    sets
+}
+
+/// Fibonacci-hash spread of targets over the vertex space (the loadgen's
+/// target-minting recipe).
+fn targets(n: usize, count: usize) -> Vec<VertexId> {
+    (0..count)
+        .map(|i| VertexId(((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32))
+        .collect()
+}
+
+/// Drive both engines through identical workloads and assert every answer
+/// matches. Fresh contexts per engine; the built engine is the oracle.
+fn assert_answer_identical(graph: &Graph, built: &Arc<EngineCore>, restored: &Arc<EngineCore>) {
+    let source = built.primary_source();
+    assert_eq!(restored.primary_source(), source);
+    let augmented = built.augment_coverage() != ftb_core::AugmentCoverage::Off;
+    assert_eq!(restored.augment_coverage(), built.augment_coverage());
+    let sets = fault_sets(graph, augmented);
+    let ts = targets(graph.num_vertices(), 24);
+
+    let mut ctx_a = built.new_context();
+    let mut ctx_b = restored.new_context();
+    for faults in &sets {
+        // Single-target distances and paths.
+        for &t in &ts[..8] {
+            let da = ctx_a.dist_after_faults_from(built, source, t, faults);
+            let db = ctx_b.dist_after_faults_from(restored, source, t, faults);
+            assert_eq!(da.unwrap(), db.unwrap(), "dist {faults:?} -> {t:?}");
+            let pa = ctx_a.path_after_faults_from(built, source, t, faults);
+            let pb = ctx_b.path_after_faults_from(restored, source, t, faults);
+            assert_eq!(pa.unwrap(), pb.unwrap(), "path {faults:?} -> {t:?}");
+        }
+        // One-to-many: single classification + at most one repair sweep.
+        let ma = ctx_a.dist_many_after_faults_from(built, source, &ts, faults);
+        let mb = ctx_b.dist_many_after_faults_from(restored, source, &ts, faults);
+        assert_eq!(ma.unwrap(), mb.unwrap(), "dist_many {faults:?}");
+    }
+
+    // Batched mixed-fault queries through the facade (grouped + sharded).
+    let batch: Vec<(VertexId, FaultSet)> = ts
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, sets[i % sets.len()].clone()))
+        .collect();
+    let mut eng_a = FaultQueryEngine::from_core(graph, Arc::clone(built)).expect("facade on built");
+    let mut eng_b =
+        FaultQueryEngine::from_core(graph, Arc::clone(restored)).expect("facade on restored");
+    assert_eq!(
+        eng_a.query_many_faults(&batch).unwrap(),
+        eng_b.query_many_faults(&batch).unwrap(),
+        "batched answers"
+    );
+}
+
+fn run_family(family: WorkloadFamily, n: usize, augment: bool) {
+    let spec = spec(family, n, augment);
+    // Normal tiered answering.
+    let (graph, built, restored) = build_and_restore(&spec, EngineOptions::new());
+    assert_answer_identical(&graph, &built, &restored);
+    // Forced full sweeps: the repair-free reference regime must agree too
+    // (the option is per-engine, not ambient, so no env-var races here).
+    let opts = EngineOptions::new().with_force_full_sweep(true);
+    let (graph, built, restored) = build_and_restore(&spec, opts);
+    assert_answer_identical(&graph, &built, &restored);
+}
+
+#[test]
+fn erdos_renyi_snapshot_is_answer_identical() {
+    run_family(WorkloadFamily::ErdosRenyi, 260, false);
+}
+
+#[test]
+fn erdos_renyi_augmented_snapshot_is_answer_identical() {
+    run_family(WorkloadFamily::ErdosRenyi, 220, true);
+}
+
+#[test]
+fn grid_chords_augmented_snapshot_is_answer_identical() {
+    run_family(WorkloadFamily::GridChords, 225, true);
+}
+
+#[test]
+fn layered_snapshot_is_answer_identical() {
+    run_family(WorkloadFamily::LayeredShallow, 300, false);
+}
+
+#[test]
+fn snapshot_rejects_the_wrong_graph_spec() {
+    // A snapshot of one spec decodes fine, but the embedded spec names the
+    // graph it was built from — the serve-side cross-check path.
+    let a = spec(WorkloadFamily::ErdosRenyi, 200, false);
+    let graph = a.graph();
+    let core = a.build_core(&graph, EngineOptions::new()).expect("build");
+    let bytes = core.write_snapshot(&setup::encode_spec(&a));
+    let (_, note) = EngineCore::read_snapshot(&bytes, EngineOptions::new()).expect("loads");
+    let embedded = setup::decode_spec(&note).expect("decodes");
+    let b = spec(WorkloadFamily::ErdosRenyi, 201, false);
+    assert_eq!(embedded, a);
+    assert_ne!(embedded, b);
+    assert_ne!(
+        a.graph().fingerprint(),
+        b.graph().fingerprint(),
+        "different specs generate different graphs"
+    );
+}
