@@ -60,20 +60,17 @@ impl LatencySummary {
     }
 }
 
-/// Number of linear sub-buckets per power-of-two bucket: resolution is
-/// `1/32 ≈ 3%` of the value, HdrHistogram-style.
-const SUB_BUCKETS: usize = 32;
-const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
-
 /// A compact log-bucketed latency histogram over `u64` values (nanoseconds
 /// by convention): constant memory regardless of sample count, `O(1)`
 /// record, ≈3% relative value error — the standard shape for tail-latency
 /// reporting under open-loop load, where storing every sample would make
 /// the load generator the bottleneck.
 ///
-/// Buckets are powers of two split into [`SUB_BUCKETS`] linear sub-buckets;
-/// quantile lookups report the bucket's **upper bound**, so reported tail
-/// values never understate the truth.
+/// The bucket layout is [`ftb_obs::buckets`] — the same cells the serving
+/// stack's atomic [`ftb_obs::Histogram`] uses, so loadgen-side and
+/// server-side distributions line up bucket-for-bucket. Quantile lookups
+/// report the bucket's **upper bound**, so reported tail values never
+/// understate the truth.
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
@@ -87,7 +84,7 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         // One sub-bucket array per possible bucket exponent.
         LatencyHistogram {
-            counts: vec![0; (64 - SUB_BITS as usize + 1) * SUB_BUCKETS],
+            counts: vec![0; ftb_obs::buckets::NUM_CELLS],
             total: 0,
             max: 0,
             sum: 0,
@@ -96,28 +93,12 @@ impl LatencyHistogram {
 
     /// Index of the (bucket, sub-bucket) cell holding `value`.
     fn index(value: u64) -> usize {
-        // Values below SUB_BUCKETS land in the linear range one-to-one.
-        if value < SUB_BUCKETS as u64 {
-            return value as usize;
-        }
-        let bucket = 63 - value.leading_zeros(); // highest set bit, >= SUB_BITS
-        let shift = bucket - SUB_BITS;
-        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
-        ((bucket - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+        ftb_obs::buckets::index(value)
     }
 
     /// Upper bound (inclusive) of the values mapping to cell `index`.
     fn upper_bound(index: usize) -> u64 {
-        if index < SUB_BUCKETS {
-            return index as u64;
-        }
-        let bucket = (index / SUB_BUCKETS - 1) as u32 + SUB_BITS;
-        let sub = (index % SUB_BUCKETS) as u64;
-        let shift = bucket - SUB_BITS;
-        ((1u64 << SUB_BITS) + sub)
-            .checked_shl(shift)
-            .map(|v| v + ((1u64 << shift) - 1))
-            .unwrap_or(u64::MAX)
+        ftb_obs::buckets::upper_bound(index)
     }
 
     /// Record one sample.
@@ -186,6 +167,7 @@ impl Default for LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftb_obs::buckets::SUB_BUCKETS;
 
     #[test]
     fn nearest_rank_percentiles_are_actual_samples() {

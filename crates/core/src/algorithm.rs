@@ -104,6 +104,7 @@ pub(crate) fn build_tradeoff_impl(
     }
     let start = Instant::now();
     let n = graph.num_vertices();
+    let phase_ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
 
     // --- Phase S0 ---------------------------------------------------------
     let weights = TieBreakWeights::generate(graph, config.seed);
@@ -123,11 +124,15 @@ pub(crate) fn build_tradeoff_impl(
     let interference = InterferenceIndex::build(&rp, &tree, &tree_index);
     let (i1, i2) = interference.split_i1_i2();
     let (num_i1, num_i2) = (i1.len(), i2.len());
+    let s0_ms = phase_ms(start);
 
     // --- Phase S1 -----------------------------------------------------------
+    let t_s1 = Instant::now();
     let s1 = run_phase_s1(&rp, &interference, config, n, i1, &mut h);
+    let s1_ms = phase_ms(t_s1);
 
     // --- Phase S2 -----------------------------------------------------------
+    let t_s2 = Instant::now();
     let mut sim_sets: Vec<Vec<ftb_rp::PairId>> = vec![i2];
     sim_sets.extend(s1.sim_sets.iter().cloned());
     let (s2, hld_levels) = if config.enable_phase_s2 {
@@ -137,8 +142,10 @@ pub(crate) fn build_tradeoff_impl(
     } else {
         (Default::default(), 0)
     };
+    let s2_ms = phase_ms(t_s2);
 
     // --- Reinforcement -------------------------------------------------------
+    let t_reinforce = Instant::now();
     // A tree edge is reinforced when some pair's chosen last edge is missing
     // from H (the edge is then possibly last-unprotected); all other tree
     // edges are last-protected and hence protected (Observation 2.2).
@@ -179,6 +186,10 @@ pub(crate) fn build_tradeoff_impl(
         k_rounds: config.k_rounds(),
         used_baseline: false,
         construction_ms: start.elapsed().as_secs_f64() * 1e3,
+        s0_ms,
+        s1_ms,
+        s2_ms,
+        reinforce_ms: phase_ms(t_reinforce),
     };
     FtBfsStructure::new(source, config.eps, h, reinforced, stats)
 }

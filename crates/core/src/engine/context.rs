@@ -1,10 +1,14 @@
 //! The per-thread mutable half of the query engine: [`QueryContext`].
 
 use super::core::EngineCore;
-use super::{bfs_sweep, finite, ParentEntry, QueryStats, SweepScratch, Tier};
+use super::obs::EngineObs;
+use super::{bfs_sweep, finite, ParentEntry, QueryStats, SweepScratch, Tier, TierCounters};
 use crate::error::FtbfsError;
 use ftb_graph::{CompactSubgraph, EdgeId, Fault, FaultSet, VertexId};
+use ftb_obs::Span;
 use ftb_sp::{Path, TimestampedVector, UNREACHABLE};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One cached post-failure BFS row, keyed by (source slot, fault set).
 ///
@@ -316,6 +320,36 @@ where
     })
 }
 
+/// Attribute one observed entry-point window across the tiers that
+/// answered during it: each tier histogram receives `elapsed / total`
+/// once per answer, so histogram sample counts always equal the
+/// tier-counter deltas and the sums reconstruct the measured wall time
+/// (up to integer division). A window answered *entirely* by the
+/// unaffected fast path doubles as that stage's sample — the one stage
+/// whose work is too small to bracket with its own clock reads.
+fn record_tier_latency(obs: &EngineObs, delta: &TierCounters, elapsed: u64) {
+    let total = delta.total() as u64;
+    if total == 0 {
+        return;
+    }
+    let per = elapsed / total;
+    for (histogram, answers) in [
+        (&obs.tier_fault_free_row, delta.fault_free_row),
+        (&obs.tier_unaffected_fast_path, delta.unaffected_fast_path),
+        (&obs.tier_batched_unaffected, delta.batched_unaffected),
+        (&obs.tier_sparse_h_bfs, delta.sparse_h_bfs),
+        (&obs.tier_augmented_bfs, delta.augmented_bfs),
+        (&obs.tier_full_graph_bfs, delta.full_graph_bfs),
+    ] {
+        if answers > 0 {
+            histogram.record_n(per, answers as u64);
+        }
+    }
+    if delta.unaffected_fast_path as u64 == total {
+        obs.stage_unaffected_fast_path.record(elapsed);
+    }
+}
+
 /// Inline banned-edge probe for the augmented sweep. The coverage contract
 /// admits at most [`FaultSet::INLINE_CAPACITY`] (= 2) simultaneous faults,
 /// so membership is two register compares instead of a per-miss heap `Vec`
@@ -383,6 +417,9 @@ pub struct QueryContext {
     many_affected: Vec<u32>,
     clock: u64,
     stats: QueryStats,
+    /// Attached metric handles ([`QueryContext::attach_obs`]); `None` keeps
+    /// every query path free of clock reads and atomic recording.
+    obs: Option<Arc<EngineObs>>,
 }
 
 impl QueryContext {
@@ -399,6 +436,44 @@ impl QueryContext {
             many_affected: Vec::new(),
             clock: 0,
             stats: QueryStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Attach engine metric handles: subsequent queries through this
+    /// context record per-tier latency histograms and per-stage timings
+    /// while [`ftb_obs::sampling_enabled`] is on. See the
+    /// [`EngineObs`] docs for the attribution model (entry-point windows,
+    /// proportional per-tier samples, amortised stage spans).
+    pub fn attach_obs(&mut self, obs: Arc<EngineObs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Run `f` inside an entry-point observation window: capture the tier
+    /// counters before and after, read the clock once around the call, and
+    /// attribute the elapsed time across the tiers that answered. A context
+    /// without attached obs — or with sampling off — pays one branch.
+    pub(super) fn with_tier_obs<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        if self.obs.is_none() || !ftb_obs::sampling_enabled() {
+            return f(self);
+        }
+        let before = self.stats.tiers;
+        let start = Instant::now();
+        let out = f(self);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if let Some(obs) = &self.obs {
+            record_tier_latency(obs, &self.stats.tiers.delta_since(&before), elapsed);
+        }
+        out
+    }
+
+    /// The attached obs handles, cloned, when sampling is on — the form the
+    /// stage-span sites need (they run while `self` is mutably borrowed).
+    fn stage_obs(&self) -> Option<Arc<EngineObs>> {
+        if ftb_obs::sampling_enabled() {
+            self.obs.clone()
+        } else {
+            None
         }
     }
 
@@ -440,7 +515,7 @@ impl QueryContext {
         e: EdgeId,
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked(core, v, e)?;
-        Ok(self.answer_unchecked(core, 0, v, &FaultSet::from(e)))
+        Ok(self.with_tier_obs(|ctx| ctx.answer_unchecked(core, 0, v, &FaultSet::from(e))))
     }
 
     /// Post-failure distance from an explicit source of a multi-source core.
@@ -459,7 +534,7 @@ impl QueryContext {
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked(core, v, e)?;
         let slot = core.source_slot(source)?;
-        Ok(self.answer_unchecked(core, slot, v, &FaultSet::from(e)))
+        Ok(self.with_tier_obs(|ctx| ctx.answer_unchecked(core, slot, v, &FaultSet::from(e))))
     }
 
     /// Post-failure distance `dist(s, v, G ∖ F)` from the primary source,
@@ -480,7 +555,7 @@ impl QueryContext {
         faults: &FaultSet,
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked_faults(core, v, faults)?;
-        Ok(self.answer_unchecked(core, 0, v, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.answer_unchecked(core, 0, v, faults)))
     }
 
     /// Post-failure distance `dist(source, v, G ∖ F)` from an explicit
@@ -494,7 +569,7 @@ impl QueryContext {
     ) -> Result<Option<u32>, FtbfsError> {
         self.checked_faults(core, v, faults)?;
         let slot = core.source_slot(source)?;
-        Ok(self.answer_unchecked(core, slot, v, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.answer_unchecked(core, slot, v, faults)))
     }
 
     /// One-to-many post-failure distances `dist(s, v, G ∖ F)` from the
@@ -523,7 +598,7 @@ impl QueryContext {
         faults: &FaultSet,
     ) -> Result<Vec<Option<u32>>, FtbfsError> {
         self.checked_many(core, targets, faults)?;
-        Ok(self.dist_many_unchecked(core, 0, targets, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.dist_many_unchecked(core, 0, targets, faults)))
     }
 
     /// One-to-many post-failure distances from an explicit source of a
@@ -540,7 +615,7 @@ impl QueryContext {
     ) -> Result<Vec<Option<u32>>, FtbfsError> {
         self.checked_many(core, targets, faults)?;
         let slot = core.source_slot(source)?;
-        Ok(self.dist_many_unchecked(core, slot, targets, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.dist_many_unchecked(core, slot, targets, faults)))
     }
 
     /// A concrete post-failure shortest path from the primary source to `v`
@@ -557,7 +632,7 @@ impl QueryContext {
         e: EdgeId,
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked(core, v, e)?;
-        Ok(self.path_unchecked(core, 0, v, &FaultSet::from(e)))
+        Ok(self.with_tier_obs(|ctx| ctx.path_unchecked(core, 0, v, &FaultSet::from(e))))
     }
 
     /// Post-failure path from an explicit source of a multi-source core.
@@ -570,7 +645,7 @@ impl QueryContext {
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked(core, v, e)?;
         let slot = core.source_slot(source)?;
-        Ok(self.path_unchecked(core, slot, v, &FaultSet::from(e)))
+        Ok(self.with_tier_obs(|ctx| ctx.path_unchecked(core, slot, v, &FaultSet::from(e))))
     }
 
     /// A concrete post-failure shortest path from the primary source to `v`
@@ -584,7 +659,7 @@ impl QueryContext {
         faults: &FaultSet,
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked_faults(core, v, faults)?;
-        Ok(self.path_unchecked(core, 0, v, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.path_unchecked(core, 0, v, faults)))
     }
 
     /// Post-failure path under a fault set from an explicit source of a
@@ -598,7 +673,7 @@ impl QueryContext {
     ) -> Result<Option<Path>, FtbfsError> {
         self.checked_faults(core, v, faults)?;
         let slot = core.source_slot(source)?;
-        Ok(self.path_unchecked(core, slot, v, faults))
+        Ok(self.with_tier_obs(|ctx| ctx.path_unchecked(core, slot, v, faults)))
     }
 
     /// Answer a batch of `(vertex, failing edge)` queries against the
@@ -623,13 +698,15 @@ impl QueryContext {
         let fault_sets: Vec<FaultSet> = queries.iter().map(|&(_, e)| FaultSet::from(e)).collect();
         // Same grouping/answering code as the facades, pinned to the calling
         // thread — a context is per-thread by contract.
-        super::facade::query_many_sharded(
-            core,
-            self,
-            &ftb_par::ParallelConfig::serial(),
-            queries.len(),
-            |i| (0, queries[i].0, &fault_sets[i]),
-        )
+        self.with_tier_obs(|ctx| {
+            super::facade::query_many_sharded(
+                core,
+                ctx,
+                &ftb_par::ParallelConfig::serial(),
+                queries.len(),
+                |i| (0, queries[i].0, &fault_sets[i]),
+            )
+        })
     }
 
     /// Answer a batch of `(vertex, fault set)` queries against the primary
@@ -645,13 +722,15 @@ impl QueryContext {
             core.check_vertex(*v)?;
             core.check_fault_set(faults)?;
         }
-        super::facade::query_many_sharded(
-            core,
-            self,
-            &ftb_par::ParallelConfig::serial(),
-            queries.len(),
-            |i| (0, queries[i].0, &queries[i].1),
-        )
+        self.with_tier_obs(|ctx| {
+            super::facade::query_many_sharded(
+                core,
+                ctx,
+                &ftb_par::ParallelConfig::serial(),
+                queries.len(),
+                |i| (0, queries[i].0, &queries[i].1),
+            )
+        })
     }
 
     fn checked(&self, core: &EngineCore, v: VertexId, e: EdgeId) -> Result<(), FtbfsError> {
@@ -761,6 +840,11 @@ impl QueryContext {
             let dist = &self.rows[i].dist;
             return targets.iter().map(|&v| finite(dist[v.index()])).collect();
         }
+        // Stage spans (classification / restricted sweep) only arm when
+        // obs is attached and sampling is on; they nest inside the
+        // entry-point window, keeping stage sums within the wall time.
+        let obs = self.stage_obs();
+        let classify_span = obs.as_ref().map(|o| Span::enter(&o.stage_classify));
         // Batched unaffected classification against the merged affected
         // intervals — never an `O(|F|)` ancestor probe per target. Sparse
         // frames sort the targets by preorder number once and sweep the
@@ -793,6 +877,7 @@ impl QueryContext {
                 }
             }
         }
+        drop(classify_span);
 
         // Unaffected targets read the fault-free row; affected ones are
         // overwritten below.
@@ -816,6 +901,7 @@ impl QueryContext {
             // requested ones, skip the row materialisation, cache nothing.
             self.count_tier_many(tier, affected.len());
             self.stats.restricted_repairs += 1;
+            let sweep_span = obs.as_ref().map(|o| Span::enter(&o.stage_restricted_sweep));
             let order = core.slot_tree(slot).euler.order();
             let wanted = affected.iter().map(|&i| targets[i as usize]);
             match tier {
@@ -865,6 +951,7 @@ impl QueryContext {
                 }
                 Tier::FaultFree => unreachable!("handled above"),
             }
+            drop(sweep_span);
             for &i in &affected {
                 let v = targets[i as usize];
                 out[i as usize] = finite(self.repair.rdist.get(v.index()));
@@ -1045,6 +1132,7 @@ impl QueryContext {
                 .expect("capacity >= 1")
         };
         let source = core.sources()[slot];
+        let obs = self.stage_obs();
         let row = &mut self.rows[i];
         let repairable = !core.options().force_full_sweep;
         // The banned-element filters below scan the canonical fault slice:
@@ -1083,6 +1171,7 @@ impl QueryContext {
                         }
                         row.dist.copy_from_slice(dist0);
                         row.parent.copy_from_slice(parent0);
+                        let span = obs.as_ref().map(|o| Span::enter(&o.stage_row_repair));
                         self.repair.repair_region(
                             core.slot_tree(slot).euler.order(),
                             dist0,
@@ -1090,10 +1179,13 @@ impl QueryContext {
                             &mut row.parent,
                             neighbors,
                         );
+                        drop(span);
                         self.stats.repaired_rows += 1;
                     } else {
+                        let span = obs.as_ref().map(|o| Span::enter(&o.stage_full_sweep));
                         bfs_sweep(source, &mut self.scratch, neighbors);
                         self.scratch.materialize(&mut row.dist, &mut row.parent);
+                        drop(span);
                     }
                     self.stats.structure_bfs_runs += 1;
                 }
@@ -1128,6 +1220,7 @@ impl QueryContext {
                         }
                         row.dist.copy_from_slice(dist0);
                         row.parent.copy_from_slice(parent0);
+                        let span = obs.as_ref().map(|o| Span::enter(&o.stage_row_repair));
                         self.repair.repair_region(
                             core.slot_tree(slot).euler.order(),
                             dist0,
@@ -1135,10 +1228,13 @@ impl QueryContext {
                             &mut row.parent,
                             neighbors,
                         );
+                        drop(span);
                         self.stats.repaired_rows += 1;
                     } else {
+                        let span = obs.as_ref().map(|o| Span::enter(&o.stage_full_sweep));
                         bfs_sweep(source, &mut self.scratch, neighbors);
                         self.scratch.materialize(&mut row.dist, &mut row.parent);
+                        drop(span);
                     }
                     self.stats.augmented_bfs_runs += 1;
                 }
@@ -1146,6 +1242,7 @@ impl QueryContext {
                     // Everything beyond the sparse guarantees stays exact
                     // with one BFS over the full graph G ∖ F.
                     let graph = core.graph();
+                    let span = obs.as_ref().map(|o| Span::enter(&o.stage_full_sweep));
                     bfs_sweep(source, &mut self.scratch, |u| {
                         graph.neighbors(u).filter(move |&(w, ge)| {
                             !banned.contains(&Fault::Edge(ge))
@@ -1153,6 +1250,7 @@ impl QueryContext {
                         })
                     });
                     self.scratch.materialize(&mut row.dist, &mut row.parent);
+                    drop(span);
                     self.stats.full_graph_bfs_runs += 1;
                 }
                 Tier::FaultFree => unreachable!("handled above"),

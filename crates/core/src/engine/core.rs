@@ -238,6 +238,10 @@ pub struct EngineCore {
     /// scan per query.
     pub(super) slot_of: Vec<u32>,
     pub(super) options: EngineOptions,
+    /// Wall-clock nanoseconds of each preprocessing phase, in execution
+    /// order ([`EngineCore::build_timings`]). Not persisted in snapshots; a
+    /// loaded core reports a single `snapshot_load` phase instead.
+    pub(super) build_timings: Vec<(&'static str, u64)>,
     /// Identity tying contexts to the core that created them.
     pub(super) token: u64,
 }
@@ -352,7 +356,18 @@ impl EngineCore {
                 });
             }
         }
+        let t0 = std::time::Instant::now();
+        let mut build_timings: Vec<(&'static str, u64)> = Vec::new();
+        let mut phase_mark = t0;
+        let phase_done = |timings: &mut Vec<(&'static str, u64)>,
+                          mark: &mut std::time::Instant,
+                          name: &'static str| {
+            let now = std::time::Instant::now();
+            timings.push((name, now.duration_since(*mark).as_nanos() as u64));
+            *mark = now;
+        };
         let h = CompactSubgraph::from_edge_set(graph, structure.edge_set());
+        phase_done(&mut build_timings, &mut phase_mark, "compact_h");
         let n = graph.num_vertices();
 
         // Fault-free preprocessing: one BFS over H per source, cross-checked
@@ -396,6 +411,7 @@ impl EngineCore {
             trees.push(SlotTree { euler, edge_child });
             fault_free.push(row);
         }
+        phase_done(&mut build_timings, &mut phase_mark, "fault_free_rows");
 
         // The augmented tier additionally needs canonical fault-free
         // parents relative to the H⁺ adjacency (distances are the same —
@@ -428,6 +444,7 @@ impl EngineCore {
                 fault_free_parent,
             }
         });
+        phase_done(&mut build_timings, &mut phase_mark, "augmented_tier");
 
         let mut slot_of = vec![u32::MAX; n];
         for (slot, &s) in sources.iter().enumerate() {
@@ -437,6 +454,8 @@ impl EngineCore {
                 slot_of[s.index()] = slot as u32;
             }
         }
+
+        phase_done(&mut build_timings, &mut phase_mark, "slot_index");
 
         Ok(EngineCore {
             graph: graph.clone(),
@@ -449,6 +468,7 @@ impl EngineCore {
             trees,
             slot_of,
             options,
+            build_timings,
             token: next_core_token(),
         })
     }
@@ -485,6 +505,18 @@ impl EngineCore {
     /// The serving options the core was built with.
     pub fn options(&self) -> &EngineOptions {
         &self.options
+    }
+
+    /// Wall-clock nanoseconds of each preprocessing phase, in execution
+    /// order: `compact_h` (the serving CSR of `H`), `fault_free_rows` (the
+    /// per-source BFS rows, cross-checks and tree indices),
+    /// `augmented_tier` (the `H⁺` CSR and its parent rows; ~0 without
+    /// augmentation) and `slot_index`. A core loaded from a snapshot
+    /// reports a single `snapshot_load` phase — the timings describe how
+    /// *this* core came to exist, not how its structure was built (that is
+    /// [`BuildStats`](crate::BuildStats)).
+    pub fn build_timings(&self) -> &[(&'static str, u64)] {
+        &self.build_timings
     }
 
     /// Fault-free distance `dist(s, v, G)` from the slot-`slot` source

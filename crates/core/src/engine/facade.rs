@@ -143,6 +143,14 @@ impl<'g> FaultQueryEngine<'g> {
         self.ctx.stats()
     }
 
+    /// Attach engine metric handles to the facade's context (see
+    /// [`QueryContext::attach_obs`]). Sharded batch workers spawn fresh
+    /// contexts and stay uninstrumented; the whole batch is still observed
+    /// as one entry-point window through the merged worker counters.
+    pub fn attach_obs(&mut self, obs: std::sync::Arc<super::EngineObs>) {
+        self.ctx.attach_obs(obs);
+    }
+
     /// Fault-free distance `dist(s, v, G)` (`None` if `v` is unreachable).
     pub fn fault_free_dist(&self, v: VertexId) -> Result<Option<u32>, FtbfsError> {
         self.core.check_vertex(v)?;
@@ -244,8 +252,11 @@ impl<'g> FaultQueryEngine<'g> {
         }
         let fault_sets: Vec<FaultSet> = queries.iter().map(|&(_, e)| FaultSet::from(e)).collect();
         let parallel = self.core.options().parallel.clone();
-        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            (0, queries[i].0, &fault_sets[i])
+        let core = Arc::clone(&self.core);
+        self.ctx.with_tier_obs(|ctx| {
+            query_many_sharded(&core, ctx, &parallel, queries.len(), |i| {
+                (0, queries[i].0, &fault_sets[i])
+            })
         })
     }
 
@@ -265,8 +276,11 @@ impl<'g> FaultQueryEngine<'g> {
             self.core.check_fault_set(faults)?;
         }
         let parallel = self.core.options().parallel.clone();
-        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            (0, queries[i].0, &queries[i].1)
+        let core = Arc::clone(&self.core);
+        self.ctx.with_tier_obs(|ctx| {
+            query_many_sharded(&core, ctx, &parallel, queries.len(), |i| {
+                (0, queries[i].0, &queries[i].1)
+            })
         })
     }
 }

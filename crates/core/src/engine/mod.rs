@@ -130,6 +130,7 @@ mod context;
 mod core;
 mod facade;
 mod multi;
+mod obs;
 mod snapshot;
 #[cfg(test)]
 mod tests;
@@ -140,6 +141,7 @@ pub use self::core::{EngineCore, EngineOptions, FORCE_FULL_SWEEP_ENV};
 pub use context::QueryContext;
 pub use facade::FaultQueryEngine;
 pub use multi::MultiSourceEngine;
+pub use obs::{EngineObs, STAGE_SECONDS_METRIC, TIER_LATENCY_METRIC};
 
 /// The answering tier a fault set routes to (see the module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

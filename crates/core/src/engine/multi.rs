@@ -109,6 +109,12 @@ impl<'g> MultiSourceEngine<'g> {
         self.ctx.stats()
     }
 
+    /// Attach engine metric handles to the engine's context (see
+    /// [`QueryContext::attach_obs`]).
+    pub fn attach_obs(&mut self, obs: std::sync::Arc<super::EngineObs>) {
+        self.ctx.attach_obs(obs);
+    }
+
     /// Fault-free distance `dist(source, v, G)` (`None` if unreachable).
     ///
     /// # Errors
@@ -227,8 +233,11 @@ impl<'g> MultiSourceEngine<'g> {
         let fault_sets: Vec<FaultSet> =
             queries.iter().map(|&(_, _, e)| FaultSet::from(e)).collect();
         let parallel = self.core.options().parallel.clone();
-        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            (slots[i], queries[i].1, &fault_sets[i])
+        let core = Arc::clone(&self.core);
+        self.ctx.with_tier_obs(|ctx| {
+            query_many_sharded(&core, ctx, &parallel, queries.len(), |i| {
+                (slots[i], queries[i].1, &fault_sets[i])
+            })
         })
     }
 
@@ -248,8 +257,11 @@ impl<'g> MultiSourceEngine<'g> {
             slots.push(self.core.source_slot(*source)?);
         }
         let parallel = self.core.options().parallel.clone();
-        query_many_sharded(&self.core, &mut self.ctx, &parallel, queries.len(), |i| {
-            (slots[i], queries[i].1, &queries[i].2)
+        let core = Arc::clone(&self.core);
+        self.ctx.with_tier_obs(|ctx| {
+            query_many_sharded(&core, ctx, &parallel, queries.len(), |i| {
+                (slots[i], queries[i].1, &queries[i].2)
+            })
         })
     }
 }

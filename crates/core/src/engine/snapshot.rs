@@ -47,7 +47,7 @@ const SECTION_NOTE: u32 = 10;
 /// [`SnapshotError::LayoutMismatch`] instead of a misdecode.
 const ENGINE_LAYOUT: &str = "EngineCore snapshot v1:\
  graph{offsets:u32[],neighbors:u32[],slot_edges:u32[],endpoints:u32[2m]}\
- structure{source:u32,eps:f64bits,edges:bitset,reinforced:bitset,stats:u64[16]+u8+f64bits}\
+ structure{source:u32,eps:f64bits,edges:bitset,reinforced:bitset,stats:u64[16]+u8+f64bits[5]}\
  sources:u32[]\
  h:{graph,to_parent:u32[]}\
  aug:{present:u8,csr:{graph,to_parent:u32[]},coverage:u8,parent_rows:(u32[],u32[])/slot}\
@@ -213,6 +213,7 @@ impl EngineCore {
         bytes: &[u8],
         options: EngineOptions,
     ) -> Result<(Self, Vec<u8>), SnapshotError> {
+        let t_load = std::time::Instant::now();
         let snap = SnapshotReader::parse(bytes, engine_layout_hash())?;
 
         let mut r = snap.section(SECTION_GRAPH)?;
@@ -347,6 +348,7 @@ impl EngineCore {
                 trees,
                 slot_of,
                 options,
+                build_timings: vec![("snapshot_load", t_load.elapsed().as_nanos() as u64)],
                 token: next_core_token(),
             },
             note,

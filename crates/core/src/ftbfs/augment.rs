@@ -191,6 +191,7 @@ impl FtBfsAugmenter {
         stats: &mut AugmentStats,
     ) {
         let n = graph.num_vertices();
+        let t_setup = Instant::now();
         let mut scratch = CanonicalScratch::new(n);
         scratch.run(graph, weights, source, &[]);
 
@@ -227,6 +228,8 @@ impl FtBfsAugmenter {
                     .map(|&v| Fault::Vertex(v)),
             )
             .collect();
+        stats.setup_ms += t_setup.elapsed().as_secs_f64() * 1e3;
+        let t_sweep = Instant::now();
 
         // Each task: one single-fault tree, plus (dual) one tree per edge
         // of that replacement tree — every task is Θ(n) searches wide, so
@@ -269,6 +272,8 @@ impl FtBfsAugmenter {
                 (single, dual_added, dual_passes)
             },
         );
+        stats.sweep_ms += t_sweep.elapsed().as_secs_f64() * 1e3;
+        let t_merge = Instant::now();
 
         // Merge the whole single-fault layer before the dual layer so the
         // per-layer `*_added` counters describe the layers themselves, not
@@ -291,6 +296,7 @@ impl FtBfsAugmenter {
                 }
             }
         }
+        stats.merge_ms += t_merge.elapsed().as_secs_f64() * 1e3;
     }
 }
 

@@ -73,6 +73,15 @@ pub struct AugmentStats {
     pub dual_passes: usize,
     /// Wall-clock milliseconds spent augmenting.
     pub augment_ms: f64,
+    /// Wall-clock ms setting up canonical trees and fault lists (summed over
+    /// sources).
+    pub setup_ms: f64,
+    /// Wall-clock ms in the parallel replacement-tree sweeps (summed over
+    /// sources).
+    pub sweep_ms: f64,
+    /// Wall-clock ms merging per-fault edge lists into `H⁺` (summed over
+    /// sources).
+    pub merge_ms: f64,
 }
 
 impl AugmentStats {

@@ -117,7 +117,7 @@ pub use builder::{
 pub use config::BuildConfig;
 pub use cost::CostModel;
 pub use engine::{
-    engine_layout_hash, AtomicQueryStats, EngineCore, EngineOptions, FaultQueryEngine,
+    engine_layout_hash, AtomicQueryStats, EngineCore, EngineObs, EngineOptions, FaultQueryEngine,
     MultiSourceEngine, QueryContext, QueryStats, TierCounters, FORCE_FULL_SWEEP_ENV,
 };
 pub use error::FtbfsError;

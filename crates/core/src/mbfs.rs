@@ -137,6 +137,10 @@ impl MultiSourceStructure {
             stats.k_rounds = stats.k_rounds.max(p.k_rounds);
             stats.used_baseline |= p.used_baseline;
             stats.construction_ms += p.construction_ms;
+            stats.s0_ms += p.s0_ms;
+            stats.s1_ms += p.s1_ms;
+            stats.s2_ms += p.s2_ms;
+            stats.reinforce_ms += p.reinforce_ms;
         }
         stats.reinforced_edges = self.union_reinforced.len();
         FtBfsStructure::new(

@@ -22,7 +22,8 @@ fn bad(section: &'static str, detail: &'static str) -> SnapshotError {
 
 impl Store for BuildStats {
     /// Sixteen `u64` counters in declaration order, the baseline flag, and
-    /// the construction wall time as `f64` bits.
+    /// five `f64` wall times (total construction plus the four phase
+    /// timings).
     fn store(&self, w: &mut Writer) {
         for count in [
             self.num_vertices,
@@ -46,6 +47,10 @@ impl Store for BuildStats {
         }
         w.put_u8(self.used_baseline as u8);
         w.put_f64(self.construction_ms);
+        w.put_f64(self.s0_ms);
+        w.put_f64(self.s1_ms);
+        w.put_f64(self.s2_ms);
+        w.put_f64(self.reinforce_ms);
     }
 }
 
@@ -61,6 +66,10 @@ impl Load for BuildStats {
             _ => return Err(bad("build stats", "baseline flag is not 0/1")),
         };
         let construction_ms = r.get_f64()?;
+        let s0_ms = r.get_f64()?;
+        let s1_ms = r.get_f64()?;
+        let s2_ms = r.get_f64()?;
+        let reinforce_ms = r.get_f64()?;
         Ok(BuildStats {
             num_vertices: counts[0] as usize,
             num_graph_edges: counts[1] as usize,
@@ -80,6 +89,10 @@ impl Load for BuildStats {
             k_rounds: counts[15] as usize,
             used_baseline,
             construction_ms,
+            s0_ms,
+            s1_ms,
+            s2_ms,
+            reinforce_ms,
         })
     }
 }
@@ -138,7 +151,8 @@ impl Load for AugmentCoverage {
 }
 
 impl Store for AugmentStats {
-    /// Six `u64` counters in declaration order plus the wall time.
+    /// Six `u64` counters in declaration order plus four `f64` wall times
+    /// (total plus the setup / sweep / merge phase timings).
     fn store(&self, w: &mut Writer) {
         for count in [
             self.base_edges,
@@ -151,6 +165,9 @@ impl Store for AugmentStats {
             w.put_u64(count as u64);
         }
         w.put_f64(self.augment_ms);
+        w.put_f64(self.setup_ms);
+        w.put_f64(self.sweep_ms);
+        w.put_f64(self.merge_ms);
     }
 }
 
@@ -168,6 +185,9 @@ impl Load for AugmentStats {
             single_passes: counts[4] as usize,
             dual_passes: counts[5] as usize,
             augment_ms: r.get_f64()?,
+            setup_ms: r.get_f64()?,
+            sweep_ms: r.get_f64()?,
+            merge_ms: r.get_f64()?,
         })
     }
 }

@@ -1,0 +1,87 @@
+//! The shared log-bucket layout: powers of two split into [`SUB_BUCKETS`]
+//! linear sub-buckets, HdrHistogram-style, giving `1/32 ≈ 3%` relative
+//! value error with constant memory over the full `u64` range.
+//!
+//! Both the atomic [`Histogram`](crate::Histogram) (production metrics)
+//! and `ftb_bench::LatencyHistogram` (load-generator reporting) index
+//! through these functions, so their bucket boundaries are identical and
+//! their snapshots can be compared cell-for-cell.
+
+/// Number of linear sub-buckets per power-of-two bucket.
+pub const SUB_BUCKETS: usize = 32;
+/// `log2(SUB_BUCKETS)`.
+pub const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total number of cells covering the full `u64` range.
+pub const NUM_CELLS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Index of the (bucket, sub-bucket) cell holding `value`.
+#[inline]
+pub fn index(value: u64) -> usize {
+    // Values below SUB_BUCKETS land in the linear range one-to-one.
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let bucket = 63 - value.leading_zeros(); // highest set bit, >= SUB_BITS
+    let shift = bucket - SUB_BITS;
+    let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+    ((bucket - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+}
+
+/// Upper bound (inclusive) of the values mapping to cell `index`.
+#[inline]
+pub fn upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let bucket = (index / SUB_BUCKETS - 1) as u32 + SUB_BITS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let shift = bucket - SUB_BITS;
+    ((1u64 << SUB_BITS) + sub)
+        .checked_shl(shift)
+        .map(|v| v + ((1u64 << shift) - 1))
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_value_is_contained_by_its_cell() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1023,
+            1024,
+            4096,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = index(v);
+            assert!(i < NUM_CELLS, "cell out of range for {v}");
+            assert!(upper_bound(i) >= v, "upper bound below its value at {v}");
+            if i > 0 {
+                assert!(upper_bound(i - 1) < v, "value {v} below its cell's floor");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_are_strictly_monotone() {
+        let mut prev = None;
+        for i in 0..NUM_CELLS {
+            let ub = upper_bound(i);
+            if let Some(p) = prev {
+                assert!(ub > p, "non-monotone at cell {i}");
+            }
+            prev = Some(ub);
+        }
+        assert_eq!(upper_bound(NUM_CELLS - 1), u64::MAX);
+    }
+}

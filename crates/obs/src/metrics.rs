@@ -1,0 +1,298 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], and the atomic
+//! log-bucketed [`Histogram`]. All record paths are single relaxed atomic
+//! operations — no locks, no allocation — so they can sit on query hot
+//! paths. Reads (`snapshot`) are racy-consistent: each cell is read
+//! atomically but the set of cells is not a point-in-time cut, which is
+//! the standard contract for scrape-based metrics.
+
+use crate::buckets;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A signed gauge: a value that goes up and down (queue depth, active
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A lock-free log-bucketed histogram over `u64` values (nanoseconds by
+/// convention), sharing its bucket layout with `ftb_bench` via
+/// [`crate::buckets`]. `record` is two relaxed `fetch_add`s plus a
+/// `fetch_max`; there is no mutex anywhere on the write path.
+///
+/// The exact sum is kept in nanoseconds in a `u64`: it saturates only
+/// after ~584 years of accumulated latency, far past any process
+/// lifetime this serves.
+#[derive(Debug)]
+pub struct Histogram {
+    cells: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let cells: Vec<AtomicU64> = (0..buckets::NUM_CELLS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            cells: cells.into_boxed_slice(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` samples of the same `value` in one shot — the batched
+    /// entry points (`dist_many`) amortise instrumentation this way so a
+    /// 4096-target frame costs the same four atomics as a single query.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cells[buckets::index(value)].fetch_add(n, Relaxed);
+        self.total.fetch_add(n, Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Relaxed)
+    }
+
+    /// Racy-consistent copy of the current cell counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.cells.iter().map(|c| c.load(Relaxed)).collect(),
+            total: self.total.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A plain (non-atomic) copy of a [`Histogram`]'s state: quantile lookups,
+/// merging, and rendering all happen here, off the hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot — the identity element of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; buckets::NUM_CELLS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded values (nanoseconds by convention).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// The value at quantile `q` (in `[0, 1]`): the upper bound of the
+    /// first cell whose cumulative count reaches `q·total`, capped at the
+    /// exact max. Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return buckets::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot into this one. Associative and commutative,
+    /// with [`empty`](Self::empty) as identity — per-thread cells merge in
+    /// any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty cells as `(inclusive_upper_bound, count)` pairs in
+    /// ascending bucket order — the input for Prometheus bucket lines.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (buckets::upper_bound(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.inc();
+        g.add(5);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..7 {
+            a.record(1234);
+        }
+        b.record_n(1234, 7);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn quantiles_never_understate() {
+        let h = Histogram::new();
+        for v in [10u64, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.max(), 100_000);
+        assert!(s.value_at_quantile(1.0) == 100_000);
+        assert!(s.value_at_quantile(0.2) >= 10);
+        assert!((s.mean() - 22222.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_identity_and_associativity() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 50, 999]);
+        let b = mk(&[32, 64]);
+        let c = mk(&[7, 7, 7, 1 << 30]);
+
+        // identity
+        let mut ai = a.clone();
+        ai.merge(&HistogramSnapshot::empty());
+        assert_eq!(ai, a);
+
+        // associativity: (a+b)+c == a+(b+c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab, a_bc);
+    }
+}

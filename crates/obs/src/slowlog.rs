@@ -1,0 +1,147 @@
+//! A bounded top-K slow-query log: keeps the `capacity` entries with the
+//! largest keys (handle nanoseconds by convention) seen so far. The
+//! common case — a fast request on a warm server — is rejected by a
+//! single relaxed atomic load against the current admission threshold,
+//! so the mutex is only taken by requests that would actually make the
+//! board.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+struct Ranked<T> {
+    key: u64,
+    /// Admission order, used to break key ties deterministically
+    /// (later entries lose).
+    seq: u64,
+    entry: T,
+}
+
+/// Top-K ranked buffer. `T` is the caller's trace record (fault set,
+/// stage breakdown, …); this type only orders by the `u64` key.
+pub struct SlowLog<T> {
+    capacity: usize,
+    /// Keys strictly below this cannot enter; updated to the current
+    /// minimum whenever the buffer is full. Starts at 0 so everything is
+    /// admitted until the board fills.
+    floor: AtomicU64,
+    seq: AtomicU64,
+    inner: Mutex<Vec<Ranked<T>>>,
+}
+
+impl<T: Clone> SlowLog<T> {
+    /// A log keeping the top `capacity` entries (0 disables admission).
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            capacity,
+            floor: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offer an entry; it is kept only if its key ranks in the current
+    /// top K. Returns whether it was admitted.
+    pub fn offer(&self, key: u64, entry: T) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        // Fast path: a full board with a higher floor rejects without
+        // locking. The floor only rises, so a stale read can at worst
+        // admit a borderline entry, never wrongly reject one that the
+        // locked re-check below would keep.
+        if key < self.floor.load(Relaxed) {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Relaxed);
+        let mut board = self.inner.lock().expect("slow log poisoned");
+        if board.len() < self.capacity {
+            board.push(Ranked { key, seq, entry });
+        } else {
+            // Evict the current minimum if we beat it (ties lose).
+            let (min_idx, min_key) = board
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.key, std::cmp::Reverse(r.seq)))
+                .map(|(i, r)| (i, r.key))
+                .expect("full board is non-empty");
+            if key <= min_key {
+                return false;
+            }
+            board[min_idx] = Ranked { key, seq, entry };
+        }
+        if board.len() == self.capacity {
+            let floor = board.iter().map(|r| r.key).min().expect("non-empty");
+            self.floor.store(floor, Relaxed);
+        }
+        true
+    }
+
+    /// The current board, sorted by key descending (slowest first), with
+    /// each entry's key.
+    pub fn snapshot(&self) -> Vec<(u64, T)> {
+        let board = self.inner.lock().expect("slow log poisoned");
+        let mut out: Vec<(u64, u64, T)> = board
+            .iter()
+            .map(|r| (r.key, r.seq, r.entry.clone()))
+            .collect();
+        drop(board);
+        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(k, _, e)| (k, e)).collect()
+    }
+
+    /// Drop all entries and reset the admission floor.
+    pub fn clear(&self) {
+        let mut board = self.inner.lock().expect("slow log poisoned");
+        board.clear();
+        self.floor.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_top_k_sorted_descending() {
+        let log = SlowLog::new(3);
+        for key in [5u64, 1, 9, 3, 7, 2, 8] {
+            log.offer(key, format!("q{key}"));
+        }
+        let snap = log.snapshot();
+        let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![9, 8, 7]);
+        assert_eq!(snap[0].1, "q9");
+    }
+
+    #[test]
+    fn floor_rejects_below_minimum() {
+        let log = SlowLog::new(2);
+        assert!(log.offer(10, ()));
+        assert!(log.offer(20, ()));
+        assert!(!log.offer(5, ()));
+        assert!(!log.offer(10, ())); // ties lose
+        assert!(log.offer(15, ()));
+        let keys: Vec<u64> = log.snapshot().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![20, 15]);
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let log = SlowLog::new(0);
+        assert!(!log.offer(u64::MAX, ()));
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_admission() {
+        let log = SlowLog::new(1);
+        log.offer(100, ());
+        assert!(!log.offer(50, ()));
+        log.clear();
+        assert!(log.offer(50, ()));
+    }
+}

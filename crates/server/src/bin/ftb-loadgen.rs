@@ -41,6 +41,9 @@ struct Args {
     /// 0 = classic one-request-per-target `Dist` replay; `T > 0` mints
     /// `DistMany` frames with `T` targets sharing each fault set.
     targets_per_request: usize,
+    /// Dump the server's end-of-run metrics registry (JSON exposition)
+    /// to this file, next to the latency report on stdout.
+    metrics_out: Option<String>,
     shutdown: bool,
 }
 
@@ -48,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftb-loadgen --addr HOST:PORT [--rate R] [--requests Q] [--clients C]\n\
          \x20                  [--process fixed|poisson] [--f K] [--scenario NAME]\n\
-         \x20                  [--targets T] [--shutdown]\n\
+         \x20                  [--targets T] [--metrics-out FILE] [--shutdown]\n\
          \x20                  {}\n\
          scenarios: {}",
         EngineSpec::cli_usage(),
@@ -79,6 +82,7 @@ fn parse_args() -> Args {
         faults_per_set: 1,
         scenario: FaultScenario::RandomEdges,
         targets_per_request: 0,
+        metrics_out: None,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -122,6 +126,7 @@ fn parse_args() -> Args {
                     });
             }
             "--targets" => args.targets_per_request = parse_num(&value("--targets"), "--targets"),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -400,6 +405,25 @@ fn main() {
             );
         }
         Err(e) => eprintln!("ftb-loadgen: final stats failed: {e}"),
+    }
+
+    if let Some(path) = &args.metrics_out {
+        // End-of-run registry snapshot: everything the server measured,
+        // including the per-connection cells of the load clients that just
+        // disconnected (their totals retire into the merged series).
+        match probe.metrics_json() {
+            Ok(json) => match std::fs::write(path, &json) {
+                Ok(()) => println!("server metrics written to {path}"),
+                Err(e) => {
+                    eprintln!("ftb-loadgen: writing {path} failed: {e}");
+                    exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("ftb-loadgen: metrics fetch failed: {e}");
+                exit(1);
+            }
+        }
     }
 
     if args.shutdown {

@@ -9,6 +9,8 @@
 //! ftb-serve --addr 127.0.0.1:7411 --snapshot engine.ftbsnap
 //! # build fresh and persist for the next restart:
 //! ftb-serve --addr 127.0.0.1:7411 --n 2000 --save-snapshot engine.ftbsnap
+//! # expose the metrics payload to curl/Prometheus scrapers:
+//! ftb-serve --addr 127.0.0.1:7411 --n 2000 --metrics-addr 127.0.0.1:7412
 //! ```
 //!
 //! The graph is regenerated from `(family, n, seed)` — the same recipe
@@ -39,6 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftb-serve [--addr HOST:PORT] [--snapshot FILE] [--save-snapshot FILE]\n\
          \x20                [--workers W] [--queue-depth D] [--idle-timeout-ms MS]\n\
+         \x20                [--metrics-addr HOST:PORT] [--slow-log K] [--no-sampling]\n\
          \x20                {}",
         EngineSpec::cli_usage()
     );
@@ -87,6 +90,17 @@ fn parse_args() -> Args {
                     "--idle-timeout-ms",
                 ))
             }
+            "--metrics-addr" => {
+                let addr = value("--metrics-addr");
+                args.options.metrics_addr = Some(addr.parse().unwrap_or_else(|_| {
+                    eprintln!("--metrics-addr expects HOST:PORT, got {addr:?}");
+                    usage()
+                }))
+            }
+            "--slow-log" => {
+                args.options.slow_log_capacity = parse_num(&value("--slow-log"), "--slow-log")
+            }
+            "--no-sampling" => args.options.sampling = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -204,6 +218,9 @@ fn main() {
         if from_snapshot { "snapshot" } else { "built" },
         args.options.provenance.startup_micros as f64 / 1e3,
     );
+    if let Some(metrics_addr) = server.metrics_addr() {
+        println!("ftb-serve: metrics on http://{metrics_addr}/metrics");
+    }
     if let Err(e) = server.join() {
         eprintln!("ftb-serve: {e}");
         exit(1);

@@ -4,8 +4,8 @@
 //! in-process engine.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, StatsReport,
-    PROTOCOL_VERSION,
+    decode_response, encode_request, read_frame, write_frame, MetricsFormat, Request, Response,
+    SlowQueryReport, StatsReport, PROTOCOL_VERSION,
 };
 use ftb_graph::{FaultSet, VertexId};
 use std::io;
@@ -132,6 +132,34 @@ impl Client {
         match self.request(&Request::Stats)? {
             Response::Stats(report) => Ok(report),
             other => Err(bad_data(format!("unexpected stats reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot in the Prometheus text
+    /// exposition format (protocol ≥ 3).
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        self.metrics(MetricsFormat::Prometheus)
+    }
+
+    /// Fetch the server's metrics snapshot as a JSON object keyed by
+    /// `name{labels}` (protocol ≥ 3) — the payload
+    /// `ftb-loadgen --metrics-out` writes.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        self.metrics(MetricsFormat::Json)
+    }
+
+    fn metrics(&mut self, format: MetricsFormat) -> io::Result<String> {
+        match self.request(&Request::Metrics { format })? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(bad_data(format!("unexpected metrics reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch the slow-query board, slowest first (protocol ≥ 3).
+    pub fn slow_queries(&mut self) -> io::Result<Vec<SlowQueryReport>> {
+        match self.request(&Request::SlowQueries)? {
+            Response::SlowQueries(board) => Ok(board),
+            other => Err(bad_data(format!("unexpected slow-query reply: {other:?}"))),
         }
     }
 

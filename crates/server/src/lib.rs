@@ -33,15 +33,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod setup;
 
 pub use client::{Client, ServerInfo};
+pub use metrics::{ConnCell, ServerMetrics, DEFAULT_SLOW_LOG_CAPACITY};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    DecodeError, ErrorCode, Request, Response, StatsReport, WirePath, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    DecodeError, ErrorCode, MetricsFormat, Request, Response, SlowQueryReport, StatsReport,
+    WirePath, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{wait_until_stopped, Provenance, ServeOptions, Server};
 pub use setup::{

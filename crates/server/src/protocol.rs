@@ -24,11 +24,18 @@
 use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build. The handshake rejects clients
-/// whose major version differs. Version 2 extended [`StatsReport`] with
-/// the engine-provenance fields (`engine_source`, `startup_micros`,
-/// `snapshot_format_version`).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Protocol version spoken by this build. Version 2 extended
+/// [`StatsReport`] with the engine-provenance fields (`engine_source`,
+/// `startup_micros`, `snapshot_format_version`). Version 3 added the
+/// observability frames: [`Request::Metrics`] → [`Response::MetricsText`]
+/// and [`Request::SlowQueries`] → [`Response::SlowQueries`].
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Oldest client version the server still accepts. A v2 session works
+/// exactly as before — the v3 frames are *version-gated*: a v2 client
+/// sending [`Request::Metrics`] or [`Request::SlowQueries`] gets
+/// [`ErrorCode::ProtocolViolation`], never a frame it cannot decode.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; length prefixes beyond it are rejected
 /// as [`DecodeError::FrameTooLarge`] before allocating.
@@ -85,6 +92,38 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Ask for the full metrics snapshot (protocol ≥ 3). Answered inline
+    /// on the connection thread, like [`Request::Stats`].
+    Metrics {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// Ask for the slow-query board (protocol ≥ 3): the top-K requests by
+    /// handle time, slowest first, with fault set and stage breakdown.
+    SlowQueries,
+}
+
+/// Exposition format carried by [`Request::Metrics`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format — what a scraper expects.
+    Prometheus = 0,
+    /// One JSON object keyed by `name{labels}` — what
+    /// `ftb-loadgen --metrics-out` writes for trajectory tooling.
+    Json = 1,
+}
+
+impl Request {
+    /// The lowest protocol version a session must have negotiated for this
+    /// request to be legal; older sessions get
+    /// [`ErrorCode::ProtocolViolation`].
+    pub fn min_version(&self) -> u16 {
+        match self {
+            Request::Metrics { .. } | Request::SlowQueries => 3,
+            _ => MIN_PROTOCOL_VERSION,
+        }
+    }
 }
 
 /// A server-to-client message.
@@ -127,6 +166,38 @@ pub enum Response {
         /// Human-readable context.
         message: String,
     },
+    /// The rendered metrics snapshot (protocol ≥ 3), in the format the
+    /// request named.
+    MetricsText(String),
+    /// The slow-query board (protocol ≥ 3), slowest first.
+    SlowQueries(Vec<SlowQueryReport>),
+}
+
+/// One slow-query board entry: which request it was, what it touched, and
+/// where its nanoseconds went (queue wait / worker handle / response
+/// encode) plus the per-tier answer counts the engine recorded for it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlowQueryReport {
+    /// Request opcode (`0x02` Dist, `0x03` Path, `0x04` BatchDist,
+    /// `0x07` DistMany).
+    pub opcode: u8,
+    /// The query's source vertex.
+    pub source: VertexId,
+    /// Number of targets the request carried (1 for Dist/Path).
+    pub targets: u32,
+    /// The fault set the request named.
+    pub faults: FaultSet,
+    /// Nanoseconds spent queued before a worker picked the job up.
+    pub queue_nanos: u64,
+    /// Nanoseconds the worker spent computing the answer (the board's
+    /// ranking key).
+    pub handle_nanos: u64,
+    /// Nanoseconds the connection thread spent encoding the response.
+    pub encode_nanos: u64,
+    /// Per-tier answer counts, in [`StatsReport`] tier order:
+    /// `fault_free_row`, `unaffected_fast_path`, `batched_unaffected`,
+    /// `sparse_h_bfs`, `augmented_bfs`, `full_graph_bfs`.
+    pub tiers: [u64; 6],
 }
 
 /// A path as transported on the wire: the vertex sequence and the edge ids
@@ -396,6 +467,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
             e.faults(faults);
         }
+        Request::Metrics { format } => {
+            e = Enc::new(0x08);
+            e.u8(*format as u8);
+        }
+        Request::SlowQueries => e = Enc::new(0x09),
     }
     e.buf
 }
@@ -482,6 +558,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::ShuttingDown => e = Enc::new(0x86),
+        Response::MetricsText(text) => {
+            e = Enc::new(0x88);
+            e.str(text);
+        }
+        Response::SlowQueries(entries) => {
+            e = Enc::new(0x89);
+            e.u32(entries.len() as u32);
+            for q in entries {
+                e.u8(q.opcode);
+                e.u32(q.source.0);
+                e.u32(q.targets);
+                e.faults(&q.faults);
+                e.u64(q.queue_nanos);
+                e.u64(q.handle_nanos);
+                e.u64(q.encode_nanos);
+                for &t in &q.tiers {
+                    e.u64(t);
+                }
+            }
+        }
         Response::Overloaded => e = Enc::new(0x8E),
         Response::Error { code, message } => {
             e = Enc::new(0x8F);
@@ -609,6 +705,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
                 faults,
             }
         }
+        0x08 => Request::Metrics {
+            format: match d.u8()? {
+                0 => MetricsFormat::Prometheus,
+                1 => MetricsFormat::Json,
+                other => return Err(DecodeError::BadTag(other)),
+            },
+        },
+        0x09 => Request::SlowQueries,
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     d.finish()?;
@@ -701,6 +805,36 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
                 ds.push(d.opt_u32()?);
             }
             Response::DistMany(ds)
+        }
+        0x88 => Response::MetricsText(d.str()?),
+        0x89 => {
+            let count = d.u32()? as usize;
+            // Each entry is ≥ 82 bytes; a lying count cannot OOM us.
+            let mut entries = Vec::with_capacity(count.min(payload.len() / 82 + 1));
+            for _ in 0..count {
+                let opcode = d.u8()?;
+                let source = VertexId(d.u32()?);
+                let targets = d.u32()?;
+                let faults = d.faults()?;
+                let queue_nanos = d.u64()?;
+                let handle_nanos = d.u64()?;
+                let encode_nanos = d.u64()?;
+                let mut tiers = [0u64; 6];
+                for t in tiers.iter_mut() {
+                    *t = d.u64()?;
+                }
+                entries.push(SlowQueryReport {
+                    opcode,
+                    source,
+                    targets,
+                    faults,
+                    queue_nanos,
+                    handle_nanos,
+                    encode_nanos,
+                    tiers,
+                });
+            }
+            Response::SlowQueries(entries)
         }
         0x8E => Response::Overloaded,
         0x8F => Response::Error {
@@ -809,6 +943,13 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+            Request::SlowQueries,
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -847,6 +988,21 @@ mod tests {
             }),
             Response::ShuttingDown,
             Response::Overloaded,
+            Response::MetricsText("# HELP ftb_requests_total requests\n".to_string()),
+            Response::SlowQueries(vec![
+                SlowQueryReport {
+                    opcode: 0x07,
+                    source: VertexId(0),
+                    targets: 128,
+                    faults: sample_faults(),
+                    queue_nanos: 1_500,
+                    handle_nanos: 2_000_000,
+                    encode_nanos: 900,
+                    tiers: [100, 20, 5, 2, 1, 0],
+                },
+                SlowQueryReport::default(),
+            ]),
+            Response::SlowQueries(Vec::new()),
             Response::Error {
                 code: ErrorCode::VertexOutOfRange as u16,
                 message: "vertex 999 out of range".to_string(),
@@ -924,6 +1080,54 @@ mod tests {
         let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
         let mut cursor = std::io::Cursor::new(&huge[..]);
         assert!(read_frame(&mut cursor).is_err(), "oversized length prefix");
+    }
+
+    #[test]
+    fn v3_frames_are_version_gated() {
+        assert_eq!(
+            Request::Metrics {
+                format: MetricsFormat::Prometheus
+            }
+            .min_version(),
+            3
+        );
+        assert_eq!(Request::SlowQueries.min_version(), 3);
+        for v2_req in [
+            Request::Hello { client_version: 2 },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Dist {
+                source: VertexId(0),
+                target: VertexId(1),
+                faults: FaultSet::new(),
+            },
+        ] {
+            assert_eq!(v2_req.min_version(), MIN_PROTOCOL_VERSION, "{v2_req:?}");
+        }
+    }
+
+    #[test]
+    fn v3_frame_prefixes_decode_to_truncated() {
+        let resp = Response::SlowQueries(vec![SlowQueryReport {
+            opcode: 0x02,
+            source: VertexId(3),
+            targets: 1,
+            faults: sample_faults(),
+            queue_nanos: 10,
+            handle_nanos: 20,
+            encode_nanos: 30,
+            tiers: [1, 0, 0, 0, 0, 0],
+        }]);
+        let bytes = encode_response(&resp);
+        for cut in 1..bytes.len() {
+            assert_eq!(
+                decode_response(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+        // Undefined metrics format tag.
+        assert_eq!(decode_request(&[0x08, 9]), Err(DecodeError::BadTag(9)));
     }
 
     #[test]

@@ -24,12 +24,14 @@
 //! workers' atomic counter cells — it stays responsive even when the
 //! query queue is saturated, which is exactly when you want to read it.
 
+use crate::metrics::{ServerMetrics, DEFAULT_SLOW_LOG_CAPACITY};
 use crate::protocol::{
-    decode_request, encode_response, write_frame, DecodeError, ErrorCode, Request, Response,
-    StatsReport, WirePath, PROTOCOL_VERSION,
+    decode_request, encode_response, write_frame, DecodeError, ErrorCode, MetricsFormat, Request,
+    Response, SlowQueryReport, StatsReport, WirePath, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use ftb_core::{AtomicQueryStats, EngineCore, FtbfsError, QueryContext, QueryStats};
+use ftb_core::{AtomicQueryStats, EngineCore, EngineObs, FtbfsError, QueryContext, QueryStats};
+use ftb_graph::FaultSet;
 use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -69,6 +71,17 @@ pub struct ServeOptions {
     pub idle_timeout: Duration,
     /// Engine startup provenance echoed in [`StatsReport`].
     pub provenance: Provenance,
+    /// Capacity of the slow-query board (top-K by handle time; 0 disables).
+    pub slow_log_capacity: usize,
+    /// When set, serve the metrics payload as plaintext HTTP on this
+    /// address too — `curl http://addr/metrics` works without speaking the
+    /// binary protocol. `/metrics.json` and `/slow` are also routed.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Process-wide observability sampling switch applied at bind
+    /// ([`ftb_obs::set_sampling`]): per-tier latency histograms and stage
+    /// spans record only while it is on. Off still counts requests and
+    /// connection/queue activity — only the clock-reading paths stop.
+    pub sampling: bool,
 }
 
 impl Default for ServeOptions {
@@ -78,15 +91,33 @@ impl Default for ServeOptions {
             queue_depth: 256,
             idle_timeout: Duration::from_secs(30),
             provenance: Provenance::default(),
+            slow_log_capacity: DEFAULT_SLOW_LOG_CAPACITY,
+            metrics_addr: None,
+            sampling: true,
         }
     }
 }
 
 /// One unit of queued work: a decoded query request plus the rendezvous
-/// channel its answer travels back on.
+/// channel its answer travels back on. `enqueued` anchors the queue-wait
+/// stage measurement.
 struct Job {
     request: Request,
-    reply: mpsc::SyncSender<Response>,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<JobDone>,
+}
+
+/// What a worker hands back: the answer plus the stage timings and the
+/// per-tier answer counts this job produced — the raw material of the
+/// queue-wait/handle histograms and the slow-query board. The request
+/// rides back so the connection thread can describe the job (opcode,
+/// fault set) without cloning it on the way in.
+struct JobDone {
+    request: Request,
+    response: Response,
+    queue_nanos: u64,
+    handle_nanos: u64,
+    tiers: [u64; 6],
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -101,6 +132,8 @@ struct Shared {
     connections: AtomicU64,
     active_connections: AtomicUsize,
     provenance: Provenance,
+    metrics: Arc<ServerMetrics>,
+    engine_obs: Arc<EngineObs>,
 }
 
 impl Shared {
@@ -132,10 +165,10 @@ impl Shared {
         }
     }
 
-    fn hello_ok(&self) -> Response {
+    fn hello_ok(&self, negotiated: u16) -> Response {
         let graph = self.core.graph();
         Response::HelloOk {
-            version: PROTOCOL_VERSION,
+            version: negotiated,
             fingerprint: graph.fingerprint(),
             num_vertices: graph.num_vertices() as u32,
             num_edges: graph.num_edges() as u32,
@@ -149,8 +182,10 @@ impl Shared {
 /// then [`Server::join`].
 pub struct Server {
     local_addr: SocketAddr,
+    metrics_local_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept_handle: JoinHandle<()>,
+    metrics_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -167,6 +202,20 @@ impl Server {
         let local_addr = listener.local_addr()?;
 
         let workers = options.workers.max(1);
+        ftb_obs::set_sampling(options.sampling);
+        let metrics = ServerMetrics::new(options.slow_log_capacity);
+        let engine_obs = EngineObs::register(metrics.registry());
+        // Preprocessing provenance as scrape-time gauges: how this core
+        // came to exist, phase by phase (a snapshot-restored server shows
+        // a single `snapshot_load` phase).
+        for &(phase, nanos) in core.build_timings() {
+            metrics.registry().gauge_fn(
+                "ftb_build_phase_seconds",
+                "Wall time of each engine preprocessing phase",
+                &[("phase", phase)],
+                Box::new(move || nanos as f64 / 1e9),
+            );
+        }
         let shared = Arc::new(Shared {
             core,
             shutdown: AtomicBool::new(false),
@@ -177,6 +226,8 @@ impl Server {
             connections: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
             provenance: options.provenance,
+            metrics,
+            engine_obs,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(options.queue_depth.max(1));
@@ -198,16 +249,42 @@ impl Server {
                 accept_loop(listener, accept_shared, job_tx, worker_handles);
             })?;
 
+        let (metrics_local_addr, metrics_handle) = match options.metrics_addr {
+            None => (None, None),
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let local = listener.local_addr()?;
+                let http_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name("ftb-metrics-http".to_string())
+                    .spawn(move || metrics_http_loop(listener, http_shared))?;
+                (Some(local), Some(handle))
+            }
+        };
+
         Ok(Server {
             local_addr,
+            metrics_local_addr,
             shared,
             accept_handle,
+            metrics_handle,
         })
     }
 
     /// The bound address (with the resolved port when 0 was requested).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound plaintext-HTTP metrics address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_local_addr
+    }
+
+    /// The server's metric surface, for in-process rendering and tests.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
     }
 
     /// Request a graceful shutdown: stop accepting, let in-flight requests
@@ -232,7 +309,13 @@ impl Server {
     pub fn join(self) -> io::Result<()> {
         self.accept_handle
             .join()
-            .map_err(|_| io::Error::other("server accept thread panicked"))
+            .map_err(|_| io::Error::other("server accept thread panicked"))?;
+        if let Some(handle) = self.metrics_handle {
+            handle
+                .join()
+                .map_err(|_| io::Error::other("metrics thread panicked"))?;
+        }
+        Ok(())
     }
 }
 
@@ -252,21 +335,27 @@ fn accept_loop(
                 let conn_shared = Arc::clone(&shared);
                 let jobs = job_tx.clone();
                 shared.connections.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_total.inc();
                 shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.connections_active.inc();
                 let spawned =
                     thread::Builder::new()
                         .name("ftb-conn".to_string())
                         .spawn(move || {
-                            let _ = serve_connection(stream, &conn_shared, &jobs);
+                            if serve_connection(stream, &conn_shared, &jobs).is_err() {
+                                conn_shared.metrics.reaped_io_error.inc();
+                            }
                             conn_shared
                                 .active_connections
                                 .fetch_sub(1, Ordering::SeqCst);
+                            conn_shared.metrics.connections_active.dec();
                         });
                 if spawned.is_err() {
                     // Thread spawn failed (resource exhaustion): the guard
                     // above never ran, undo the active count and drop the
                     // stream, refusing the connection.
                     shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    shared.metrics.connections_active.dec();
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
@@ -289,12 +378,35 @@ fn accept_loop(
 
 fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>, slot: usize) {
     let mut ctx = shared.core.new_context();
+    ctx.attach_obs(Arc::clone(&shared.engine_obs));
     while let Ok(job) = jobs.recv() {
+        shared.metrics.queue_depth.dec();
+        let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+        shared.metrics.queue_wait.record(queue_nanos);
+        let before = ctx.stats().tiers;
+        let started = Instant::now();
         let response = answer(&shared.core, &mut ctx, &job.request);
+        let handle_nanos = started.elapsed().as_nanos() as u64;
+        shared.metrics.handle.record(handle_nanos);
+        let after = ctx.stats().tiers;
+        let tiers = [
+            (after.fault_free_row - before.fault_free_row) as u64,
+            (after.unaffected_fast_path - before.unaffected_fast_path) as u64,
+            (after.batched_unaffected - before.batched_unaffected) as u64,
+            (after.sparse_h_bfs - before.sparse_h_bfs) as u64,
+            (after.augmented_bfs - before.augmented_bfs) as u64,
+            (after.full_graph_bfs - before.full_graph_bfs) as u64,
+        ];
         shared.worker_stats[slot].store(&ctx.stats());
         // A send failure means the connection died while its request was
         // queued; the answer is simply dropped.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(JobDone {
+            request: job.request,
+            response,
+            queue_nanos,
+            handle_nanos,
+            tiers,
+        });
     }
 }
 
@@ -368,18 +480,34 @@ fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Respo
             Err(e) => engine_error(&e),
         },
         // Routed inline by the connection thread; reaching a worker is a bug.
-        Request::Hello { .. } | Request::Stats | Request::Shutdown => Response::Error {
+        Request::Hello { .. }
+        | Request::Stats
+        | Request::Metrics { .. }
+        | Request::SlowQueries
+        | Request::Shutdown => Response::Error {
             code: ErrorCode::Internal as u16,
             message: "control request routed to a worker".to_string(),
         },
     }
 }
 
+/// Why a connection stopped yielding frames — kept so the reap counters
+/// can tell an idle expiry from a client that simply finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CloseReason {
+    /// The peer closed cleanly at a frame boundary.
+    CleanEof,
+    /// No bytes for the idle budget: the server reaped the connection.
+    Idle,
+    /// Shutdown noticed between frames.
+    Shutdown,
+}
+
 /// Outcome of reading one frame under the idle/shutdown regime.
 enum FrameRead {
     Frame(Vec<u8>),
     /// Clean EOF, idle expiry, or shutdown noticed between frames.
-    Closed,
+    Closed(CloseReason),
 }
 
 /// Read one frame, accumulating idle time in `idle_timeout`-bounded ticks.
@@ -392,7 +520,7 @@ fn read_frame_idle(stream: &mut TcpStream, shared: &Shared) -> io::Result<FrameR
     let mut len_bytes = [0u8; 4];
     match fill_with_idle(stream, shared, &mut len_bytes, true)? {
         FillOutcome::Done => {}
-        FillOutcome::Closed => return Ok(FrameRead::Closed),
+        FillOutcome::Closed(reason) => return Ok(FrameRead::Closed(reason)),
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
     if len > crate::protocol::MAX_FRAME_LEN {
@@ -404,13 +532,13 @@ fn read_frame_idle(stream: &mut TcpStream, shared: &Shared) -> io::Result<FrameR
     let mut payload = vec![0u8; len];
     match fill_with_idle(stream, shared, &mut payload, false)? {
         FillOutcome::Done => Ok(FrameRead::Frame(payload)),
-        FillOutcome::Closed => Ok(FrameRead::Closed),
+        FillOutcome::Closed(reason) => Ok(FrameRead::Closed(reason)),
     }
 }
 
 enum FillOutcome {
     Done,
-    Closed,
+    Closed(CloseReason),
 }
 
 fn fill_with_idle(
@@ -426,7 +554,7 @@ fn fill_with_idle(
             Ok(0) => {
                 // Clean close at a frame boundary; truncation inside one.
                 return if at_frame_boundary && filled == 0 {
-                    Ok(FillOutcome::Closed)
+                    Ok(FillOutcome::Closed(CloseReason::CleanEof))
                 } else {
                     Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -442,11 +570,11 @@ fn fill_with_idle(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if at_frame_boundary && filled == 0 && shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(FillOutcome::Closed);
+                    return Ok(FillOutcome::Closed(CloseReason::Shutdown));
                 }
                 idle += read_tick(shared);
                 if idle >= shared.idle_timeout {
-                    return Ok(FillOutcome::Closed);
+                    return Ok(FillOutcome::Closed(CloseReason::Idle));
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -462,20 +590,54 @@ fn read_tick(shared: &Shared) -> Duration {
     shared.idle_timeout.min(Duration::from_millis(100))
 }
 
+/// The slow-query description of a query request: opcode, source, target
+/// count, and the fault set (for `BatchDist`, whose fault sets vary per
+/// entry, the first one stands in). `None` for control frames.
+fn slow_query_shape(request: &Request) -> Option<(u8, ftb_graph::VertexId, u32, FaultSet)> {
+    match request {
+        Request::Dist { source, faults, .. } => Some((0x02, *source, 1, faults.clone())),
+        Request::Path { source, faults, .. } => Some((0x03, *source, 1, faults.clone())),
+        Request::BatchDist { source, queries } => Some((
+            0x04,
+            *source,
+            queries.len() as u32,
+            queries.first().map(|(_, f)| f.clone()).unwrap_or_default(),
+        )),
+        Request::DistMany {
+            source,
+            targets,
+            faults,
+        } => Some((0x07, *source, targets.len() as u32, faults.clone())),
+        _ => None,
+    }
+}
+
 fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(read_tick(shared)))?;
-    let mut hello_done = false;
+    let cell = shared.metrics.conn_cell();
+    let mut session_version: Option<u16> = None;
     loop {
         let payload = match read_frame_idle(&mut stream, shared)? {
             FrameRead::Frame(p) => p,
-            FrameRead::Closed => return Ok(()),
+            FrameRead::Closed(reason) => {
+                if reason == CloseReason::Idle {
+                    shared.metrics.reaped_idle.inc();
+                }
+                return Ok(());
+            }
         };
-        let request = match decode_request(&payload) {
+        let decode_started = Instant::now();
+        let decoded = decode_request(&payload);
+        cell.decode
+            .record(decode_started.elapsed().as_nanos() as u64);
+        let request = match decoded {
             Ok(r) => r,
             Err(e) => {
                 // A peer that sends garbage gets one typed error frame,
                 // then the connection closes: framing is unrecoverable.
+                shared.metrics.decode_errors_total.inc();
+                shared.metrics.reaped_malformed.inc();
                 let resp = Response::Error {
                     code: ErrorCode::MalformedFrame as u16,
                     message: e.to_string(),
@@ -484,44 +646,109 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
                 return Ok(());
             }
         };
+        shared.metrics.count_request(&request);
         let mut close_after_reply = false;
-        let response = match request {
-            Request::Hello { client_version } => {
-                if client_version == PROTOCOL_VERSION {
-                    hello_done = true;
-                    shared.hello_ok()
-                } else {
+        // Version-gate before routing: a session that has not negotiated
+        // the frame's protocol level gets a typed violation, whatever the
+        // frame is.
+        let gate = match session_version {
+            None if !matches!(request, Request::Hello { .. }) => Some(Response::Error {
+                code: ErrorCode::ProtocolViolation as u16,
+                message: "requests before Hello handshake".to_string(),
+            }),
+            Some(v) if v < request.min_version() => Some(Response::Error {
+                code: ErrorCode::ProtocolViolation as u16,
+                message: format!(
+                    "request needs protocol version {}, session negotiated {v}",
+                    request.min_version()
+                ),
+            }),
+            _ => None,
+        };
+        let (response, done) = if let Some(resp) = gate {
+            (resp, None)
+        } else {
+            match request {
+                Request::Hello { client_version } => {
+                    let resp =
+                        if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&client_version) {
+                            // Speak the client's (older or equal) version for
+                            // the rest of the session.
+                            session_version = Some(client_version);
+                            shared.hello_ok(client_version)
+                        } else {
+                            close_after_reply = true;
+                            Response::Error {
+                                code: ErrorCode::ProtocolViolation as u16,
+                                message: format!(
+                                    "server speaks protocol versions \
+                                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                                 client sent {client_version}"
+                                ),
+                            }
+                        };
+                    (resp, None)
+                }
+                Request::Stats => (Response::Stats(shared.stats_report()), None),
+                Request::Metrics { format } => {
+                    let text = match format {
+                        MetricsFormat::Prometheus => shared.metrics.render_prometheus(),
+                        MetricsFormat::Json => shared.metrics.render_json(),
+                    };
+                    (Response::MetricsText(text), None)
+                }
+                Request::SlowQueries => {
+                    let board = shared
+                        .metrics
+                        .slow_log
+                        .snapshot()
+                        .into_iter()
+                        .map(|(_, entry)| entry)
+                        .collect();
+                    (Response::SlowQueries(board), None)
+                }
+                Request::Shutdown => {
+                    shared.shutdown.store(true, Ordering::SeqCst);
                     close_after_reply = true;
-                    Response::Error {
-                        code: ErrorCode::ProtocolViolation as u16,
-                        message: format!(
-                            "server speaks protocol version {PROTOCOL_VERSION}, \
-                             client sent {client_version}"
-                        ),
-                    }
+                    (Response::ShuttingDown, None)
                 }
-            }
-            Request::Stats => Response::Stats(shared.stats_report()),
-            Request::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                close_after_reply = true;
-                Response::ShuttingDown
-            }
-            work @ (Request::Dist { .. }
-            | Request::Path { .. }
-            | Request::BatchDist { .. }
-            | Request::DistMany { .. }) => {
-                if !hello_done {
-                    Response::Error {
-                        code: ErrorCode::ProtocolViolation as u16,
-                        message: "queries before Hello handshake".to_string(),
-                    }
-                } else {
-                    submit(shared, jobs, work)
-                }
+                work @ (Request::Dist { .. }
+                | Request::Path { .. }
+                | Request::BatchDist { .. }
+                | Request::DistMany { .. }) => match submit(shared, jobs, work) {
+                    Submitted::Answered(JobDone {
+                        request,
+                        response,
+                        queue_nanos,
+                        handle_nanos,
+                        tiers,
+                    }) => (response, Some((request, queue_nanos, handle_nanos, tiers))),
+                    Submitted::Refused(resp) => (resp, None),
+                },
             }
         };
-        write_frame(&mut stream, &encode_response(&response))?;
+        let encode_started = Instant::now();
+        let encoded = encode_response(&response);
+        let encode_nanos = encode_started.elapsed().as_nanos() as u64;
+        cell.encode.record(encode_nanos);
+        if let Some((request, queue_nanos, handle_nanos, tiers)) = done {
+            if let Some((opcode, source, targets, faults)) = slow_query_shape(&request) {
+                shared.metrics.slow_log.offer(
+                    handle_nanos,
+                    SlowQueryReport {
+                        opcode,
+                        source,
+                        targets,
+                        faults,
+                        queue_nanos,
+                        handle_nanos,
+                        encode_nanos,
+                        tiers,
+                    },
+                );
+            }
+        }
+        write_frame(&mut stream, &encoded)?;
         if close_after_reply || shared.shutdown.load(Ordering::SeqCst) {
             // The in-flight request (if any) was answered above; close so
             // the accept loop's drain can complete.
@@ -530,31 +757,176 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
     }
 }
 
+/// What admission control produced: a worker's finished job (with stage
+/// timings for the slow-query board) or a refusal answered inline.
+enum Submitted {
+    Answered(JobDone),
+    Refused(Response),
+}
+
 /// Admission control: offer the job to the bounded queue without blocking.
-fn submit(shared: &Shared, jobs: &Sender<Job>, request: Request) -> Response {
+fn submit(shared: &Shared, jobs: &Sender<Job>, request: Request) -> Submitted {
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     match jobs.try_send(Job {
         request,
+        enqueued: Instant::now(),
         reply: reply_tx,
     }) {
         Ok(()) => {
             shared.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.queue_depth.inc();
             // The worker holds the only sender; RecvError here means it
             // dropped the job during shutdown drain.
-            reply_rx.recv().unwrap_or(Response::Error {
-                code: ErrorCode::Internal as u16,
-                message: "server shut down before answering".to_string(),
-            })
+            match reply_rx.recv() {
+                Ok(done) => Submitted::Answered(done),
+                Err(_) => Submitted::Refused(Response::Error {
+                    code: ErrorCode::Internal as u16,
+                    message: "server shut down before answering".to_string(),
+                }),
+            }
         }
         Err(TrySendError::Full(_)) => {
             shared.shed.fetch_add(1, Ordering::Relaxed);
-            Response::Overloaded
+            shared.metrics.shed_total.inc();
+            Submitted::Refused(Response::Overloaded)
         }
-        Err(TrySendError::Disconnected(_)) => Response::Error {
+        Err(TrySendError::Disconnected(_)) => Submitted::Refused(Response::Error {
             code: ErrorCode::Internal as u16,
             message: "server is shutting down".to_string(),
-        },
+        }),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Plaintext HTTP metrics endpoint
+// ---------------------------------------------------------------------------
+
+/// Accept loop of the `--metrics-addr` listener: enough HTTP/1.1 to let
+/// `curl` and Prometheus scrape without speaking the binary protocol.
+/// Routes `/metrics` (text exposition), `/metrics.json`, and `/slow`
+/// (the slow-query board as JSON). One request per connection.
+fn metrics_http_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are rare and the payload is small: handle inline
+                // so a scraper cannot fork unbounded threads.
+                let _ = serve_metrics_http(stream, &shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            Err(_) => thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+/// Read one HTTP request head (bounded), answer it, close.
+fn serve_metrics_http(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nodelay(true)?;
+    // Read until the end of the request head, capped well above any sane
+    // scraper's GET line.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return write_http(&mut stream, 431, "text/plain", "header too large\n");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return write_http(&mut stream, 405, "text/plain", "only GET is served\n");
+    }
+    match path {
+        "/metrics" | "/" => {
+            let body = shared.metrics.render_prometheus();
+            write_http(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/metrics.json" => {
+            let body = shared.metrics.render_json();
+            write_http(&mut stream, 200, "application/json", &body)
+        }
+        "/slow" => {
+            let body = render_slow_json(shared);
+            write_http(&mut stream, 200, "application/json", &body)
+        }
+        _ => write_http(
+            &mut stream,
+            404,
+            "text/plain",
+            "routes: /metrics /metrics.json /slow\n",
+        ),
+    }
+}
+
+fn write_http(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    use std::io::Write as _;
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The slow-query board as a JSON array, slowest first.
+fn render_slow_json(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, (_, q)) in shared.metrics.slow_log.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let faults: Vec<String> = q
+            .faults
+            .iter()
+            .map(|f| match f {
+                ftb_graph::Fault::Edge(e) => format!("\"e{}\"", e.0),
+                ftb_graph::Fault::Vertex(v) => format!("\"v{}\"", v.0),
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "\n  {{\"opcode\":{},\"source\":{},\"targets\":{},\"faults\":[{}],\
+             \"queue_nanos\":{},\"handle_nanos\":{},\"encode_nanos\":{},\"tiers\":{:?}}}",
+            q.opcode,
+            q.source.0,
+            q.targets,
+            faults.join(","),
+            q.queue_nanos,
+            q.handle_nanos,
+            q.encode_nanos,
+            q.tiers,
+        );
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// Block until `server`'s port stops accepting connections, with a bound.

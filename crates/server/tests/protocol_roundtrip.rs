@@ -5,7 +5,7 @@
 use ftb_graph::{EdgeId, Fault, FaultSet, VertexId};
 use ftb_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, DecodeError, ErrorCode,
-    Request, Response, StatsReport, WirePath,
+    MetricsFormat, Request, Response, SlowQueryReport, StatsReport, WirePath,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -49,6 +49,14 @@ fn make_request(tag: u8, a: u32, b: u32, faults: FaultSet, batch: &[(u32, u32)])
         },
         4 => Request::Stats,
         5 => Request::Shutdown,
+        6 => Request::Metrics {
+            format: if a.is_multiple_of(2) {
+                MetricsFormat::Prometheus
+            } else {
+                MetricsFormat::Json
+            },
+        },
+        7 => Request::SlowQueries,
         _ => Request::DistMany {
             source: VertexId(a),
             targets: batch.iter().map(|&(t, _)| VertexId(t)).collect(),
@@ -93,6 +101,25 @@ fn make_response(tag: u8, a: u32, b: u32, path_len: usize, batch: &[(u32, u32)])
                 .map(|&(d, flag)| (flag % 2 == 1).then_some(d))
                 .collect(),
         ),
+        10 => Response::MetricsText(format!(
+            "# HELP ftb_requests_total requests\n# TYPE ftb_requests_total counter\n\
+             ftb_requests_total{{op=\"dist\"}} {a}\n"
+        )),
+        11 => Response::SlowQueries(
+            batch
+                .iter()
+                .map(|&(t, e)| SlowQueryReport {
+                    opcode: 0x02 + (e % 4) as u8,
+                    source: VertexId(a),
+                    targets: t,
+                    faults: FaultSet::from(EdgeId(e)),
+                    queue_nanos: (t as u64) << 8,
+                    handle_nanos: (e as u64) << 16,
+                    encode_nanos: t as u64 ^ e as u64,
+                    tiers: [t as u64, e as u64, 0, 1, 2, 3],
+                })
+                .collect(),
+        ),
         _ => Response::Error {
             code: ErrorCode::VertexOutOfRange as u16 + (a % 8) as u16,
             message: format!("synthetic error {b}"),
@@ -105,7 +132,7 @@ proptest! {
 
     #[test]
     fn requests_reencode_byte_identically(
-        tag in 0u8..7,
+        tag in 0u8..9,
         a in 0u32..65536,
         b in 0u32..50_000,
         kinds in collection::vec(0u8..2, 0..6),
@@ -121,7 +148,7 @@ proptest! {
 
     #[test]
     fn responses_reencode_byte_identically(
-        tag in 0u8..11,
+        tag in 0u8..13,
         a in 0u32..65536,
         b in 0u32..50_000,
         path_len in 0usize..12,
@@ -136,7 +163,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_truncated(
-        tag in 0u8..7,
+        tag in 0u8..9,
         a in 0u32..65536,
         kinds in collection::vec(0u8..2, 0..6),
         ids in collection::vec(0u32..100_000, 0..6),
@@ -152,7 +179,7 @@ proptest! {
     #[test]
     fn corrupt_and_garbage_bytes_never_panic(
         garbage in collection::vec(0u32..256, 0..64),
-        tag in 0u8..11,
+        tag in 0u8..13,
         a in 0u32..65536,
         flip_pos in 0u32..10_000,
         flip_bit in 0u8..8,

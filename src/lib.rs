@@ -100,6 +100,7 @@
 pub use ftb_core as core;
 pub use ftb_graph as graph;
 pub use ftb_lower_bounds as lower_bounds;
+pub use ftb_obs as obs;
 pub use ftb_par as par;
 pub use ftb_rp as rp;
 pub use ftb_sp as sp;
@@ -115,6 +116,8 @@ pub use ftb_core::{
     ReinforcedTreeBuilder, Sources, StructureBuilder, TierCounters, TradeoffBuilder,
     FORCE_FULL_SWEEP_ENV,
 };
+
+pub use ftb_core::EngineObs;
 
 pub use ftb_core::{
     try_build_baseline_ftbfs, try_build_ft_bfs, try_build_ft_mbfs, try_build_reinforced_tree,
