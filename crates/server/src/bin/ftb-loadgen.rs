@@ -22,7 +22,7 @@
 //! control refused.
 
 use ftb_bench::LatencyHistogram;
-use ftb_server::{Client, EngineSpec, Request, Response};
+use ftb_server::{Client, EngineSpec, Request, Response, RetryPolicy, RetryStats};
 use ftb_workloads::{ArrivalProcess, ArrivalSchedule, FaultScenario};
 use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,13 +45,20 @@ struct Args {
     /// to this file, next to the latency report on stdout.
     metrics_out: Option<String>,
     shutdown: bool,
+    /// Retries per request beyond the first attempt; 0 keeps the old
+    /// fire-once behaviour (failures count once and move on).
+    retries: u32,
+    /// Client-supplied per-request budget (protocol ≥ 4); `None` sends
+    /// bare requests.
+    deadline: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ftb-loadgen --addr HOST:PORT [--rate R] [--requests Q] [--clients C]\n\
          \x20                  [--process fixed|poisson] [--f K] [--scenario NAME]\n\
-         \x20                  [--targets T] [--metrics-out FILE] [--shutdown]\n\
+         \x20                  [--targets T] [--retries N] [--deadline-ms MS]\n\
+         \x20                  [--metrics-out FILE] [--shutdown]\n\
          \x20                  {}\n\
          scenarios: {}",
         EngineSpec::cli_usage(),
@@ -84,6 +91,8 @@ fn parse_args() -> Args {
         targets_per_request: 0,
         metrics_out: None,
         shutdown: false,
+        retries: 3,
+        deadline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -126,6 +135,11 @@ fn parse_args() -> Args {
                     });
             }
             "--targets" => args.targets_per_request = parse_num(&value("--targets"), "--targets"),
+            "--retries" => args.retries = parse_num(&value("--retries"), "--retries"),
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value("--deadline-ms"), "--deadline-ms");
+                args.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage(),
@@ -148,7 +162,9 @@ struct Tally {
     ok: u64,
     disconnected: u64,
     shed: u64,
+    deadline_exceeded: u64,
     errors: u64,
+    retry: RetryStats,
 }
 
 fn ms(nanos: u64) -> f64 {
@@ -252,7 +268,29 @@ fn main() {
         args.spec.describe(),
     );
 
-    let before = probe.stats().unwrap_or_else(|e| {
+    // The probe's counter fetches ride the same retry machinery as the
+    // load itself: Stats is an idempotent read, and against a server under
+    // chaos (or genuine duress) a single torn connection must not abort
+    // the whole run.
+    let probe_policy = RetryPolicy {
+        max_retries: args.retries.max(3),
+        seed: args.spec.seed ^ 0x5747_5453, // "STAT", distinct from load seeds
+        ..RetryPolicy::default()
+    };
+    let mut probe_retry = RetryStats::default();
+    let fetch_stats = |probe: &mut Client, retry: &mut RetryStats| match probe.request_with_retry(
+        &Request::Stats,
+        &probe_policy,
+        retry,
+    )? {
+        Response::Stats(report) => Ok(report),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected stats reply: {other:?}"),
+        )),
+    };
+
+    let before = fetch_stats(&mut probe, &mut probe_retry).unwrap_or_else(|e| {
         eprintln!("ftb-loadgen: stats failed: {e}");
         exit(1)
     });
@@ -281,11 +319,19 @@ fn main() {
     let mut merged_tally = Tally::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..clients {
+        for client_idx in 0..clients {
             let cursor = Arc::clone(&cursor);
             let addr = &args.addr;
             let requests = &requests;
             let schedule = &schedule;
+            let deadline = args.deadline;
+            let policy = RetryPolicy {
+                max_retries: args.retries,
+                // Distinct seeds per thread: clients that fail in lockstep
+                // (e.g. all shed by the same full queue) back off apart.
+                seed: args.spec.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9),
+                ..RetryPolicy::default()
+            };
             handles.push(scope.spawn(move || {
                 let mut hist = LatencyHistogram::new();
                 let mut tally = Tally::default();
@@ -296,6 +342,7 @@ fn main() {
                         return (hist, tally);
                     }
                 };
+                let v4 = client.info().version >= 4;
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= requests.len() {
@@ -306,7 +353,19 @@ fn main() {
                     if due > now {
                         std::thread::sleep(due - now);
                     }
-                    match client.request(&requests[i]) {
+                    let request;
+                    let request = match deadline {
+                        Some(budget) if v4 => {
+                            request = Request::Deadline {
+                                budget_ms: budget.as_millis().min(u32::MAX as u128) as u32,
+                                inner: Box::new(requests[i].clone()),
+                            };
+                            &request
+                        }
+                        _ => &requests[i],
+                    };
+                    let result = client.request_with_retry(request, &policy, &mut tally.retry);
+                    match result {
                         Ok(Response::Dist(d)) => {
                             tally.ok += 1;
                             if d.is_none() {
@@ -320,10 +379,16 @@ fn main() {
                             hist.record(due.elapsed().as_nanos() as u64);
                         }
                         Ok(Response::Overloaded) => tally.shed += 1,
+                        Ok(Response::Error { code, .. })
+                            if code == ftb_server::ErrorCode::DeadlineExceeded as u16 =>
+                        {
+                            tally.deadline_exceeded += 1
+                        }
                         Ok(_) => tally.errors += 1,
                         Err(_) => {
                             tally.errors += 1;
-                            // The connection is gone; reconnect and go on.
+                            // The retry budget is spent and the connection
+                            // is gone; reconnect bare and go on.
                             match Client::connect(addr) {
                                 Ok(c) => client = c,
                                 Err(_) => break,
@@ -340,21 +405,38 @@ fn main() {
                 merged_tally.ok += tally.ok;
                 merged_tally.disconnected += tally.disconnected;
                 merged_tally.shed += tally.shed;
+                merged_tally.deadline_exceeded += tally.deadline_exceeded;
                 merged_tally.errors += tally.errors;
+                merged_tally.retry.attempts += tally.retry.attempts;
+                merged_tally.retry.retries += tally.retry.retries;
+                merged_tally.retry.reconnects += tally.retry.reconnects;
+                merged_tally.retry.gave_up += tally.retry.gave_up;
             }
         }
     });
     let wall = start.elapsed().as_secs_f64().max(1e-9);
 
     println!(
-        "completed {} ok ({} disconnected answers), {} shed, {} errors in {:.2}s -> {:.0} req/s served",
+        "completed {} ok ({} disconnected answers), {} shed, {} deadline-exceeded, {} errors \
+         in {:.2}s -> {:.0} req/s served",
         merged_tally.ok,
         merged_tally.disconnected,
         merged_tally.shed,
+        merged_tally.deadline_exceeded,
         merged_tally.errors,
         wall,
         merged_tally.ok as f64 / wall,
     );
+    if args.retries > 0 {
+        println!(
+            "retry: {} attempts for {} requests, {} retried, {} reconnects, {} gave up",
+            merged_tally.retry.attempts,
+            requests.len(),
+            merged_tally.retry.retries,
+            merged_tally.retry.reconnects,
+            merged_tally.retry.gave_up,
+        );
+    }
     if merged_hist.count() > 0 {
         println!(
             "latency from scheduled send (client backlog included): \
@@ -381,7 +463,7 @@ fn main() {
         }
     }
 
-    match probe.stats() {
+    match fetch_stats(&mut probe, &mut probe_retry) {
         Ok(after) => {
             println!(
                 "server deltas: queries={} cached={} repaired_rows={} restricted_repairs={} \

@@ -20,10 +20,12 @@
 //! spec flags passed alongside are cross-checked against the snapshot's
 //! embedded recipe and fingerprint rather than used to build.
 
+use ftb_chaos::{ChaosConfig, SeededChaos};
 use ftb_core::{EngineOptions, FtbfsError, SNAPSHOT_FORMAT_VERSION};
 use ftb_server::{setup, EngineSpec, Provenance, ServeOptions, Server};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -41,6 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftb-serve [--addr HOST:PORT] [--snapshot FILE] [--save-snapshot FILE]\n\
          \x20                [--workers W] [--queue-depth D] [--idle-timeout-ms MS]\n\
+         \x20                [--request-timeout-ms MS] [--chaos-seed S]\n\
          \x20                [--metrics-addr HOST:PORT] [--slow-log K] [--no-sampling]\n\
          \x20                {}",
         EngineSpec::cli_usage()
@@ -96,6 +99,21 @@ fn parse_args() -> Args {
                     eprintln!("--metrics-addr expects HOST:PORT, got {addr:?}");
                     usage()
                 }))
+            }
+            "--request-timeout-ms" => {
+                let ms: u64 = parse_num(&value("--request-timeout-ms"), "--request-timeout-ms");
+                // 0 disables the server-side deadline (clients may still set
+                // their own via the protocol's Deadline wrapper).
+                args.options.request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--chaos-seed" => {
+                let seed: u64 = parse_num(&value("--chaos-seed"), "--chaos-seed");
+                eprintln!(
+                    "ftb-serve: WARNING: fault injection enabled (--chaos-seed {seed}); \
+                     this server will deliberately drop, stall, and corrupt its own \
+                     operations. Never use in production."
+                );
+                args.options.chaos = Some(Arc::new(SeededChaos::new(ChaosConfig::storm(seed))));
             }
             "--slow-log" => {
                 args.options.slow_log_capacity = parse_num(&value("--slow-log"), "--slow-log")
@@ -201,6 +219,13 @@ fn main() {
 
     let graph = core.graph();
     let (n, m, fingerprint) = (graph.num_vertices(), graph.num_edges(), graph.fingerprint());
+    // `ServeOptions` is no longer `Copy` (it can hold a chaos injector), so
+    // grab the fields the banner prints before `bind` consumes it.
+    let (workers, queue_depth, startup_micros) = (
+        args.options.workers,
+        args.options.queue_depth,
+        args.options.provenance.startup_micros,
+    );
     let server = Server::bind(&args.addr, core, args.options).unwrap_or_else(|e| {
         eprintln!("ftb-serve: bind {} failed: {e}", args.addr);
         exit(1)
@@ -213,10 +238,10 @@ fn main() {
         n,
         m,
         fingerprint,
-        args.options.workers.max(1),
-        args.options.queue_depth.max(1),
+        workers.max(1),
+        queue_depth.max(1),
         if from_snapshot { "snapshot" } else { "built" },
-        args.options.provenance.startup_micros as f64 / 1e3,
+        startup_micros as f64 / 1e3,
     );
     if let Some(metrics_addr) = server.metrics_addr() {
         println!("ftb-serve: metrics on http://{metrics_addr}/metrics");

@@ -7,9 +7,12 @@ use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, MetricsFormat, Request, Response,
     SlowQueryReport, StatsReport, PROTOCOL_VERSION,
 };
+use crate::retry::{classify, failure_is_retryable, request_is_idempotent, RetryState};
+use crate::{RetryPolicy, RetryStats};
 use ftb_graph::{FaultSet, VertexId};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What the server declared about itself in the handshake.
 #[derive(Clone, Debug)]
@@ -31,6 +34,10 @@ pub struct ServerInfo {
 pub struct Client {
     stream: TcpStream,
     info: ServerInfo,
+    /// Resolved peer address, kept so a retry can re-dial after a reset.
+    addr: SocketAddr,
+    /// Read timeout re-applied across reconnects.
+    read_timeout: Option<Duration>,
 }
 
 fn bad_data<E: std::fmt::Display>(e: E) -> io::Error {
@@ -45,6 +52,7 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let mut client = Client {
             stream,
             info: ServerInfo {
@@ -54,8 +62,15 @@ impl Client {
                 num_edges: 0,
                 sources: Vec::new(),
             },
+            addr: peer,
+            read_timeout: None,
         };
-        match client.request(&Request::Hello {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    fn handshake(&mut self) -> io::Result<()> {
+        match self.request(&Request::Hello {
             client_version: PROTOCOL_VERSION,
         })? {
             Response::HelloOk {
@@ -65,14 +80,14 @@ impl Client {
                 num_edges,
                 sources,
             } => {
-                client.info = ServerInfo {
+                self.info = ServerInfo {
                     version,
                     fingerprint,
                     num_vertices,
                     num_edges,
                     sources,
                 };
-                Ok(client)
+                Ok(())
             }
             Response::Error { message, .. } => {
                 Err(bad_data(format!("handshake rejected: {message}")))
@@ -81,9 +96,31 @@ impl Client {
         }
     }
 
+    /// Drop the current connection and establish a fresh, handshaken one
+    /// to the same address, preserving any configured read timeout.
+    ///
+    /// This is what [`Client::request_with_retry`] reaches for after a
+    /// transport error; it is public so callers with their own retry
+    /// loops can self-heal the same way.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.stream = stream;
+        self.handshake()
+    }
+
     /// The handshake information.
     pub fn info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// Bound how long a single response read may block. `None` removes the
+    /// bound. Survives [`Client::reconnect`].
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     /// Send one request and block for its response.
@@ -96,6 +133,72 @@ impl Client {
             )
         })?;
         decode_response(&payload).map_err(bad_data)
+    }
+
+    /// Send one request under a client-supplied deadline (protocol ≥ 4).
+    ///
+    /// The request is wrapped in [`Request::Deadline`]; the budget starts
+    /// when the server admits the job, so queue time counts against it. If
+    /// the negotiated session is older than v4 the wrapper would be a
+    /// protocol violation, so the request is sent bare and the budget is
+    /// silently best-effort (the server may still apply its own
+    /// `--request-timeout-ms`).
+    pub fn request_with_deadline(
+        &mut self,
+        req: &Request,
+        budget: Duration,
+    ) -> io::Result<Response> {
+        if self.info.version < 4 {
+            return self.request(req);
+        }
+        let budget_ms = budget.as_millis().min(u32::MAX as u128) as u32;
+        self.request(&Request::Deadline {
+            budget_ms,
+            inner: Box::new(req.clone()),
+        })
+    }
+
+    /// Send one request, retrying transient failures under `policy`.
+    ///
+    /// Transport errors trigger a reconnect-and-rehandshake before the next
+    /// attempt; `Overloaded`/`Internal` reply frames are retried on the
+    /// live connection. Non-idempotent requests ([`Request::Shutdown`]) and
+    /// deterministic rejections are never retried — see [`crate::retry`]
+    /// for the classification. Counters for every attempt land in `stats`.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+        stats: &mut RetryStats,
+    ) -> io::Result<Response> {
+        let mut state = RetryState::new(policy);
+        let retryable_request = request_is_idempotent(req);
+        let mut attempt = 0u32;
+        loop {
+            stats.attempts += 1;
+            let result = self.request(req);
+            let failure = match classify(&result) {
+                None => return result,
+                Some(f) => f,
+            };
+            let budget_left = attempt < policy.max_retries;
+            if !retryable_request || !failure_is_retryable(&failure) || !budget_left {
+                if retryable_request && failure_is_retryable(&failure) {
+                    stats.gave_up += 1;
+                }
+                return result;
+            }
+            attempt += 1;
+            stats.retries += 1;
+            std::thread::sleep(state.next_backoff());
+            if result.is_err() {
+                // The transport failed: this connection is dead (or at
+                // least desynchronized). Re-dial before the next attempt;
+                // if the server itself is gone, surface that error.
+                stats.reconnects += 1;
+                self.reconnect()?;
+            }
+        }
     }
 
     /// Distance query convenience wrapper.

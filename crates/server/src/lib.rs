@@ -35,6 +35,7 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod setup;
 
@@ -45,7 +46,10 @@ pub use protocol::{
     DecodeError, ErrorCode, MetricsFormat, Request, Response, SlowQueryReport, StatsReport,
     WirePath, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{wait_until_stopped, Provenance, ServeOptions, Server};
+pub use retry::{RetryPolicy, RetryStats};
+pub use server::{
+    wait_until_ready, wait_until_stopped, wait_until_stopped_with, Provenance, ServeOptions, Server,
+};
 pub use setup::{
     decode_spec, encode_spec, load_snapshot, parse_family, save_snapshot, EngineSpec,
     SnapshotLoadError,

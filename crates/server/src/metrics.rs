@@ -122,6 +122,23 @@ pub struct ServerMetrics {
 
     /// `ftb_requests_shed_total` — answered `Overloaded` (queue full).
     pub shed_total: Arc<Counter>,
+    /// `ftb_requests_deadline_exceeded_total` — shed with
+    /// `DeadlineExceeded` before compute (expired in queue or mid-batch).
+    pub deadline_exceeded_total: Arc<Counter>,
+    /// `ftb_thread_panics_total{thread="accept"}`.
+    pub thread_panics_accept: Arc<Counter>,
+    /// `ftb_thread_panics_total{thread="worker"}` — caught in the request
+    /// handler or fatal to the worker thread alike.
+    pub thread_panics_worker: Arc<Counter>,
+    /// `ftb_thread_panics_total{thread="metrics"}`.
+    pub thread_panics_metrics: Arc<Counter>,
+    /// `ftb_worker_respawns_total` — workers given a fresh `QueryContext`
+    /// after a panic (in-place after a caught handler panic, or a full
+    /// thread respawn by the supervisor).
+    pub worker_respawns: Arc<Counter>,
+    /// `ftb_accept_errors_total` — failed `accept` calls (transient OS
+    /// errors and injected faults); the loop keeps serving through them.
+    pub accept_errors_total: Arc<Counter>,
     /// `ftb_connections_total` — connections accepted over the lifetime.
     pub connections_total: Arc<Counter>,
     /// `ftb_decode_errors_total` — frames that failed to decode.
@@ -165,6 +182,10 @@ impl ServerMetrics {
             )
         };
 
+        let panic_help = "Server threads that panicked, by thread role";
+        let panics =
+            |thread: &str| r.counter("ftb_thread_panics_total", panic_help, &[("thread", thread)]);
+
         let decode_cells = CellSet::new();
         let encode_cells = CellSet::new();
         let decode_view = Arc::clone(&decode_cells);
@@ -195,6 +216,24 @@ impl ServerMetrics {
             shed_total: r.counter(
                 "ftb_requests_shed_total",
                 "Requests shed with Overloaded (bounded queue full)",
+                &[],
+            ),
+            deadline_exceeded_total: r.counter(
+                "ftb_requests_deadline_exceeded_total",
+                "Requests shed with DeadlineExceeded before compute",
+                &[],
+            ),
+            thread_panics_accept: panics("accept"),
+            thread_panics_worker: panics("worker"),
+            thread_panics_metrics: panics("metrics"),
+            worker_respawns: r.counter(
+                "ftb_worker_respawns_total",
+                "Workers respawned with a fresh QueryContext after a panic",
+                &[],
+            ),
+            accept_errors_total: r.counter(
+                "ftb_accept_errors_total",
+                "Failed accept calls survived by the accept loop",
                 &[],
             ),
             connections_total: r.counter(
@@ -267,6 +306,8 @@ impl ServerMetrics {
             Request::Metrics { .. } => self.req_metrics.inc(),
             Request::SlowQueries => self.req_slow_queries.inc(),
             Request::Shutdown => self.req_shutdown.inc(),
+            // A deadline wrapper is counted as the request it carries.
+            Request::Deadline { inner, .. } => self.count_request(inner),
         }
     }
 

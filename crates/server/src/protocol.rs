@@ -28,13 +28,16 @@ use std::io::{Read, Write};
 /// [`StatsReport`] with the engine-provenance fields (`engine_source`,
 /// `startup_micros`, `snapshot_format_version`). Version 3 added the
 /// observability frames: [`Request::Metrics`] → [`Response::MetricsText`]
-/// and [`Request::SlowQueries`] → [`Response::SlowQueries`].
-pub const PROTOCOL_VERSION: u16 = 3;
+/// and [`Request::SlowQueries`] → [`Response::SlowQueries`]. Version 4
+/// added the [`Request::Deadline`] wrapper (a client-supplied per-request
+/// budget) and the [`ErrorCode::DeadlineExceeded`] error code.
+pub const PROTOCOL_VERSION: u16 = 4;
 
-/// Oldest client version the server still accepts. A v2 session works
-/// exactly as before — the v3 frames are *version-gated*: a v2 client
-/// sending [`Request::Metrics`] or [`Request::SlowQueries`] gets
-/// [`ErrorCode::ProtocolViolation`], never a frame it cannot decode.
+/// Oldest client version the server still accepts. A v2 or v3 session
+/// works exactly as before — newer frames are *version-gated*: an older
+/// client sending [`Request::Metrics`], [`Request::SlowQueries`] or
+/// [`Request::Deadline`] gets [`ErrorCode::ProtocolViolation`], never a
+/// frame it cannot decode.
 pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; length prefixes beyond it are rejected
@@ -101,6 +104,26 @@ pub enum Request {
     /// Ask for the slow-query board (protocol ≥ 3): the top-K requests by
     /// handle time, slowest first, with fault set and stage breakdown.
     SlowQueries,
+    /// A query request carrying a client-supplied deadline (protocol ≥ 4).
+    ///
+    /// The budget starts when the server admits the job. A request whose
+    /// budget expires while still queued (or between the fault-set groups
+    /// of a batch) is shed with [`ErrorCode::DeadlineExceeded`] instead of
+    /// burning a BFS on an answer nobody is waiting for. When the server
+    /// also has a `--request-timeout-ms` budget, the *smaller* of the two
+    /// wins.
+    ///
+    /// Only query opcodes may be wrapped ([`Request::Dist`],
+    /// [`Request::Path`], [`Request::BatchDist`], [`Request::DistMany`]) —
+    /// control frames are answered inline and never queue, so a deadline
+    /// on them is meaningless and decoding rejects it (this also rules out
+    /// nested wrappers, keeping decode depth constant).
+    Deadline {
+        /// The client's budget in milliseconds, measured from admission.
+        budget_ms: u32,
+        /// The wrapped query request.
+        inner: Box<Request>,
+    },
 }
 
 /// Exposition format carried by [`Request::Metrics`].
@@ -121,6 +144,7 @@ impl Request {
     pub fn min_version(&self) -> u16 {
         match self {
             Request::Metrics { .. } | Request::SlowQueries => 3,
+            Request::Deadline { .. } => 4,
             _ => MIN_PROTOCOL_VERSION,
         }
     }
@@ -284,6 +308,11 @@ pub enum ErrorCode {
     ProtocolViolation = 7,
     /// Any other engine-side failure.
     Internal = 8,
+    /// The request's deadline (client-supplied or `--request-timeout-ms`)
+    /// expired before the server computed the answer; no work was wasted
+    /// on it. Distinct from [`ErrorCode::Internal`] (something broke) and
+    /// from [`Response::Overloaded`] (the queue refused admission).
+    DeadlineExceeded = 9,
 }
 
 impl ErrorCode {
@@ -298,6 +327,7 @@ impl ErrorCode {
             6 => ErrorCode::MalformedFrame,
             7 => ErrorCode::ProtocolViolation,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -472,6 +502,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.u8(*format as u8);
         }
         Request::SlowQueries => e = Enc::new(0x09),
+        Request::Deadline { budget_ms, inner } => {
+            e = Enc::new(0x0A);
+            e.u32(*budget_ms);
+            e.buf.extend_from_slice(&encode_request(inner));
+        }
     }
     e.buf
 }
@@ -713,6 +748,25 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
             },
         },
         0x09 => Request::SlowQueries,
+        0x0A => {
+            let budget_ms = d.u32()?;
+            // Check the wrapped opcode *before* recursing: only query
+            // opcodes are legal inside a deadline, which both enforces the
+            // protocol rule (control frames never queue) and bounds decode
+            // depth at one — a nested-0x0A bomb cannot recurse.
+            let rest = &payload[d.pos..];
+            match rest.first() {
+                None => return Err(DecodeError::Truncated),
+                Some(0x02 | 0x03 | 0x04 | 0x07) => {}
+                Some(&op) => return Err(DecodeError::BadTag(op)),
+            }
+            let inner = decode_request(rest)?;
+            d.pos = payload.len();
+            Request::Deadline {
+                budget_ms,
+                inner: Box::new(inner),
+            }
+        }
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     d.finish()?;
@@ -950,11 +1004,99 @@ mod tests {
                 format: MetricsFormat::Json,
             },
             Request::SlowQueries,
+            Request::Deadline {
+                budget_ms: 250,
+                inner: Box::new(Request::Dist {
+                    source: VertexId(0),
+                    target: VertexId(9),
+                    faults: sample_faults(),
+                }),
+            },
+            Request::Deadline {
+                budget_ms: 0,
+                inner: Box::new(Request::BatchDist {
+                    source: VertexId(1),
+                    queries: vec![(VertexId(2), sample_faults())],
+                }),
+            },
         ];
         for req in reqs {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes), Ok(req.clone()), "{req:?}");
         }
+    }
+
+    #[test]
+    fn deadline_wraps_only_query_opcodes() {
+        // Control frames inside a deadline are rejected at decode time…
+        for inner in [
+            Request::Hello { client_version: 4 },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+            Request::SlowQueries,
+        ] {
+            let bytes = encode_request(&Request::Deadline {
+                budget_ms: 10,
+                inner: Box::new(inner.clone()),
+            });
+            let op = encode_request(&inner)[0];
+            assert_eq!(
+                decode_request(&bytes),
+                Err(DecodeError::BadTag(op)),
+                "{inner:?}"
+            );
+        }
+        // …and so is a nested deadline: decode depth is bounded at one.
+        let nested = encode_request(&Request::Deadline {
+            budget_ms: 1,
+            inner: Box::new(Request::Deadline {
+                budget_ms: 2,
+                inner: Box::new(Request::Stats),
+            }),
+        });
+        assert_eq!(decode_request(&nested), Err(DecodeError::BadTag(0x0A)));
+    }
+
+    #[test]
+    fn deadline_prefixes_decode_to_truncated() {
+        let bytes = encode_request(&Request::Deadline {
+            budget_ms: 99,
+            inner: Box::new(Request::DistMany {
+                source: VertexId(0),
+                targets: vec![VertexId(1), VertexId(2)],
+                faults: sample_faults(),
+            }),
+        });
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_request(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+        // Trailing bytes after the wrapped request are still rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_request(&padded),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn deadline_is_version_gated_at_v4() {
+        let req = Request::Deadline {
+            budget_ms: 5,
+            inner: Box::new(Request::Dist {
+                source: VertexId(0),
+                target: VertexId(1),
+                faults: FaultSet::new(),
+            }),
+        };
+        assert_eq!(req.min_version(), 4);
     }
 
     #[test]
@@ -1140,7 +1282,7 @@ mod tests {
             ErrorCode::from_engine_error(&err),
             ErrorCode::VertexOutOfRange
         );
-        for code in [1u16, 2, 3, 4, 5, 6, 7, 8] {
+        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9] {
             let ec = ErrorCode::from_u16(code).expect("defined code");
             assert_eq!(ec as u16, code);
         }

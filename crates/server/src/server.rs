@@ -30,11 +30,13 @@ use crate::protocol::{
     Response, SlowQueryReport, StatsReport, WirePath, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ftb_chaos::{Chaos, IoFault, WorkerFault};
 use ftb_core::{AtomicQueryStats, EngineCore, EngineObs, FtbfsError, QueryContext, QueryStats};
 use ftb_graph::FaultSet;
 use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
@@ -58,7 +60,7 @@ pub struct Provenance {
 }
 
 /// Tuning knobs of [`Server::bind`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Worker threads draining the job queue (each with its own
     /// [`QueryContext`]). Clamped to at least 1.
@@ -82,6 +84,34 @@ pub struct ServeOptions {
     /// spans record only while it is on. Off still counts requests and
     /// connection/queue activity — only the clock-reading paths stop.
     pub sampling: bool,
+    /// Server-side per-request budget, measured from queue admission. A
+    /// request that exceeds it while still queued (or between the
+    /// fault-set groups of a batch) is shed with
+    /// [`ErrorCode::DeadlineExceeded`] instead of burning compute on an
+    /// answer nobody is waiting for. `None` disables the budget. When a
+    /// request also carries its own [`Request::Deadline`] budget, the
+    /// smaller of the two wins.
+    pub request_timeout: Option<Duration>,
+    /// Fault injection hook threaded through the accept, IO and worker hot
+    /// paths. `None` (the production default) makes every hook site a
+    /// single branch on an absent `Option` — no drawing, no atomics.
+    pub chaos: Option<Arc<dyn Chaos>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("provenance", &self.provenance)
+            .field("slow_log_capacity", &self.slow_log_capacity)
+            .field("metrics_addr", &self.metrics_addr)
+            .field("sampling", &self.sampling)
+            .field("request_timeout", &self.request_timeout)
+            .field("chaos", &self.chaos.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
@@ -94,6 +124,8 @@ impl Default for ServeOptions {
             slow_log_capacity: DEFAULT_SLOW_LOG_CAPACITY,
             metrics_addr: None,
             sampling: true,
+            request_timeout: None,
+            chaos: None,
         }
     }
 }
@@ -104,6 +136,10 @@ impl Default for ServeOptions {
 struct Job {
     request: Request,
     enqueued: Instant,
+    /// When (if ever) the request stops being worth answering: queue
+    /// admission plus the effective budget (the smaller of the server's
+    /// `--request-timeout-ms` and the client's [`Request::Deadline`]).
+    deadline: Option<Instant>,
     reply: mpsc::SyncSender<JobDone>,
 }
 
@@ -134,6 +170,16 @@ struct Shared {
     provenance: Provenance,
     metrics: Arc<ServerMetrics>,
     engine_obs: Arc<EngineObs>,
+    /// Server-side per-request budget (see [`ServeOptions::request_timeout`]).
+    request_timeout: Option<Duration>,
+    /// Fault injection hook; `None` in production.
+    chaos: Option<Arc<dyn Chaos>>,
+    /// Worker threads currently running their loop — maintained by the
+    /// workers themselves (guard-decremented even on panic), read by
+    /// `/healthz` and tests proving respawn.
+    workers_alive: AtomicUsize,
+    /// `false` once the accept loop has exited; `/healthz` readiness.
+    accept_live: AtomicBool,
 }
 
 impl Shared {
@@ -185,6 +231,7 @@ pub struct Server {
     metrics_local_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept_handle: JoinHandle<()>,
+    supervisor_handle: JoinHandle<()>,
     metrics_handle: Option<JoinHandle<()>>,
 }
 
@@ -228,25 +275,29 @@ impl Server {
             provenance: options.provenance,
             metrics,
             engine_obs,
+            request_timeout: options.request_timeout,
+            chaos: options.chaos.clone(),
+            workers_alive: AtomicUsize::new(0),
+            accept_live: AtomicBool::new(true),
         });
 
         let (job_tx, job_rx) = bounded::<Job>(options.queue_depth.max(1));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|slot| {
-                let shared = Arc::clone(&shared);
-                let rx = job_rx.clone();
-                thread::Builder::new()
-                    .name(format!("ftb-worker-{slot}"))
-                    .spawn(move || worker_loop(shared, rx, slot))
-            })
+        let worker_handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+            .map(|slot| spawn_worker(&shared, job_rx.clone(), slot).map(Some))
             .collect::<io::Result<_>>()?;
-        drop(job_rx);
+        // The supervisor keeps a receiver so it can respawn crashed workers
+        // onto the same queue; receivers do not keep the channel alive, so
+        // the drain (all senders dropped) still terminates the workers.
+        let supervisor_shared = Arc::clone(&shared);
+        let supervisor_handle = thread::Builder::new()
+            .name("ftb-supervisor".to_string())
+            .spawn(move || supervisor_loop(supervisor_shared, job_rx, worker_handles))?;
 
         let accept_shared = Arc::clone(&shared);
         let accept_handle = thread::Builder::new()
             .name("ftb-accept".to_string())
             .spawn(move || {
-                accept_loop(listener, accept_shared, job_tx, worker_handles);
+                accept_loop(listener, accept_shared, job_tx);
             })?;
 
         let (metrics_local_addr, metrics_handle) = match options.metrics_addr {
@@ -268,6 +319,7 @@ impl Server {
             metrics_local_addr,
             shared,
             accept_handle,
+            supervisor_handle,
             metrics_handle,
         })
     }
@@ -303,13 +355,32 @@ impl Server {
         self.shared.stats_report()
     }
 
+    /// Worker threads currently running (the supervisor respawns crashed
+    /// ones, so this converges back to [`Server::workers_configured`]
+    /// after a panic).
+    pub fn workers_alive(&self) -> usize {
+        self.shared.workers_alive.load(Ordering::SeqCst)
+    }
+
+    /// The worker pool size the server was built with.
+    pub fn workers_configured(&self) -> usize {
+        self.shared.worker_stats.len()
+    }
+
     /// Block until the server has fully stopped (all connections closed,
     /// queue drained, workers joined). Only returns after a shutdown has
     /// been triggered by [`Server::shutdown`] or a wire request.
+    ///
+    /// Panics inside the serving threads are contained *before* this
+    /// point (counted in `ftb_thread_panics_total`, loops re-entered,
+    /// workers respawned); an error here means containment itself failed.
     pub fn join(self) -> io::Result<()> {
         self.accept_handle
             .join()
             .map_err(|_| io::Error::other("server accept thread panicked"))?;
+        self.supervisor_handle
+            .join()
+            .map_err(|_| io::Error::other("server supervisor thread panicked"))?;
         if let Some(handle) = self.metrics_handle {
             handle
                 .join()
@@ -323,16 +394,55 @@ impl Server {
 /// shutdown flag with no client activity.
 const ACCEPT_TICK: Duration = Duration::from_millis(10);
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    job_tx: Sender<Job>,
-    worker_handles: Vec<JoinHandle<()>>,
-) {
+/// Poll interval of the worker supervisor.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(5);
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) {
+    // Panic containment: a panic anywhere in the polling loop is counted
+    // and the loop re-entered, so one bad connection setup cannot silently
+    // kill the accept thread — the old behaviour was an opaque io::Error
+    // surfacing only at `Server::join`.
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            accept_requests(&listener, &shared, &job_tx)
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(_) => {
+                shared.metrics.thread_panics_accept.inc();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    shared.accept_live.store(false, Ordering::SeqCst);
+    drop(listener);
+    // Graceful drain: connection threads notice the flag after their
+    // current request (or their next idle tick) and exit on their own.
+    while shared.active_connections.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(2));
+    }
+    // Last sender gone → workers drain the remaining queue and stop; the
+    // supervisor joins them and exits once every slot is done.
+    drop(job_tx);
+}
+
+/// The accept polling loop proper; returns on shutdown.
+fn accept_requests(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let conn_shared = Arc::clone(&shared);
+                if let Some(chaos) = &shared.chaos {
+                    if chaos.on_accept() {
+                        // Injected accept failure: drop the connection the
+                        // way an aborted handshake would.
+                        shared.metrics.accept_errors_total.inc();
+                        drop(stream);
+                        continue;
+                    }
+                }
+                let conn_shared = Arc::clone(shared);
                 let jobs = job_tx.clone();
                 shared.connections.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.connections_total.inc();
@@ -359,55 +469,186 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
-            // Transient accept errors (aborted handshake etc.): keep serving.
-            Err(_) => thread::sleep(ACCEPT_TICK),
+            // Transient accept errors (aborted handshake etc.): counted,
+            // survived.
+            Err(_) => {
+                shared.metrics.accept_errors_total.inc();
+                thread::sleep(ACCEPT_TICK);
+            }
         }
     }
-    drop(listener);
-    // Graceful drain: connection threads notice the flag after their
-    // current request (or their next idle tick) and exit on their own.
-    while shared.active_connections.load(Ordering::SeqCst) > 0 {
-        thread::sleep(Duration::from_millis(2));
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    jobs: Receiver<Job>,
+    slot: usize,
+) -> io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("ftb-worker-{slot}"))
+        .spawn(move || worker_loop(shared, jobs, slot))
+}
+
+/// Watches the worker pool: a slot whose thread exits by panic (an
+/// *uncaught* panic — handler panics are caught in [`worker_loop`]) is
+/// counted and respawned with a fresh [`QueryContext`] on the same queue.
+/// Exits once every slot has drained cleanly at shutdown.
+fn supervisor_loop(
+    shared: Arc<Shared>,
+    jobs: Receiver<Job>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    loop {
+        let mut all_done = true;
+        for (slot, entry) in handles.iter_mut().enumerate() {
+            if entry.as_ref().is_some_and(|h| h.is_finished()) {
+                let handle = entry.take().expect("slot checked non-empty");
+                if handle.join().is_err() {
+                    shared.metrics.thread_panics_worker.inc();
+                    shared.metrics.worker_respawns.inc();
+                    *entry = spawn_worker(&shared, jobs.clone(), slot).ok();
+                }
+            }
+            if entry.is_some() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            return;
+        }
+        thread::sleep(SUPERVISOR_TICK);
     }
-    // Last sender gone → workers drain the remaining queue and stop.
-    drop(job_tx);
-    for handle in worker_handles {
-        let _ = handle.join();
+}
+
+/// Decrements `workers_alive` when the worker exits — by clean drain or
+/// by uncaught panic alike, so `/healthz` never overcounts.
+struct WorkerAlive(Arc<Shared>);
+
+impl Drop for WorkerAlive {
+    fn drop(&mut self) {
+        self.0.workers_alive.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>, slot: usize) {
-    let mut ctx = shared.core.new_context();
-    ctx.attach_obs(Arc::clone(&shared.engine_obs));
-    while let Ok(job) = jobs.recv() {
-        shared.metrics.queue_depth.dec();
-        let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
-        shared.metrics.queue_wait.record(queue_nanos);
-        let before = ctx.stats().tiers;
-        let started = Instant::now();
-        let response = answer(&shared.core, &mut ctx, &job.request);
-        let handle_nanos = started.elapsed().as_nanos() as u64;
-        shared.metrics.handle.record(handle_nanos);
-        let after = ctx.stats().tiers;
-        let tiers = [
-            (after.fault_free_row - before.fault_free_row) as u64,
-            (after.unaffected_fast_path - before.unaffected_fast_path) as u64,
-            (after.batched_unaffected - before.batched_unaffected) as u64,
-            (after.sparse_h_bfs - before.sparse_h_bfs) as u64,
-            (after.augmented_bfs - before.augmented_bfs) as u64,
-            (after.full_graph_bfs - before.full_graph_bfs) as u64,
-        ];
-        shared.worker_stats[slot].store(&ctx.stats());
-        // A send failure means the connection died while its request was
-        // queued; the answer is simply dropped.
-        let _ = job.reply.send(JobDone {
-            request: job.request,
-            response,
-            queue_nanos,
-            handle_nanos,
-            tiers,
-        });
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+    let _alive = WorkerAlive(Arc::clone(&shared));
+    // The slot's already-published totals (from a predecessor incarnation,
+    // when this is a respawn) are the base the fresh context accumulates
+    // on, so the merged stats stay monotone across panics and respawns.
+    let mut base: QueryStats = shared.worker_stats[slot].snapshot();
+    'context: loop {
+        let mut ctx = shared.core.new_context();
+        ctx.attach_obs(Arc::clone(&shared.engine_obs));
+        while let Ok(job) = jobs.recv() {
+            shared.metrics.queue_depth.dec();
+            let fault = match &shared.chaos {
+                Some(chaos) => chaos.on_job(),
+                None => WorkerFault::None,
+            };
+            match fault {
+                // Outside any catch: kills this thread, exercising the
+                // supervisor (the connection sees the dropped reply sender
+                // as a typed Internal frame).
+                WorkerFault::PanicUncaught => panic!("chaos: injected uncaught worker panic"),
+                WorkerFault::Stall(d) => thread::sleep(d),
+                WorkerFault::None | WorkerFault::Panic => {}
+            }
+            let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+            shared.metrics.queue_wait.record(queue_nanos);
+            // Deadline check at dequeue: stale work is shed before any
+            // compute, so the engine's tier counters are untouched.
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                shared.metrics.deadline_exceeded_total.inc();
+                let _ = job.reply.send(JobDone {
+                    request: job.request,
+                    response: deadline_exceeded("expired while queued; the query was not run"),
+                    queue_nanos,
+                    handle_nanos: 0,
+                    tiers: [0; 6],
+                });
+                continue;
+            }
+            let before = ctx.stats().tiers;
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(fault, WorkerFault::Panic) {
+                    panic!("chaos: injected handler panic");
+                }
+                answer(&shared.core, &mut ctx, &job.request, job.deadline)
+            }));
+            let handle_nanos = started.elapsed().as_nanos() as u64;
+            match outcome {
+                Ok(response) => {
+                    shared.metrics.handle.record(handle_nanos);
+                    if is_deadline_exceeded(&response) {
+                        shared.metrics.deadline_exceeded_total.inc();
+                    }
+                    let after = ctx.stats().tiers;
+                    let tiers = [
+                        (after.fault_free_row - before.fault_free_row) as u64,
+                        (after.unaffected_fast_path - before.unaffected_fast_path) as u64,
+                        (after.batched_unaffected - before.batched_unaffected) as u64,
+                        (after.sparse_h_bfs - before.sparse_h_bfs) as u64,
+                        (after.augmented_bfs - before.augmented_bfs) as u64,
+                        (after.full_graph_bfs - before.full_graph_bfs) as u64,
+                    ];
+                    let mut published = base;
+                    published.merge(&ctx.stats());
+                    shared.worker_stats[slot].store(&published);
+                    // A send failure means the connection died while its
+                    // request was queued; the answer is simply dropped.
+                    let _ = job.reply.send(JobDone {
+                        request: job.request,
+                        response,
+                        queue_nanos,
+                        handle_nanos,
+                        tiers,
+                    });
+                }
+                Err(_) => {
+                    // The handler panicked mid-request: the connection gets
+                    // a typed Internal frame (the connection survives), and
+                    // this worker discards its possibly-inconsistent
+                    // context for a fresh one — an in-place respawn.
+                    shared.metrics.thread_panics_worker.inc();
+                    shared.metrics.worker_respawns.inc();
+                    let _ = job.reply.send(JobDone {
+                        request: job.request,
+                        response: Response::Error {
+                            code: ErrorCode::Internal as u16,
+                            message: "worker panicked while handling the request".to_string(),
+                        },
+                        queue_nanos,
+                        handle_nanos,
+                        tiers: [0; 6],
+                    });
+                    base.merge(&ctx.stats());
+                    shared.worker_stats[slot].store(&base);
+                    continue 'context;
+                }
+            }
+        }
+        return;
     }
+}
+
+/// The typed shed reply for an expired budget, distinct from
+/// [`Response::Overloaded`] (refused admission) and plain `Internal`
+/// (something broke).
+fn deadline_exceeded(context: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::DeadlineExceeded as u16,
+        message: format!("request deadline {context}"),
+    }
+}
+
+fn is_deadline_exceeded(response: &Response) -> bool {
+    matches!(
+        response,
+        Response::Error { code, .. } if *code == ErrorCode::DeadlineExceeded as u16
+    )
 }
 
 fn engine_error(err: &FtbfsError) -> Response {
@@ -418,7 +659,16 @@ fn engine_error(err: &FtbfsError) -> Response {
 }
 
 /// Compute the answer to one query request on the worker's context.
-fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Response {
+///
+/// `deadline` is re-checked between the fault-set groups of a batch —
+/// the natural preemption points of the only request kind whose compute
+/// is long enough to outlive a budget mid-flight.
+fn answer(
+    core: &EngineCore,
+    ctx: &mut QueryContext,
+    request: &Request,
+    deadline: Option<Instant>,
+) -> Response {
     match request {
         Request::Dist {
             source,
@@ -458,6 +708,11 @@ fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Respo
             let mut out = vec![None; queries.len()];
             let mut targets = Vec::new();
             for (faults, indices) in groups {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // A partial answer vector would misalign; the whole
+                    // batch is shed, like the in-queue case.
+                    return deadline_exceeded("expired between batch fault-set groups");
+                }
                 targets.clear();
                 targets.extend(indices.iter().map(|&i| queries[i].0));
                 match ctx.dist_many_after_faults_from(core, *source, &targets, faults) {
@@ -478,6 +733,12 @@ fn answer(core: &EngineCore, ctx: &mut QueryContext, request: &Request) -> Respo
         } => match ctx.dist_many_after_faults_from(core, *source, targets, faults) {
             Ok(ds) => Response::DistMany(ds),
             Err(e) => engine_error(&e),
+        },
+        // Unwrapped by the connection thread before submission; reaching a
+        // worker still wrapped is a bug.
+        Request::Deadline { .. } => Response::Error {
+            code: ErrorCode::Internal as u16,
+            message: "deadline wrapper routed to a worker unwrapped".to_string(),
         },
         // Routed inline by the connection thread; reaching a worker is a bug.
         Request::Hello { .. }
@@ -517,6 +778,18 @@ enum FrameRead {
 /// the frame completes or the idle budget runs out — so a wedged client
 /// that sent half a length prefix cannot pin the thread past the timeout.
 fn read_frame_idle(stream: &mut TcpStream, shared: &Shared) -> io::Result<FrameRead> {
+    if let Some(chaos) = &shared.chaos {
+        match chaos.on_read() {
+            IoFault::Slow(d) => thread::sleep(d),
+            IoFault::Reset | IoFault::PartialWrite => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: injected connection reset",
+                ));
+            }
+            IoFault::None => {}
+        }
+    }
     let mut len_bytes = [0u8; 4];
     match fill_with_idle(stream, shared, &mut len_bytes, true)? {
         FillOutcome::Done => {}
@@ -642,7 +915,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
                     code: ErrorCode::MalformedFrame as u16,
                     message: e.to_string(),
                 };
-                write_frame(&mut stream, &encode_response(&resp))?;
+                write_response_frame(&mut stream, &encode_response(&resp), shared)?;
                 return Ok(());
             }
         };
@@ -715,16 +988,28 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
                 work @ (Request::Dist { .. }
                 | Request::Path { .. }
                 | Request::BatchDist { .. }
-                | Request::DistMany { .. }) => match submit(shared, jobs, work) {
-                    Submitted::Answered(JobDone {
-                        request,
-                        response,
-                        queue_nanos,
-                        handle_nanos,
-                        tiers,
-                    }) => (response, Some((request, queue_nanos, handle_nanos, tiers))),
-                    Submitted::Refused(resp) => (resp, None),
-                },
+                | Request::DistMany { .. }
+                | Request::Deadline { .. }) => {
+                    // Unwrap a client deadline here so workers only ever
+                    // see bare query requests; decode already guarantees
+                    // the wrapped opcode is a query.
+                    let (work, client_budget) = match work {
+                        Request::Deadline { budget_ms, inner } => {
+                            (*inner, Some(Duration::from_millis(budget_ms as u64)))
+                        }
+                        bare => (bare, None),
+                    };
+                    match submit(shared, jobs, work, client_budget) {
+                        Submitted::Answered(JobDone {
+                            request,
+                            response,
+                            queue_nanos,
+                            handle_nanos,
+                            tiers,
+                        }) => (response, Some((request, queue_nanos, handle_nanos, tiers))),
+                        Submitted::Refused(resp) => (resp, None),
+                    }
+                }
             }
         };
         let encode_started = Instant::now();
@@ -748,7 +1033,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, jobs: &Sender<Job>) 
                 );
             }
         }
-        write_frame(&mut stream, &encoded)?;
+        write_response_frame(&mut stream, &encoded, shared)?;
         if close_after_reply || shared.shutdown.load(Ordering::SeqCst) {
             // The in-flight request (if any) was answered above; close so
             // the accept loop's drain can complete.
@@ -765,24 +1050,49 @@ enum Submitted {
 }
 
 /// Admission control: offer the job to the bounded queue without blocking.
-fn submit(shared: &Shared, jobs: &Sender<Job>, request: Request) -> Submitted {
+///
+/// The job's deadline is anchored at admission: the smaller of the
+/// server's [`ServeOptions::request_timeout`] and the client's own
+/// [`Request::Deadline`] budget, when either is present.
+fn submit(
+    shared: &Shared,
+    jobs: &Sender<Job>,
+    request: Request,
+    client_budget: Option<Duration>,
+) -> Submitted {
+    let budget = match (shared.request_timeout, client_budget) {
+        (Some(server), Some(client)) => Some(server.min(client)),
+        (server, client) => server.or(client),
+    };
+    let enqueued = Instant::now();
+    let deadline = budget.map(|b| enqueued + b);
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     match jobs.try_send(Job {
         request,
-        enqueued: Instant::now(),
+        enqueued,
+        deadline,
         reply: reply_tx,
     }) {
         Ok(()) => {
             shared.accepted.fetch_add(1, Ordering::Relaxed);
             shared.metrics.queue_depth.inc();
-            // The worker holds the only sender; RecvError here means it
-            // dropped the job during shutdown drain.
+            // The worker holds the only sender; RecvError means it dropped
+            // the job — during a shutdown drain that is the expected path,
+            // otherwise the worker crashed hard (its respawn is already
+            // under way) and the client gets a typed, retryable frame.
             match reply_rx.recv() {
                 Ok(done) => Submitted::Answered(done),
-                Err(_) => Submitted::Refused(Response::Error {
-                    code: ErrorCode::Internal as u16,
-                    message: "server shut down before answering".to_string(),
-                }),
+                Err(_) => {
+                    let message = if shared.shutdown.load(Ordering::SeqCst) {
+                        "server shut down before answering"
+                    } else {
+                        "worker crashed while handling the request; a fresh worker is starting"
+                    };
+                    Submitted::Refused(Response::Error {
+                        code: ErrorCode::Internal as u16,
+                        message: message.to_string(),
+                    })
+                }
             }
         }
         Err(TrySendError::Full(_)) => {
@@ -797,21 +1107,61 @@ fn submit(shared: &Shared, jobs: &Sender<Job>, request: Request) -> Submitted {
     }
 }
 
+/// Write a response frame, subject to injected write faults. A partial
+/// write sends a strict prefix of the frame and then fails the
+/// connection: the peer observes a truncated frame followed by a close —
+/// an `UnexpectedEof`, never a desynced stream of valid-looking bytes.
+fn write_response_frame(stream: &mut TcpStream, payload: &[u8], shared: &Shared) -> io::Result<()> {
+    if let Some(chaos) = &shared.chaos {
+        match chaos.on_write() {
+            IoFault::PartialWrite => {
+                use std::io::Write as _;
+                let mut framed = Vec::with_capacity(4 + payload.len());
+                framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                framed.extend_from_slice(payload);
+                let cut = (framed.len() / 2).max(1);
+                let _ = stream.write_all(&framed[..cut]);
+                let _ = stream.flush();
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: injected partial write",
+                ));
+            }
+            IoFault::Reset => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: injected write reset",
+                ));
+            }
+            IoFault::Slow(d) => thread::sleep(d),
+            IoFault::None => {}
+        }
+    }
+    write_frame(stream, payload)
+}
+
 // ---------------------------------------------------------------------------
 // Plaintext HTTP metrics endpoint
 // ---------------------------------------------------------------------------
 
 /// Accept loop of the `--metrics-addr` listener: enough HTTP/1.1 to let
 /// `curl` and Prometheus scrape without speaking the binary protocol.
-/// Routes `/metrics` (text exposition), `/metrics.json`, and `/slow`
-/// (the slow-query board as JSON). One request per connection.
+/// Routes `/metrics` (text exposition), `/metrics.json`, `/slow` (the
+/// slow-query board as JSON), and `/healthz` (readiness/liveness). One
+/// request per connection.
 fn metrics_http_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Scrapes are rare and the payload is small: handle inline
-                // so a scraper cannot fork unbounded threads.
-                let _ = serve_metrics_http(stream, &shared);
+                // so a scraper cannot fork unbounded threads — but
+                // contained, so a panic in rendering is counted and the
+                // listener survives it.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| serve_metrics_http(stream, &shared)));
+                if outcome.is_err() {
+                    shared.metrics.thread_panics_metrics.inc();
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
             Err(_) => thread::sleep(ACCEPT_TICK),
@@ -819,9 +1169,19 @@ fn metrics_http_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// The probe path's read timeout, derived from the serve options instead
+/// of a hard-coded constant so tight-deadline tests don't race it: never
+/// longer than the connection idle budget, but also never so small that a
+/// slow scraper can't deliver its GET line.
+fn http_read_timeout(shared: &Shared) -> Duration {
+    shared
+        .idle_timeout
+        .clamp(Duration::from_millis(10), Duration::from_secs(2))
+}
+
 /// Read one HTTP request head (bounded), answer it, close.
 fn serve_metrics_http(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(http_read_timeout(shared)))?;
     stream.set_nodelay(true)?;
     // Read until the end of the request head, capped well above any sane
     // scraper's GET line.
@@ -862,11 +1222,31 @@ fn serve_metrics_http(mut stream: TcpStream, shared: &Shared) -> io::Result<()> 
             let body = render_slow_json(shared);
             write_http(&mut stream, 200, "application/json", &body)
         }
+        "/healthz" => {
+            let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+            let accept_alive = shared.accept_live.load(Ordering::SeqCst);
+            let ready = accept_alive && !shutting_down;
+            let body = format!(
+                "{{\"ready\":{ready},\"shutting_down\":{shutting_down},\
+                 \"accept_alive\":{accept_alive},\
+                 \"workers_alive\":{},\"workers_configured\":{},\
+                 \"worker_panics\":{},\"worker_respawns\":{},\
+                 \"accept_panics\":{},\"metrics_panics\":{}}}\n",
+                shared.workers_alive.load(Ordering::SeqCst),
+                shared.worker_stats.len(),
+                shared.metrics.thread_panics_worker.get(),
+                shared.metrics.worker_respawns.get(),
+                shared.metrics.thread_panics_accept.get(),
+                shared.metrics.thread_panics_metrics.get(),
+            );
+            let status = if ready { 200 } else { 503 };
+            write_http(&mut stream, status, "application/json", &body)
+        }
         _ => write_http(
             &mut stream,
             404,
             "text/plain",
-            "routes: /metrics /metrics.json /slow\n",
+            "routes: /metrics /metrics.json /slow /healthz\n",
         ),
     }
 }
@@ -883,6 +1263,7 @@ fn write_http(
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(
@@ -930,14 +1311,39 @@ fn render_slow_json(shared: &Shared) -> String {
 }
 
 /// Block until `server`'s port stops accepting connections, with a bound.
-/// Test/CI helper for "the server actually exited" assertions.
+/// Test/CI helper for "the server actually exited" assertions. Polls
+/// every 10 ms; [`wait_until_stopped_with`] makes the interval explicit.
 pub fn wait_until_stopped(addr: SocketAddr, timeout: Duration) -> bool {
+    wait_until_stopped_with(addr, timeout, Duration::from_millis(10))
+}
+
+/// [`wait_until_stopped`] with an explicit poll interval (clamped to at
+/// least 1 ms), for tests whose shutdown windows are tighter — or much
+/// looser — than the default cadence.
+pub fn wait_until_stopped_with(addr: SocketAddr, timeout: Duration, poll: Duration) -> bool {
     let deadline = Instant::now() + timeout;
+    let poll = poll.max(Duration::from_millis(1));
     while Instant::now() < deadline {
         if TcpStream::connect_timeout(&addr, Duration::from_millis(50)).is_err() {
             return true;
         }
-        thread::sleep(Duration::from_millis(10));
+        thread::sleep(poll);
     }
     false
+}
+
+/// The symmetric startup helper: block until `addr` accepts a TCP
+/// connection, with a bound. De-flakes "connect right after bind" races
+/// in tests and scripts that spawn `ftb-serve` as a child process.
+pub fn wait_until_ready(addr: SocketAddr, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(50)).is_ok() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
 }

@@ -57,10 +57,22 @@ fn make_request(tag: u8, a: u32, b: u32, faults: FaultSet, batch: &[(u32, u32)])
             },
         },
         7 => Request::SlowQueries,
-        _ => Request::DistMany {
+        8 => Request::DistMany {
             source: VertexId(a),
             targets: batch.iter().map(|&(t, _)| VertexId(t)).collect(),
             faults,
+        },
+        // The v4 deadline wrapper around each query shape it may carry
+        // (plain and batched distances, paths, one-to-many).
+        _ => Request::Deadline {
+            budget_ms: a,
+            inner: Box::new(make_request(
+                [1, 2, 3, 8][(b % 4) as usize],
+                b,
+                a,
+                faults,
+                batch,
+            )),
         },
     }
 }
@@ -132,7 +144,7 @@ proptest! {
 
     #[test]
     fn requests_reencode_byte_identically(
-        tag in 0u8..9,
+        tag in 0u8..10,
         a in 0u32..65536,
         b in 0u32..50_000,
         kinds in collection::vec(0u8..2, 0..6),
@@ -163,7 +175,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_is_truncated(
-        tag in 0u8..9,
+        tag in 0u8..10,
         a in 0u32..65536,
         kinds in collection::vec(0u8..2, 0..6),
         ids in collection::vec(0u32..100_000, 0..6),

@@ -6,7 +6,7 @@
 use ftb_core::EngineOptions;
 use ftb_graph::{FaultSet, VertexId};
 use ftb_server::protocol::{encode_response, Request, Response};
-use ftb_server::{Client, EngineSpec, ServeOptions, Server};
+use ftb_server::{wait_until_ready, Client, EngineSpec, ServeOptions, Server};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +38,10 @@ fn wire_answers_are_byte_identical_to_in_process_answers() {
     )
     .expect("ephemeral bind");
     let addr = server.local_addr();
+    assert!(
+        wait_until_ready(addr, Duration::from_secs(5)),
+        "server should accept connections shortly after bind"
+    );
     let source = spec.source();
 
     // The query mix: plain distances, faulted distances, and paths, over a
@@ -173,6 +177,10 @@ fn tiny_queue_bound_sheds_with_overloaded() {
     )
     .expect("ephemeral bind");
     let addr = server.local_addr();
+    assert!(
+        wait_until_ready(addr, Duration::from_secs(5)),
+        "server should accept connections shortly after bind"
+    );
     let source = spec.source();
 
     let sheds = AtomicU64::new(0);

@@ -177,3 +177,95 @@ fn snapshot_rejects_the_wrong_graph_spec() {
         "different specs generate different graphs"
     );
 }
+
+/// A crash between writing the `.tmp` sibling and renaming it into place
+/// is the snapshot pipeline's one dangerous window. Simulate every
+/// variant of it and assert the load path never trusts the wreckage.
+#[test]
+fn crash_mid_write_never_shadows_a_good_snapshot() {
+    let spec = spec(WorkloadFamily::ErdosRenyi, 150, false);
+    let graph = spec.graph();
+    let core = spec
+        .build_core(&graph, EngineOptions::new())
+        .expect("build");
+
+    let dir = std::env::temp_dir().join(format!("ftbfs-crash-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("engine.ftbsnap");
+    let tmp = path.with_extension("tmp");
+
+    // A good snapshot lands; its tmp sibling is renamed away.
+    setup::save_snapshot(&path, &core, &spec).expect("first save");
+    assert!(
+        path.exists() && !tmp.exists(),
+        "rename consumed the tmp file"
+    );
+    let (restored, restored_spec) =
+        setup::load_snapshot(&path, EngineOptions::new()).expect("good snapshot loads");
+    assert_eq!(restored_spec, spec);
+    assert_eq!(restored.graph().fingerprint(), graph.fingerprint());
+
+    // Crash simulation: a later save dies mid-write, leaving a truncated
+    // tmp. The final name still holds the *old* good bytes — loading must
+    // keep working and must not look at the tmp.
+    let good_bytes = std::fs::read(&path).expect("read good snapshot");
+    std::fs::write(&tmp, &good_bytes[..good_bytes.len() / 2]).expect("plant stale tmp");
+    let (after_crash, _) = setup::load_snapshot(&path, EngineOptions::new())
+        .expect("stale tmp must not break loading the good snapshot");
+    assert_eq!(after_crash.graph().fingerprint(), graph.fingerprint());
+
+    // The stale tmp itself is detected if someone loads it directly: a
+    // truncated snapshot fails the checksum, it does not half-load.
+    assert!(
+        matches!(
+            setup::load_snapshot(&tmp, EngineOptions::new()),
+            Err(setup::SnapshotLoadError::Decode(_))
+        ),
+        "a truncated snapshot must be rejected by decode"
+    );
+
+    // Re-saving overwrites the stale tmp and renames it away again: the
+    // crash leaves nothing permanent behind.
+    setup::save_snapshot(&path, &core, &spec).expect("re-save after crash");
+    assert!(
+        path.exists() && !tmp.exists(),
+        "re-save cleaned the stale tmp"
+    );
+    let (after_resave, _) =
+        setup::load_snapshot(&path, EngineOptions::new()).expect("re-saved snapshot loads");
+    assert_eq!(after_resave.graph().fingerprint(), graph.fingerprint());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The inverse wreckage: the crash happened on the *first* ever save, so
+/// only a tmp exists and there is no good snapshot to fall back to. The
+/// load must fail with a clean `Io(NotFound)` — not invent an engine.
+#[test]
+fn tmp_only_wreckage_is_a_clean_not_found() {
+    let spec = spec(WorkloadFamily::ErdosRenyi, 150, false);
+    let graph = spec.graph();
+    let core = spec
+        .build_core(&graph, EngineOptions::new())
+        .expect("build");
+
+    let dir = std::env::temp_dir().join(format!("ftbfs-crash-test2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("engine.ftbsnap");
+    let tmp = path.with_extension("tmp");
+
+    std::fs::write(&tmp, b"truncated first save").expect("plant orphan tmp");
+    match setup::load_snapshot(&path, EngineOptions::new()) {
+        Err(setup::SnapshotLoadError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::NotFound)
+        }
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+
+    // A successful save recovers the directory completely.
+    setup::save_snapshot(&path, &core, &spec).expect("save succeeds");
+    assert!(path.exists() && !tmp.exists());
+    setup::load_snapshot(&path, EngineOptions::new()).expect("recovered snapshot loads");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
